@@ -1,0 +1,6 @@
+//! Ablation: GridGraph dual windows vs X-Stream scatter/gather (section 2.1).
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::ablations::cpu_engine(&ctx));
+}

@@ -1,0 +1,6 @@
+//! Ablation: crossbar size sweep (section 3.1).
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::ablations::crossbar_size(&ctx));
+}

@@ -1,0 +1,6 @@
+//! Extension: stuck-at fault tolerance sweep.
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::ablations::faults(&ctx));
+}

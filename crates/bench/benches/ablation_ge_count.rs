@@ -1,0 +1,6 @@
+//! Ablation: graph-engine count scalability.
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::ablations::ge_count(&ctx));
+}

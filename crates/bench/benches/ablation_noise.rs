@@ -1,0 +1,6 @@
+//! Ablation: analog programming-noise tolerance (section 1 claim).
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::ablations::noise(&ctx));
+}

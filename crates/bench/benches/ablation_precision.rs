@@ -1,0 +1,6 @@
+//! Ablation: datapath precision vs result fidelity (section 3.2).
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::ablations::precision(&ctx));
+}

@@ -1,0 +1,6 @@
+//! Ablation: empty-window skipping (section 3.3).
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::ablations::skip_empty(&ctx));
+}

@@ -1,0 +1,6 @@
+//! Ablation: column-major vs row-major streaming-apply (section 3.3).
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::ablations::streaming_order(&ctx));
+}

@@ -1,0 +1,43 @@
+//! Extension: multi-node GraphR scaling (the paper's declared future
+//! work, section 3.1) — PageRank on the WebGoogle clone across cluster
+//! sizes.
+
+use graphr_core::multinode::{estimate_pagerank_scaling, MultiNodeConfig};
+use graphr_core::sim::PageRankOptions;
+use graphr_graph::DatasetSpec;
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    let graph = ctx.graph(&DatasetSpec::web_google());
+    let opts = PageRankOptions {
+        max_iterations: 5,
+        tolerance: 0.0,
+        ..PageRankOptions::default()
+    };
+    let mut rows = Vec::new();
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let est = estimate_pagerank_scaling(
+            &graph,
+            ctx.config(),
+            &MultiNodeConfig::pcie_cluster(nodes),
+            &opts,
+        )
+        .expect("valid configuration");
+        rows.push(vec![
+            nodes.to_string(),
+            format!("{}", est.bottleneck_scan_time),
+            format!("{}", est.exchange_time),
+            format!("{}", est.total_time),
+            format!("{:.2}x", est.speedup),
+            format!("{}", est.total_energy),
+        ]);
+    }
+    println!(
+        "{}",
+        graphr_bench::report::render_table(
+            "Extension: multi-node GraphR (PageRank on WG, 5 iterations)",
+            &["nodes", "bottleneck scan", "exchange", "total", "speedup", "energy"],
+            &rows,
+        )
+    );
+}

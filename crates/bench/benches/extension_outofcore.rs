@@ -1,0 +1,48 @@
+//! Extension: the out-of-core deployment regime (Figure 9's workflow) —
+//! GraphR as a drop-in accelerator with blocks streaming from disk.
+
+use graphr_core::outofcore::{estimate_out_of_core, DiskModel};
+use graphr_core::sim::{run_pagerank, PageRankOptions};
+use graphr_core::TiledGraph;
+use graphr_graph::DatasetSpec;
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    let graph = ctx.graph(&DatasetSpec::web_google());
+    let config = ctx.config();
+    let tiled = TiledGraph::preprocess(&graph, config).expect("valid configuration");
+    let run = run_pagerank(
+        &graph,
+        config,
+        &PageRankOptions {
+            max_iterations: 10,
+            tolerance: 0.0,
+            ..PageRankOptions::default()
+        },
+    )
+    .expect("valid configuration");
+    let mut rows = Vec::new();
+    for (name, disk) in [("SATA SSD", DiskModel::sata_ssd()), ("NVMe", DiskModel::nvme())] {
+        let est = estimate_out_of_core(&tiled, &run.metrics, &disk);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", est.compute_time),
+            format!("{}", est.disk_time),
+            format!("{}", est.overlapped_time),
+            if est.is_disk_bound() { "disk" } else { "compute" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        graphr_bench::report::render_table(
+            "Extension: out-of-core deployment (PageRank on WG, 10 iterations)",
+            &["disk", "compute", "disk loads", "overlapped total", "bound by"],
+            &rows,
+        )
+    );
+    println!(
+        "With the preprocessed sequential layout the loads double-buffer against\n\
+         compute; the accelerator is fast enough that storage becomes the\n\
+         bottleneck of an out-of-core deployment."
+    );
+}

@@ -1,0 +1,6 @@
+//! Extension: weakly-connected components on GraphR.
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::ablations::wcc_extension(&ctx));
+}

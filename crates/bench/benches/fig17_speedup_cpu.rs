@@ -1,0 +1,7 @@
+//! Regenerates Figure 17: GraphR speedup over the CPU baseline across the full application x dataset grid.
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    let (_runs, text) = graphr_bench::figures::figure17(&ctx);
+    println!("{text}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 18: GraphR energy saving over the CPU baseline.
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    let (_runs, text) = graphr_bench::figures::figure18(&ctx);
+    println!("{text}");
+}

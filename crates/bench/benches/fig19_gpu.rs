@@ -1,0 +1,7 @@
+//! Regenerates Figure 19: GraphR vs GPU performance and energy.
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    let (_runs, text) = graphr_bench::figures::figure19(&ctx);
+    println!("{text}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 20: GraphR vs PIM (Tesseract) performance and energy.
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    let (_runs, text) = graphr_bench::figures::figure20(&ctx);
+    println!("{text}");
+}

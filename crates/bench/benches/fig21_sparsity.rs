@@ -1,0 +1,7 @@
+//! Regenerates Figure 21: sensitivity to dataset sparsity.
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    let (_runs, text) = graphr_bench::figures::figure21(&ctx);
+    println!("{text}");
+}

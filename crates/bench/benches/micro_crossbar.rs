@@ -1,0 +1,28 @@
+//! Criterion microbenchmarks of the ReRAM crossbar datapath: programming
+//! and analog MVM at the paper's tile geometry, in both sign modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphr_reram::{ArrayConfig, MatrixArray, SignMode};
+
+fn crossbar_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar");
+    for (name, sign) in [("unsigned", SignMode::Unsigned), ("differential", SignMode::Differential)] {
+        let mut cfg = ArrayConfig::paper_default(8, 8);
+        cfg.sign_mode = sign;
+        let matrix: Vec<f64> = (0..64).map(|i| (i % 13) as f64 * 0.0625).collect();
+        let input: Vec<f64> = (0..8).map(|i| 0.25 + i as f64 * 0.125).collect();
+        group.bench_with_input(BenchmarkId::new("program_8x8", name), &cfg, |b, cfg| {
+            let mut array = MatrixArray::new(*cfg);
+            b.iter(|| array.program_dense(std::hint::black_box(&matrix)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("mvm_8x8", name), &cfg, |b, cfg| {
+            let mut array = MatrixArray::new(*cfg);
+            array.program_dense(&matrix).unwrap();
+            b.iter(|| array.mvm(std::hint::black_box(&input)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, crossbar_benches);
+criterion_main!(benches);

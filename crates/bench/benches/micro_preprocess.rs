@@ -1,0 +1,36 @@
+//! Criterion microbenchmarks of the §3.4 preprocessing: global-order-ID
+//! computation and full edge-list tiling (the once-per-graph software
+//! step of Figure 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphr_core::preprocess::TileOrder;
+use graphr_core::{GraphRConfig, TiledGraph};
+use graphr_graph::generators::rmat::Rmat;
+
+fn preprocess_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    let order = TileOrder::new(1 << 20, 8, 4096, 1 << 20).unwrap();
+    group.bench_function("global_order_id", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % (1 << 20);
+            std::hint::black_box(order.global_id(i, (i * 31) % (1 << 20)))
+        });
+    });
+    let config = GraphRConfig::default();
+    for edges in [10_000usize, 100_000] {
+        let graph = Rmat::new(edges / 8, edges).seed(1).generate();
+        group.throughput(Throughput::Elements(edges as u64));
+        group.bench_with_input(
+            BenchmarkId::new("tile_graph", edges),
+            &graph,
+            |b, graph| {
+                b.iter(|| TiledGraph::preprocess(std::hint::black_box(graph), &config).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, preprocess_benches);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (architecture comparison) and Tables 4/5 (platform specs).
+
+fn main() {
+    println!("{}", graphr_bench::figures::table1());
+}

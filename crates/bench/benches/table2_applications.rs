@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (vertex programs and mapping patterns).
+
+fn main() {
+    println!("{}", graphr_bench::figures::table2());
+}

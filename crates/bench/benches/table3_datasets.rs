@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (dataset catalog, with the generated clones profiled).
+
+fn main() {
+    let ctx = graphr_bench::ExperimentContext::from_env();
+    println!("{}", graphr_bench::figures::table3(&ctx));
+}

@@ -1,0 +1,351 @@
+//! Figure/table generators: one function per paper artefact, each
+//! returning structured results plus a rendered plain-text rendition of
+//! the same rows/series the paper plots.
+
+use graphr_core::program::applications;
+use graphr_graph::analysis::GraphProfile;
+use graphr_graph::DatasetSpec;
+use graphr_platforms::architecture_comparison;
+use graphr_platforms::specs::{CpuSpec, GpuSpec};
+use graphr_units::GeoMean;
+
+use crate::apps::{run_app, App, AppRun};
+use crate::context::ExperimentContext;
+use crate::report::{ratio, render_table};
+
+/// The six directed datasets of Figures 17/18, in the paper's order.
+#[must_use]
+pub fn directed_specs() -> Vec<DatasetSpec> {
+    DatasetSpec::directed_catalog()
+}
+
+/// Runs the full 25-cell grid of Figures 17/18 (4 apps × 6 directed
+/// datasets + CF on Netflix).
+#[must_use]
+pub fn cpu_grid(ctx: &ExperimentContext) -> Vec<AppRun> {
+    let mut runs = Vec::with_capacity(25);
+    for app in App::directed_apps() {
+        for spec in directed_specs() {
+            runs.push(run_app(ctx, app, &spec));
+        }
+    }
+    runs.push(run_app(ctx, App::Cf, &DatasetSpec::netflix()));
+    runs
+}
+
+fn grid_table(runs: &[AppRun], title: &str, cell: impl Fn(&AppRun) -> f64) -> String {
+    let tags: Vec<&str> = directed_specs().iter().map(|s| s.tag).collect();
+    let mut header = vec!["app"];
+    header.extend(tags.iter().copied());
+    let mut rows = Vec::new();
+    let mut geo = GeoMean::new();
+    for app in App::directed_apps() {
+        let mut row = vec![app.name().to_string()];
+        for tag in &tags {
+            let run = runs
+                .iter()
+                .find(|r| r.app == app && r.dataset == *tag)
+                .expect("grid contains every cell");
+            let v = cell(run);
+            geo.observe(v);
+            row.push(ratio(v));
+        }
+        rows.push(row);
+    }
+    let cf = runs
+        .iter()
+        .find(|r| r.app == App::Cf)
+        .expect("grid contains CF");
+    let v = cell(cf);
+    geo.observe(v);
+    let mut cf_row = vec!["CF (NF)".to_string(), ratio(v)];
+    cf_row.resize(header.len(), String::new());
+    rows.push(cf_row);
+    let mut gm_row = vec![
+        "geomean".to_string(),
+        ratio(geo.value().expect("grid is non-empty")),
+    ];
+    gm_row.resize(header.len(), String::new());
+    rows.push(gm_row);
+    render_table(title, &header, &rows)
+}
+
+/// Figure 17: GraphR speedup over the CPU platform, full grid + geomean.
+#[must_use]
+pub fn figure17(ctx: &ExperimentContext) -> (Vec<AppRun>, String) {
+    let runs = cpu_grid(ctx);
+    let text = grid_table(
+        &runs,
+        "Figure 17: GraphR speedup over CPU (GridGraph, dual Xeon E5-2630 v3)",
+        AppRun::speedup_vs_cpu,
+    );
+    (runs, text)
+}
+
+/// Figure 18: GraphR energy saving over the CPU platform.
+#[must_use]
+pub fn figure18(ctx: &ExperimentContext) -> (Vec<AppRun>, String) {
+    let runs = cpu_grid(ctx);
+    let text = grid_table(
+        &runs,
+        "Figure 18: GraphR energy saving over CPU",
+        AppRun::energy_saving_vs_cpu,
+    );
+    (runs, text)
+}
+
+/// Figure 19: performance and energy vs the GPU (PR and SSSP on
+/// LiveJournal, CF on Netflix), normalised to the CPU as in the paper.
+#[must_use]
+pub fn figure19(ctx: &ExperimentContext) -> (Vec<AppRun>, String) {
+    let lj = DatasetSpec::live_journal();
+    let runs = vec![
+        run_app(ctx, App::PageRank, &lj),
+        run_app(ctx, App::Sssp, &lj),
+        run_app(ctx, App::Cf, &DatasetSpec::netflix()),
+    ];
+    let header = ["app", "GPU perf", "GraphR perf", "GraphR/GPU", "GPU energy", "GraphR energy", "GraphR/GPU"];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let label = if r.app == App::Cf {
+                "CF (NF)".to_string()
+            } else {
+                format!("{} (LJ)", r.app.name())
+            };
+            vec![
+                label,
+                ratio(r.cpu.time.ratio(r.gpu.time)),
+                ratio(r.speedup_vs_cpu()),
+                ratio(r.gpu.time.ratio(r.graphr.time)),
+                ratio(r.cpu.energy.ratio(r.gpu.energy)),
+                ratio(r.energy_saving_vs_cpu()),
+                ratio(r.gpu.energy.ratio(r.graphr.energy)),
+            ]
+        })
+        .collect();
+    let text = render_table(
+        "Figure 19: GraphR vs GPU (Tesla K40c), normalised to CPU",
+        &header,
+        &rows,
+    );
+    (runs, text)
+}
+
+/// Figure 20: performance and energy vs PIM (Tesseract) — PR and SSSP on
+/// WikiVote, Amazon and LiveJournal, normalised to the CPU.
+#[must_use]
+pub fn figure20(ctx: &ExperimentContext) -> (Vec<AppRun>, String) {
+    let specs = [
+        DatasetSpec::wiki_vote(),
+        DatasetSpec::amazon(),
+        DatasetSpec::live_journal(),
+    ];
+    let mut runs = Vec::new();
+    for app in [App::PageRank, App::Sssp] {
+        for spec in &specs {
+            runs.push(run_app(ctx, app, spec));
+        }
+    }
+    let header = ["app", "dataset", "PIM perf", "GraphR perf", "GraphR/PIM", "PIM energy", "GraphR energy", "GraphR/PIM"];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.name().to_string(),
+                r.dataset.to_string(),
+                ratio(r.cpu.time.ratio(r.pim.time)),
+                ratio(r.speedup_vs_cpu()),
+                ratio(r.pim.time.ratio(r.graphr.time)),
+                ratio(r.cpu.energy.ratio(r.pim.energy)),
+                ratio(r.energy_saving_vs_cpu()),
+                ratio(r.pim.energy.ratio(r.graphr.energy)),
+            ]
+        })
+        .collect();
+    let text = render_table(
+        "Figure 20: GraphR vs PIM (Tesseract-style), normalised to CPU",
+        &header,
+        &rows,
+    );
+    (runs, text)
+}
+
+/// Figure 21: sensitivity to sparsity — PR and SSSP speedup/energy saving
+/// against dataset density across WV, SD, AZ, WG, LJ.
+#[must_use]
+pub fn figure21(ctx: &ExperimentContext) -> (Vec<AppRun>, String) {
+    let specs = [
+        DatasetSpec::wiki_vote(),
+        DatasetSpec::slashdot(),
+        DatasetSpec::amazon(),
+        DatasetSpec::web_google(),
+        DatasetSpec::live_journal(),
+    ];
+    let mut runs = Vec::new();
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let graph = ctx.graph(spec);
+        let density = graph.density();
+        let pr = run_app(ctx, App::PageRank, spec);
+        let ss = run_app(ctx, App::Sssp, spec);
+        rows.push(vec![
+            spec.tag.to_string(),
+            format!("{density:.2e}"),
+            ratio(pr.speedup_vs_cpu()),
+            ratio(ss.speedup_vs_cpu()),
+            ratio(pr.energy_saving_vs_cpu()),
+            ratio(ss.energy_saving_vs_cpu()),
+        ]);
+        runs.push(pr);
+        runs.push(ss);
+    }
+    let header = ["dataset", "density", "PR speedup", "SSSP speedup", "PR energy", "SSSP energy"];
+    let text = render_table(
+        "Figure 21: GraphR performance/energy saving vs dataset density",
+        &header,
+        &rows,
+    );
+    (runs, text)
+}
+
+/// Table 1 (plus the Table 4/5 machine specs): the qualitative
+/// architecture comparison.
+#[must_use]
+pub fn table1() -> String {
+    let rows: Vec<Vec<String>> = architecture_comparison()
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.process_edge.to_string(),
+                r.reduce.to_string(),
+                r.processing_model.to_string(),
+                r.memory_access.to_string(),
+                r.generality.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        "Table 1: Comparison of architectures for graph processing",
+        &["arch", "processEdge", "reduce", "model", "memory access", "generality"],
+        &rows,
+    );
+    let cpu = CpuSpec::table4();
+    let gpu = GpuSpec::table5();
+    out.push_str(&render_table(
+        "Table 4: CPU platform",
+        &["field", "value"],
+        &[
+            vec!["CPU".into(), cpu.model.into()],
+            vec![
+                "cores".into(),
+                format!("{} x {} @ {} GHz", cpu.sockets, cpu.cores_per_socket, cpu.freq_ghz),
+            ],
+            vec!["threads".into(), cpu.threads.to_string()],
+            vec!["L3".into(), format!("{} MB", cpu.l3_mib)],
+            vec!["memory".into(), format!("{} GB", cpu.memory_gib)],
+        ],
+    ));
+    out.push_str(&render_table(
+        "Table 5: GPU platform",
+        &["field", "value"],
+        &[
+            vec!["card".into(), gpu.model.into()],
+            vec!["architecture".into(), gpu.architecture.into()],
+            vec!["CUDA cores".into(), gpu.cuda_cores.to_string()],
+            vec!["base clock".into(), format!("{} MHz", gpu.base_clock_mhz)],
+            vec![
+                "memory".into(),
+                format!("{} GB GDDR5, {} GB/s", gpu.memory_gib, gpu.memory_bandwidth_gbps),
+            ],
+        ],
+    ));
+    out
+}
+
+/// Table 2: the application catalog (vertex programs and patterns).
+#[must_use]
+pub fn table2() -> String {
+    let rows: Vec<Vec<String>> = applications()
+        .iter()
+        .map(|a| {
+            vec![
+                a.name.to_string(),
+                a.property.to_string(),
+                a.process_edge.to_string(),
+                a.reduce.to_string(),
+                if a.active_list { "Required" } else { "Not Required" }.to_string(),
+                format!("{:?}", a.pattern),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table 2: Property and operations of applications in GraphR",
+        &["app", "property", "processEdge()", "reduce()", "active list", "pattern"],
+        &rows,
+    )
+}
+
+/// Table 3: the dataset catalog, full-scale and as generated at the
+/// context's scale (with measured structural properties of the clones).
+#[must_use]
+pub fn table3(ctx: &ExperimentContext) -> String {
+    let mut rows = Vec::new();
+    for spec in DatasetSpec::catalog() {
+        let graph = ctx.graph(&spec);
+        let profile = GraphProfile::of(&graph);
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.tag.to_string(),
+            spec.vertices.to_string(),
+            spec.edges.to_string(),
+            profile.num_vertices.to_string(),
+            profile.num_edges.to_string(),
+            format!("{:.2e}", profile.density),
+            format!("{}", profile.max_out_degree),
+        ]);
+    }
+    render_table(
+        &format!(
+            "Table 3: Graph datasets (clones generated at scale {:.5})",
+            ctx.scale()
+        ),
+        &["dataset", "tag", "paper |V|", "paper |E|", "gen |V|", "gen |E|", "density", "max deg"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_without_running_simulations() {
+        let t1 = table1();
+        assert!(t1.contains("GraphR"));
+        assert!(t1.contains("ReRAM crossbar"));
+        assert!(t1.contains("E5-2630"));
+        let t2 = table2();
+        assert!(t2.contains("PageRank"));
+        assert!(t2.contains("min(V.prop, E.value)") || t2.contains("min(V.prop,"));
+    }
+
+    #[test]
+    fn table3_lists_all_seven_datasets() {
+        let ctx = ExperimentContext::with_scale(0.001);
+        let t3 = table3(&ctx);
+        for tag in ["WV", "SD", "AZ", "WG", "LJ", "OK", "NF"] {
+            assert!(t3.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn figure21_produces_five_density_rows() {
+        let ctx = ExperimentContext::with_scale(0.001);
+        let (runs, text) = figure21(&ctx);
+        assert_eq!(runs.len(), 10);
+        assert!(text.contains("density"));
+        assert!(text.contains("WV"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Plain-text reporting: aligned tables and log-scale bars, printing the
+//! same rows/series the paper's figures plot.
+
+use std::fmt::Write as _;
+
+/// Renders a table with a title, header row, and aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use graphr_bench::report::render_table;
+///
+/// let out = render_table(
+///     "demo",
+///     &["app", "WV"],
+///     &[vec!["PageRank".to_string(), "21.4x".to_string()]],
+/// );
+/// assert!(out.contains("PageRank"));
+/// assert!(out.contains("WV"));
+/// ```
+#[must_use]
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\n=== {title} ===");
+    let mut line = String::new();
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// A log-scale ASCII bar for a ratio (the paper's figures are log-scale
+/// bar charts); 8 characters per decade, clamped at 1×..1000×.
+///
+/// # Examples
+///
+/// ```
+/// use graphr_bench::report::log_bar;
+///
+/// assert!(log_bar(100.0).len() > log_bar(10.0).len());
+/// assert_eq!(log_bar(0.5), "");
+/// ```
+#[must_use]
+pub fn log_bar(ratio: f64) -> String {
+    if ratio <= 1.0 {
+        return String::new();
+    }
+    let decades = ratio.log10().clamp(0.0, 3.0);
+    "#".repeat((decades * 8.0).round() as usize)
+}
+
+/// Formats a ratio as the paper prints them (`16.01x`).
+#[must_use]
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a ratio with a trailing log-scale bar.
+#[must_use]
+pub fn ratio_with_bar(x: f64) -> String {
+    format!("{:<9} {}", ratio(x), log_bar(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_expands_to_widest_cell() {
+        let out = render_table(
+            "t",
+            &["a", "b"],
+            &[
+                vec!["x".into(), "longer-cell".into()],
+                vec!["yy".into(), "z".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        // Header, separator, two rows (+title/blank).
+        assert!(lines.iter().any(|l| l.contains("longer-cell")));
+        let header_line = lines.iter().find(|l| l.starts_with('a')).unwrap();
+        assert!(header_line.contains('b'));
+    }
+
+    #[test]
+    fn log_bar_is_monotonic() {
+        assert!(log_bar(2.0).len() <= log_bar(20.0).len());
+        assert!(log_bar(20.0).len() <= log_bar(200.0).len());
+        assert_eq!(log_bar(1.0), "");
+        // Clamped at three decades.
+        assert_eq!(log_bar(1e6).len(), 24);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(16.012), "16.01x");
+        assert!(ratio_with_bar(100.0).contains('#'));
+    }
+}

@@ -1,0 +1,14 @@
+//! The streaming-apply execution model (paper §3.3).
+//!
+//! [`streaming::StreamingExecutor`] walks a [`TiledGraph`] in the §3.4
+//! order, programs subgraphs into the (scratch) graph engines, evaluates
+//! them in one of the two mapping patterns — parallel MAC (§4.1) or
+//! parallel add-op (§4.2) — reduces on the fly through the sALU into RegO,
+//! and charges every event to the [`Metrics`].
+//!
+//! [`TiledGraph`]: crate::preprocess::tiler::TiledGraph
+//! [`Metrics`]: crate::metrics::Metrics
+
+pub mod streaming;
+
+pub use streaming::{EdgeValueFn, StreamingExecutor};

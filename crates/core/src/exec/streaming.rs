@@ -1,0 +1,780 @@
+//! The streaming-apply executor.
+//!
+//! Two scan primitives cover all five applications:
+//!
+//! * [`StreamingExecutor::scan_mac`] — parallel MAC (§4.1): every wordline
+//!   of a tile is driven simultaneously; bitline sums accumulate into RegO
+//!   through an `add`-configured sALU. PageRank and SpMV use one input
+//!   vector; collaborative filtering amortises one programming pass over
+//!   `F` feature vectors.
+//! * [`StreamingExecutor::scan_add_op`] — parallel add-op (§4.2): active
+//!   wordlines are driven one at a time (Figure 16 c3's `t = 1..4`); the
+//!   row's stored weights plus the source's distance label are min-reduced
+//!   into RegO by the sALU, and lowered destinations become active for the
+//!   next iteration.
+//!
+//! # Timing: dense tile packing within a strip
+//!
+//! Under column-major streaming, everything processed while a destination
+//! strip's RegO window is open reduces into the same register file, so the
+//! controller is free to feed the `G × tiles_per_ge` crossbar slots with
+//! the strip's *nonempty* tiles back to back, regardless of which source
+//! chunk they come from — the ordered edge list of §3.4 delivers them in
+//! exactly this order. Sparsity waste therefore only arises *inside* tiles
+//! and at packing boundaries ("when one GE has an empty matrix but others
+//! do not", §3.3). A strip with `T` nonempty tiles takes
+//! `⌈T / slots⌉` GE steps; each step costs `max(program, compute)` when
+//! double-buffered drivers pipeline programming against the previous
+//! step's evaluation (`pipelined`, default) or their sum otherwise.
+//!
+//! With `skip_empty` disabled the controller degenerates to scanning every
+//! aligned `C × strip_width` window — one step per source chunk, empty or
+//! not — which is the ablation quantifying what sparsity-awareness buys.
+
+use crate::config::{Fidelity, GraphRConfig, StreamingOrder};
+use crate::engine::salu::{ReduceOp, SAlu};
+use crate::engine::tile::{MergeRule, TileCompute};
+use crate::metrics::Metrics;
+use crate::preprocess::tiler::TiledGraph;
+
+/// Computes the value programmed into a crossbar cell for an edge:
+/// `(weight, src, dst) → value`. This is the `processEdge`-side transform —
+/// e.g. PageRank programs `r / outdegree(src)`, SSSP programs the weight.
+pub type EdgeValueFn<'f> = dyn Fn(f32, u32, u32) -> f64 + 'f;
+
+/// Bytes per COO edge record streamed from memory ReRAM (two 32-bit vertex
+/// ids + a 32-bit weight, matching `graphr_graph::io`'s binary format).
+const BYTES_PER_EDGE: u64 = 12;
+
+/// The streaming-apply executor over one preprocessed graph.
+///
+/// Reusable across iterations; every scan accumulates into the same
+/// [`Metrics`], which [`StreamingExecutor::into_metrics`] finally yields.
+pub struct StreamingExecutor<'a> {
+    tiled: &'a TiledGraph,
+    config: &'a GraphRConfig,
+    tile: TileCompute,
+    metrics: Metrics,
+    /// Scratch: per-tile programmed values, reused across tiles.
+    value_buf: Vec<f64>,
+    /// Scratch: chunk-local input slice.
+    input_buf: Vec<f64>,
+}
+
+impl<'a> StreamingExecutor<'a> {
+    /// Creates an executor for `tiled` under `config`, quantising values to
+    /// `spec` (each algorithm picks its own fixed-point format).
+    #[must_use]
+    pub fn new(
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        spec: graphr_units::FixedSpec,
+    ) -> Self {
+        let c = config.crossbar_size;
+        StreamingExecutor {
+            tiled,
+            config,
+            tile: TileCompute::new(config, spec),
+            metrics: Metrics::new(),
+            value_buf: Vec::with_capacity(c * c),
+            input_buf: vec![0.0; c],
+        }
+    }
+
+    /// The metrics accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consumes the executor, yielding its metrics.
+    #[must_use]
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+
+    /// Marks the end of one algorithm iteration (bumps the counter and
+    /// charges the controller's convergence check — one GE cycle).
+    pub fn end_iteration(&mut self) {
+        self.metrics.iterations += 1;
+        self.metrics.elapsed += self.config.ge_cycle();
+    }
+
+    /// Total crossbar tile slots across the node.
+    fn tile_slots(&self) -> usize {
+        self.config.num_ges * self.config.tiles_per_ge()
+    }
+
+    /// One parallel-MAC pass over the whole graph: for each input vector
+    /// `x` in `inputs`, computes `y[dst] = Σ_{src→dst} value(w, src, dst) ·
+    /// x[src]`, returning one output vector per input. All inputs share a
+    /// single tile-programming pass (K MVM evaluations per tile).
+    pub fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
+        let tiled = self.tiled;
+        let n = tiled.num_vertices();
+        let k = inputs.len();
+        assert!(k > 0, "at least one input vector required");
+        for x in inputs {
+            assert_eq!(x.len(), n, "input vectors must have one entry per vertex");
+        }
+        let mut outputs = vec![vec![0.0; n]; k];
+        let mut salu = SAlu::new(ReduceOp::Add);
+
+        match self.config.order {
+            StreamingOrder::ColumnMajor => {
+                for bidx in 0..tiled.blocks().len() {
+                    let block = &tiled.blocks()[bidx];
+                    for sidx in 0..block.strips.len() {
+                        let strip = &block.strips[sidx];
+                        let mut strip_tiles = 0u64;
+                        let mut strip_edges = 0u64;
+                        for g in 0..strip.subgraphs.len() {
+                            let sg = &strip.subgraphs[g];
+                            strip_tiles += sg.tiles.len() as u64;
+                            strip_edges += u64::from(sg.edges);
+                            self.mac_subgraph(bidx, sidx, g, value, inputs, &mut outputs, &mut salu);
+                        }
+                        self.charge_strip_time(strip_tiles, strip_edges, k);
+                        // Strip write-back: RegO → memory, once per strip.
+                        self.charge_strip_writeback(self.config.strip_width().min(n));
+                    }
+                }
+                self.metrics.events.rego_capacity_required = self
+                    .metrics
+                    .events
+                    .rego_capacity_required
+                    .max(self.config.strip_width() as u64);
+            }
+            StreamingOrder::RowMajor => {
+                // Source-major: all strips of a chunk before the next chunk.
+                // Tiles cannot pack across chunks (each chunk revisits every
+                // strip's RegO window), so every nonempty subgraph costs its
+                // own GE step and a full RegO spill — the §3.3 argument.
+                for bidx in 0..tiled.blocks().len() {
+                    let block = &tiled.blocks()[bidx];
+                    let mut visits: Vec<(u32, usize, usize)> = Vec::new();
+                    for (sidx, strip) in block.strips.iter().enumerate() {
+                        for (g, sg) in strip.subgraphs.iter().enumerate() {
+                            visits.push((sg.chunk, sidx, g));
+                        }
+                    }
+                    visits.sort_unstable();
+                    for (_, sidx, g) in visits {
+                        let sg = &tiled.blocks()[bidx].strips[sidx].subgraphs[g];
+                        let (tiles, edges) = (sg.tiles.len() as u64, u64::from(sg.edges));
+                        self.mac_subgraph(bidx, sidx, g, value, inputs, &mut outputs, &mut salu);
+                        self.charge_strip_time(tiles.min(self.tile_slots() as u64), edges, k);
+                        self.charge_strip_writeback(self.config.strip_width().min(n));
+                    }
+                }
+                let strips = tiled.order().strips_per_block();
+                self.metrics.events.rego_capacity_required = self
+                    .metrics
+                    .events
+                    .rego_capacity_required
+                    .max((self.config.strip_width() * strips) as u64);
+            }
+        }
+        self.metrics.events.salu_ops += salu.ops_performed();
+        outputs
+    }
+
+    /// Charges the time for one strip's worth of `tiles` nonempty tiles
+    /// (MAC pattern): `⌈tiles/slots⌉` packed GE steps, or one step per
+    /// source chunk when skipping is disabled.
+    fn charge_strip_time(&mut self, tiles: u64, edges: u64, k: usize) {
+        let slots = self.tile_slots() as u64;
+        let steps = if self.config.skip_empty {
+            tiles.div_ceil(slots)
+        } else {
+            let per_chunk = self.tiled.order().chunks_per_block() as u64;
+            self.charge_idle_conversions(per_chunk * slots - tiles, k);
+            per_chunk
+        };
+        if steps == 0 && edges == 0 {
+            return;
+        }
+        let program = self.config.program_latency() * steps as f64;
+        let compute = self.config.ge_cycle() * (steps * k as u64) as f64;
+        let stream = self.config.cost.memory_stream_latency(edges * BYTES_PER_EDGE);
+        self.metrics.time_breakdown.program += program;
+        self.metrics.time_breakdown.compute += compute;
+        self.metrics.time_breakdown.memory += stream;
+        self.metrics.elapsed += if self.config.pipelined {
+            program.max(compute).max(stream)
+        } else {
+            program + compute + stream
+        };
+        let skipped = &mut self.metrics.events.subgraphs_skipped_empty;
+        if self.config.skip_empty {
+            // Count fully-empty windows avoided, for the skip statistics.
+            let windows = self.tiled.order().chunks_per_block() as u64;
+            let used = tiles.div_ceil(slots);
+            *skipped += windows.saturating_sub(used);
+        }
+    }
+
+    /// Idle tile slots still drain their bitlines through the shared ADCs
+    /// when empty-window scanning is forced.
+    fn charge_idle_conversions(&mut self, idle_tiles: u64, k: usize) {
+        let c = self.config.crossbar_size as u64;
+        let arrays = self.config.arrays_per_tile() as u64;
+        let conversions = idle_tiles * c * arrays * k as u64;
+        self.metrics.energy.adc += self.config.cost.adc_energy(conversions);
+        self.metrics.events.adc_conversions += conversions;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mac_subgraph(
+        &mut self,
+        bidx: usize,
+        sidx: usize,
+        g: usize,
+        value: &EdgeValueFn<'_>,
+        inputs: &[&[f64]],
+        outputs: &mut [Vec<f64>],
+        salu: &mut SAlu,
+    ) {
+        let tiled = self.tiled;
+        let n = tiled.num_vertices();
+        let c = self.config.crossbar_size;
+        let k = inputs.len();
+        let block = &tiled.blocks()[bidx];
+        let strip = &block.strips[sidx];
+        let sg = &strip.subgraphs[g];
+        let src0 = tiled.subgraph_src_start(block, sg);
+        let arrays = self.config.arrays_per_tile() as u64;
+        let tiles = sg.tiles.len() as u64;
+        let edges = u64::from(sg.edges);
+
+        // --- functional compute ---
+        for tile in &sg.tiles {
+            self.value_buf.clear();
+            for e in &tile.entries {
+                let src = (src0 + e.row as usize) as u32;
+                let dst = tiled.tile_dst(block, strip, tile, e.col) as u32;
+                self.value_buf.push(value(e.weight, src, dst));
+            }
+            self.tile.load(&tile.entries, &self.value_buf, MergeRule::Sum);
+            for (ki, x) in inputs.iter().enumerate() {
+                for r in 0..c {
+                    let src = src0 + r;
+                    self.input_buf[r] = if src < n { x[src] } else { 0.0 };
+                }
+                let y = self.tile.mac(&self.input_buf);
+                for (col, &yv) in y.iter().enumerate() {
+                    if yv == 0.0 {
+                        continue;
+                    }
+                    let dst = tiled.tile_dst(block, strip, tile, col as u8);
+                    if dst < n {
+                        let slot = &mut outputs[ki][dst];
+                        salu.reduce_one(slot, yv);
+                    }
+                }
+            }
+        }
+
+        // --- energy & events (time is charged per strip) ---
+        let cost = &self.config.cost;
+        let cells = edges * arrays;
+        let conversions = tiles * c as u64 * arrays * k as u64;
+        self.metrics.energy.program += cost.program_energy(cells);
+        self.metrics.energy.mvm += cost.mvm_energy(cells * k as u64);
+        self.metrics.energy.driver += cost.driver_energy(c as u64 * tiles * arrays * k as u64);
+        self.metrics.energy.adc += cost.adc_energy(conversions);
+        self.metrics.energy.sample_hold += cost.sample_hold_energy(conversions);
+        self.metrics.energy.shift_add += cost.shift_add_energy(conversions);
+        self.metrics.energy.salu += cost.salu_energy(tiles * c as u64 * k as u64);
+        let reg_reads = tiles * c as u64 * k as u64; // per-tile RegI row reads
+        let reg_writes = tiles * c as u64 * k as u64; // RegO merges
+        self.metrics.energy.registers += cost.register_energy(reg_reads + reg_writes);
+        self.metrics.energy.memory += cost.memory_stream_energy(edges * BYTES_PER_EDGE);
+
+        let ev = &mut self.metrics.events;
+        ev.subgraphs_processed += 1;
+        ev.tiles_loaded += tiles;
+        ev.edges_loaded += edges;
+        ev.mvm_scans += tiles * k as u64;
+        ev.adc_conversions += conversions;
+        ev.register_reads += reg_reads;
+        ev.register_writes += reg_writes;
+        ev.bytes_streamed += edges * BYTES_PER_EDGE;
+    }
+
+    /// One parallel-add-op pass (Figure 16 c3): for each tile containing an
+    /// edge from an active source, the active rows are driven serially; the
+    /// candidate `combine(addend[src], stored_weight)` is min-reduced into
+    /// `frontier`. Returns how many source-row activations executed.
+    ///
+    /// `combine` is the relaxation arithmetic — `du + w` for SSSP (the
+    /// crossbar row plus the constant line of Figure 16), `du + 1` for BFS,
+    /// plain `du` for label propagation. `addend` is the current label
+    /// vector (read for active sources), `frontier` the next labels
+    /// (min-updated in place), and `updated` marks destinations whose label
+    /// dropped (active next iteration).
+    pub fn scan_add_op(
+        &mut self,
+        value: &EdgeValueFn<'_>,
+        combine: &dyn Fn(f64, f64) -> f64,
+        addend: &[f64],
+        active: &[bool],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+    ) -> u64 {
+        let tiled = self.tiled;
+        let n = tiled.num_vertices();
+        assert_eq!(addend.len(), n, "addend must have one entry per vertex");
+        assert_eq!(active.len(), n, "active mask must have one entry per vertex");
+        assert_eq!(frontier.len(), n, "frontier must have one entry per vertex");
+        assert_eq!(updated.len(), n, "updated mask must have one entry per vertex");
+        let c = self.config.crossbar_size;
+        let spec = self.tile.spec();
+        let mut salu = SAlu::new(ReduceOp::Min);
+        let mut total_rows: u64 = 0;
+
+        for bidx in 0..tiled.blocks().len() {
+            let block = &tiled.blocks()[bidx];
+            for sidx in 0..block.strips.len() {
+                let strip = &block.strips[sidx];
+                // Per-tile active-row counts drive the packed timing.
+                let mut tile_rows: Vec<u64> = Vec::new();
+                let mut strip_edges = 0u64;
+                for g in 0..strip.subgraphs.len() {
+                    let sg = &strip.subgraphs[g];
+                    let src0 = tiled.subgraph_src_start(block, sg);
+                    let active_rows: Vec<usize> = (0..c)
+                        .filter(|&r| src0 + r < n && active[src0 + r])
+                        .collect();
+                    if active_rows.is_empty() {
+                        self.metrics.events.subgraphs_skipped_inactive += 1;
+                        continue;
+                    }
+                    total_rows += active_rows.len() as u64;
+                    strip_edges += u64::from(sg.edges);
+                    self.addop_subgraph(
+                        bidx,
+                        sidx,
+                        g,
+                        value,
+                        combine,
+                        addend,
+                        &active_rows,
+                        frontier,
+                        updated,
+                        &mut salu,
+                        spec,
+                        &mut tile_rows,
+                    );
+                }
+                self.charge_addop_strip_time(&mut tile_rows, strip_edges);
+                self.charge_strip_writeback(self.config.strip_width().min(n));
+            }
+        }
+        self.metrics.events.rego_capacity_required = self
+            .metrics
+            .events
+            .rego_capacity_required
+            .max(self.config.strip_width() as u64);
+        self.metrics.events.salu_ops += salu.ops_performed();
+        total_rows
+    }
+
+    /// Packs active tiles into GE steps; a step's latency is its tallest
+    /// tile's serial row count times the GE cycle (all tiles in the step
+    /// progress in lockstep behind the shared ADC schedule).
+    fn charge_addop_strip_time(&mut self, tile_rows: &mut [u64], edges: u64) {
+        if tile_rows.is_empty() {
+            if !self.config.skip_empty {
+                // Forced scan of all windows even with nothing active.
+                let steps = self.tiled.order().chunks_per_block() as u64;
+                let t = self.config.program_latency() * steps as f64;
+                self.metrics.time_breakdown.program += t;
+                self.metrics.elapsed += t;
+            }
+            return;
+        }
+        tile_rows.sort_unstable_by(|a, b| b.cmp(a));
+        let slots = self.tile_slots();
+        let mut serial_rows = 0u64;
+        let mut steps = 0u64;
+        let mut idx = 0usize;
+        while idx < tile_rows.len() {
+            serial_rows += tile_rows[idx]; // tallest tile of this step
+            steps += 1;
+            idx += slots;
+        }
+        if !self.config.skip_empty {
+            steps = steps.max(self.tiled.order().chunks_per_block() as u64);
+            serial_rows = serial_rows.max(steps);
+        }
+        let program = self.config.program_latency() * steps as f64;
+        let compute = self.config.ge_cycle() * serial_rows as f64;
+        let stream = self.config.cost.memory_stream_latency(edges * BYTES_PER_EDGE);
+        self.metrics.time_breakdown.program += program;
+        self.metrics.time_breakdown.compute += compute;
+        self.metrics.time_breakdown.memory += stream;
+        self.metrics.elapsed += if self.config.pipelined {
+            program.max(compute).max(stream)
+        } else {
+            program + compute + stream
+        };
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn addop_subgraph(
+        &mut self,
+        bidx: usize,
+        sidx: usize,
+        g: usize,
+        value: &EdgeValueFn<'_>,
+        combine: &dyn Fn(f64, f64) -> f64,
+        addend: &[f64],
+        active_rows: &[usize],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+        salu: &mut SAlu,
+        spec: graphr_units::FixedSpec,
+        tile_rows: &mut Vec<u64>,
+    ) {
+        let tiled = self.tiled;
+        let n = tiled.num_vertices();
+        let c = self.config.crossbar_size;
+        let block = &tiled.blocks()[bidx];
+        let strip = &block.strips[sidx];
+        let sg = &strip.subgraphs[g];
+        let src0 = tiled.subgraph_src_start(block, sg);
+        let arrays = self.config.arrays_per_tile() as u64;
+        let tiles = sg.tiles.len() as u64;
+        let edges = u64::from(sg.edges);
+        let mut active_cells: u64 = 0;
+        let mut rows_driven: u64 = 0;
+
+        // --- functional compute ---
+        for tile in &sg.tiles {
+            self.value_buf.clear();
+            for e in &tile.entries {
+                let src = (src0 + e.row as usize) as u32;
+                let dst = tiled.tile_dst(block, strip, tile, e.col) as u32;
+                self.value_buf.push(value(e.weight, src, dst));
+            }
+            self.tile.load(&tile.entries, &self.value_buf, MergeRule::Min);
+            let mut this_tile_rows = 0u64;
+            for &r in active_rows {
+                let entries = self.tile.row_entries(r);
+                if entries.is_empty() {
+                    continue; // no edge from this source in this tile
+                }
+                this_tile_rows += 1;
+                let src = src0 + r;
+                let du = addend[src];
+                for (col, w) in entries {
+                    active_cells += arrays;
+                    let dst = tiled.tile_dst(block, strip, tile, col as u8);
+                    if dst >= n {
+                        continue;
+                    }
+                    // The relaxation (e.g. dist(u) + w(u, v)), saturating
+                    // in the fixed-point datapath, then min via the sALU.
+                    let candidate = spec.quantize_value(combine(du, w));
+                    if salu.reduce_one(&mut frontier[dst], candidate) {
+                        updated[dst] = true;
+                    }
+                }
+            }
+            if this_tile_rows > 0 {
+                tile_rows.push(this_tile_rows);
+                rows_driven += this_tile_rows;
+            }
+        }
+
+        // --- energy & events (time is charged per strip) ---
+        let cost = &self.config.cost;
+        let cells = edges * arrays;
+        let conversions = tiles * c as u64 * arrays * rows_driven.max(1);
+        self.metrics.energy.program += cost.program_energy(cells);
+        self.metrics.energy.mvm += cost.mvm_energy(active_cells);
+        // Each activation drives one wordline plus the constant-1 line
+        // carrying dist(u) (Figure 16's green row).
+        self.metrics.energy.driver += cost.driver_energy(2 * arrays * rows_driven);
+        self.metrics.energy.adc += cost.adc_energy(conversions);
+        self.metrics.energy.sample_hold += cost.sample_hold_energy(conversions);
+        self.metrics.energy.shift_add += cost.shift_add_energy(conversions);
+        self.metrics.energy.salu += cost.salu_energy(c as u64 * rows_driven);
+        let reg_reads = rows_driven; // dist(u) per activation
+        let reg_writes = c as u64 * rows_driven; // RegO min-merge
+        self.metrics.energy.registers += cost.register_energy(reg_reads + reg_writes);
+        self.metrics.energy.memory += cost.memory_stream_energy(edges * BYTES_PER_EDGE);
+
+        let ev = &mut self.metrics.events;
+        ev.subgraphs_processed += 1;
+        ev.tiles_loaded += tiles;
+        ev.edges_loaded += edges;
+        ev.mvm_scans += rows_driven;
+        ev.rows_activated += active_rows.len() as u64;
+        ev.adc_conversions += conversions;
+        ev.register_reads += reg_reads;
+        ev.register_writes += reg_writes;
+        ev.bytes_streamed += edges * BYTES_PER_EDGE;
+    }
+
+    /// Charges the once-per-strip RegO write-back of `entries` values.
+    fn charge_strip_writeback(&mut self, entries: usize) {
+        let cost = &self.config.cost;
+        self.metrics.energy.registers += cost.register_energy(entries as u64);
+        self.metrics.events.register_writes += entries as u64;
+        let t = cost.salu_latency(entries as u64 / self.config.num_ges.max(1) as u64);
+        self.metrics.time_breakdown.apply += t;
+        self.metrics.elapsed += t;
+    }
+
+    /// Whether the executor runs full analog emulation.
+    #[must_use]
+    pub fn is_analog(&self) -> bool {
+        matches!(self.config.fidelity, Fidelity::Analog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphRConfig;
+    use graphr_graph::algorithms::spmv::spmv;
+    use graphr_graph::generators::rmat::Rmat;
+    use graphr_graph::EdgeList;
+    use graphr_units::FixedSpec;
+
+    fn small_config(fidelity: Fidelity) -> GraphRConfig {
+        GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .fidelity(fidelity)
+            .build()
+            .unwrap()
+    }
+
+    fn weights_value(w: f32, _s: u32, _d: u32) -> f64 {
+        f64::from(w)
+    }
+
+    #[test]
+    fn mac_scan_matches_gold_spmv() {
+        let g = Rmat::new(50, 300).seed(11).max_weight(4).generate();
+        let cfg = small_config(Fidelity::Fast);
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let spec = FixedSpec::new(16, 8).unwrap();
+        let mut exec = StreamingExecutor::new(&tiled, &cfg, spec);
+        let x: Vec<f64> = (0..50).map(|i| (i % 5) as f64 * 0.25).collect();
+        let y = exec.scan_mac(&weights_value, &[&x]);
+        let gold = spmv(&g.to_csr(), &x);
+        for (a, b) in y[0].iter().zip(&gold) {
+            assert!((a - b).abs() < 1e-6, "mac {a} vs gold {b}");
+        }
+    }
+
+    #[test]
+    fn fast_and_analog_scans_agree() {
+        let g = Rmat::new(40, 150).seed(5).max_weight(3).generate();
+        let cfg_f = small_config(Fidelity::Fast);
+        let cfg_a = small_config(Fidelity::Analog);
+        let tiled_f = TiledGraph::preprocess(&g, &cfg_f).unwrap();
+        let tiled_a = TiledGraph::preprocess(&g, &cfg_a).unwrap();
+        let spec = FixedSpec::new(16, 8).unwrap();
+        let x: Vec<f64> = (0..40).map(|i| (i % 3) as f64).collect();
+        let mut ef = StreamingExecutor::new(&tiled_f, &cfg_f, spec);
+        let mut ea = StreamingExecutor::new(&tiled_a, &cfg_a, spec);
+        let yf = ef.scan_mac(&weights_value, &[&x]);
+        let ya = ea.scan_mac(&weights_value, &[&x]);
+        for (a, b) in yf[0].iter().zip(&ya[0]) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // Identical event counts and therefore identical time and energy.
+        let (mf, ma) = (ef.into_metrics(), ea.into_metrics());
+        assert_eq!(mf.events, ma.events);
+        assert_eq!(mf.elapsed, ma.elapsed);
+        assert_eq!(mf.energy, ma.energy);
+    }
+
+    #[test]
+    fn multi_input_mac_shares_programming() {
+        let g = Rmat::new(30, 100).seed(2).generate();
+        let cfg = small_config(Fidelity::Fast);
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let spec = FixedSpec::new(16, 8).unwrap();
+        let x1: Vec<f64> = vec![1.0; 30];
+        let x2: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+
+        let mut e2 = StreamingExecutor::new(&tiled, &cfg, spec);
+        let both = e2.scan_mac(&weights_value, &[&x1, &x2]);
+        let m2 = e2.into_metrics();
+
+        let mut e1 = StreamingExecutor::new(&tiled, &cfg, spec);
+        let only1 = e1.scan_mac(&weights_value, &[&x1]);
+        let m1 = e1.into_metrics();
+
+        assert_eq!(both[0], only1[0]);
+        // Programming happened once in both runs...
+        assert_eq!(m2.events.edges_loaded, m1.events.edges_loaded);
+        assert_eq!(m2.events.tiles_loaded, m1.events.tiles_loaded);
+        // ...but the 2-input scan ran twice the MVMs.
+        assert_eq!(m2.events.mvm_scans, 2 * m1.events.mvm_scans);
+    }
+
+    #[test]
+    fn add_op_relaxes_like_bellman_ford_round() {
+        // Path 0 →(2) 1 →(3) 2 with initial dist [0, INF, INF].
+        let mut g = EdgeList::new(3);
+        g.add_edge(graphr_graph::Edge::new(0, 1, 2.0)).unwrap();
+        g.add_edge(graphr_graph::Edge::new(1, 2, 3.0)).unwrap();
+        let cfg = small_config(Fidelity::Fast);
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let spec = FixedSpec::new(16, 0).unwrap();
+        let inf = spec.max_value();
+        let mut exec = StreamingExecutor::new(&tiled, &cfg, spec);
+
+        let dist = vec![0.0, inf, inf];
+        let active = vec![true, false, false];
+        let mut frontier = dist.clone();
+        let mut updated = vec![false; 3];
+        let rows = exec.scan_add_op(&weights_value, &|du, w| du + w, &dist, &active, &mut frontier, &mut updated);
+        assert_eq!(rows, 1);
+        assert_eq!(frontier, vec![0.0, 2.0, inf]);
+        assert_eq!(updated, vec![false, true, false]);
+
+        // Second round from vertex 1.
+        let dist = frontier.clone();
+        let active = updated.clone();
+        let mut updated2 = vec![false; 3];
+        let mut frontier2 = dist.clone();
+        exec.scan_add_op(&weights_value, &|du, w| du + w, &dist, &active, &mut frontier2, &mut updated2);
+        assert_eq!(frontier2, vec![0.0, 2.0, 5.0]);
+        assert_eq!(updated2, vec![false, false, true]);
+    }
+
+    #[test]
+    fn add_op_skips_inactive_subgraphs() {
+        let g = Rmat::new(64, 300).seed(9).generate();
+        let cfg = small_config(Fidelity::Fast);
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let spec = FixedSpec::new(16, 0).unwrap();
+        let inf = spec.max_value();
+        let mut exec = StreamingExecutor::new(&tiled, &cfg, spec);
+        let dist = vec![inf; 64];
+        let active = vec![false; 64]; // nothing active: everything skipped
+        let mut frontier = dist.clone();
+        let mut updated = vec![false; 64];
+        let rows = exec.scan_add_op(&weights_value, &|du, w| du + w, &dist, &active, &mut frontier, &mut updated);
+        assert_eq!(rows, 0);
+        let m = exec.into_metrics();
+        assert_eq!(m.events.subgraphs_processed, 0);
+        assert!(m.events.subgraphs_skipped_inactive > 0);
+    }
+
+    #[test]
+    fn disabling_skip_charges_idle_windows() {
+        let g = Rmat::new(64, 50).seed(3).generate();
+        let cfg_skip = small_config(Fidelity::Fast);
+        let cfg_noskip = GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .skip_empty(false)
+            .build()
+            .unwrap();
+        let tiled = TiledGraph::preprocess(&g, &cfg_skip).unwrap();
+        let spec = FixedSpec::new(16, 8).unwrap();
+        let x = vec![1.0; 64];
+
+        let mut es = StreamingExecutor::new(&tiled, &cfg_skip, spec);
+        let ys = es.scan_mac(&weights_value, &[&x]);
+        let ms = es.into_metrics();
+
+        let tiled2 = TiledGraph::preprocess(&g, &cfg_noskip).unwrap();
+        let mut en = StreamingExecutor::new(&tiled2, &cfg_noskip, spec);
+        let yn = en.scan_mac(&weights_value, &[&x]);
+        let mn = en.into_metrics();
+
+        assert_eq!(ys, yn, "skipping must not change results");
+        assert!(
+            mn.elapsed > ms.elapsed,
+            "skipping must save time: {} vs {}",
+            mn.elapsed,
+            ms.elapsed
+        );
+        assert!(mn.events.adc_conversions > ms.events.adc_conversions);
+    }
+
+    #[test]
+    fn packing_beats_one_step_per_chunk() {
+        // A graph whose edges spread over many chunks but few tiles per
+        // chunk: packing should need far fewer steps than chunks.
+        let g = Rmat::new(512, 600).seed(4).generate();
+        let cfg = small_config(Fidelity::Fast);
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let spec = FixedSpec::new(16, 8).unwrap();
+        let x = vec![1.0; 512];
+        let mut exec = StreamingExecutor::new(&tiled, &cfg, spec);
+        let _ = exec.scan_mac(&weights_value, &[&x]);
+        let m = exec.into_metrics();
+        // 512 vertices / 4 rows = 128 chunks per strip-pass; with 4 slots
+        // per step and ~hundreds of tiles, packed steps must stay well
+        // below the aligned-window count while covering all tiles.
+        let slots = 2 * 2; // num_ges × tiles_per_ge
+        let min_steps = m.events.tiles_loaded.div_ceil(slots);
+        let cycle_ns = cfg.ge_cycle().as_nanos();
+        let compute_ns = m.time_breakdown.compute.as_nanos();
+        assert!(
+            compute_ns >= min_steps as f64 * cycle_ns - 1e-6,
+            "compute time must cover packed steps"
+        );
+    }
+
+    #[test]
+    fn row_major_needs_bigger_rego_and_more_writes() {
+        let g = Rmat::new(64, 400).seed(7).generate();
+        let col_cfg = small_config(Fidelity::Fast);
+        let row_cfg = GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .order(StreamingOrder::RowMajor)
+            .build()
+            .unwrap();
+        let spec = FixedSpec::new(16, 8).unwrap();
+        let x = vec![0.5; 64];
+
+        let tiled_c = TiledGraph::preprocess(&g, &col_cfg).unwrap();
+        let mut ec = StreamingExecutor::new(&tiled_c, &col_cfg, spec);
+        let yc = ec.scan_mac(&weights_value, &[&x]);
+        let mc = ec.into_metrics();
+
+        let tiled_r = TiledGraph::preprocess(&g, &row_cfg).unwrap();
+        let mut er = StreamingExecutor::new(&tiled_r, &row_cfg, spec);
+        let yr = er.scan_mac(&weights_value, &[&x]);
+        let mr = er.into_metrics();
+
+        assert_eq!(yc, yr, "traversal order must not change results");
+        assert!(
+            mr.events.register_writes > mc.events.register_writes,
+            "row-major should write registers more: {} vs {}",
+            mr.events.register_writes,
+            mc.events.register_writes
+        );
+        assert!(mr.events.rego_capacity_required >= mc.events.rego_capacity_required);
+        assert!(mr.elapsed > mc.elapsed, "row-major should be slower");
+    }
+
+    #[test]
+    fn iteration_counter_and_controller_charge() {
+        let g = Rmat::new(10, 20).seed(1).generate();
+        let cfg = small_config(Fidelity::Fast);
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let mut exec =
+            StreamingExecutor::new(&tiled, &cfg, FixedSpec::new(16, 8).unwrap());
+        exec.end_iteration();
+        exec.end_iteration();
+        assert_eq!(exec.metrics().iterations, 2);
+        assert!(exec.metrics().elapsed.as_nanos() > 0.0);
+    }
+}

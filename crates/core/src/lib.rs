@@ -1,0 +1,55 @@
+//! The GraphR accelerator model — the primary contribution of *GraphR:
+//! Accelerating Graph Processing Using ReRAM* (HPCA 2018).
+//!
+//! A GraphR node couples **memory ReRAM** (holding the graph in preprocessed
+//! coordinate-list order) with **graph engines** (GEs): meshes of small
+//! ReRAM crossbars that execute sparse matrix–vector multiplication in the
+//! analog domain, plus sALUs for the reductions crossbars cannot do. This
+//! crate implements the whole stack:
+//!
+//! * [`config`] — the architectural parameter set (§5.2: 8×8 crossbars,
+//!   32 per GE, 64 GEs) and its derived geometry,
+//! * [`preprocess`] — §3.4's edge-list ordering: the global-order-ID
+//!   formulas and the tiler that groups edges into blocks → subgraphs →
+//!   crossbar tiles,
+//! * [`engine`] — graph engine components: bit-sliced crossbar tiles,
+//!   sALU, and the RegI/RegO register files,
+//! * [`program`] — the vertex-program abstraction of Figure 6 and the five
+//!   evaluated applications (PageRank, SpMV, BFS, SSSP, collaborative
+//!   filtering) expressed in the paper's two mapping patterns
+//!   (parallel MAC, §4.1; parallel add-op, §4.2),
+//! * [`exec`] — the streaming-apply execution model (§3.3, column- or
+//!   row-major) with empty-subgraph skipping and active-vertex tracking,
+//! * [`sim`] — the top-level façade: run an algorithm on a graph, get the
+//!   algorithm result plus a full time/energy [`metrics::Metrics`] report.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphr_core::{GraphRConfig, sim};
+//! use graphr_graph::generators::rmat::Rmat;
+//!
+//! let graph = Rmat::new(256, 1024).seed(1).generate();
+//! let config = GraphRConfig::builder().build()?;
+//! let run = sim::run_pagerank(&graph, &config, &sim::PageRankOptions::default())?;
+//! assert!(run.metrics.total_time().as_nanos() > 0.0);
+//! assert!((run.values.iter().sum::<f64>() - 1.0).abs() < 0.05);
+//! # Ok::<(), graphr_core::sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod exec;
+pub mod metrics;
+pub mod multinode;
+pub mod outofcore;
+pub mod preprocess;
+pub mod program;
+pub mod sim;
+
+pub use config::{ConfigError, Fidelity, GraphRConfig, StreamingOrder};
+pub use metrics::Metrics;
+pub use preprocess::tiler::TiledGraph;

@@ -1,0 +1,221 @@
+//! Time/energy/event accounting for a GraphR run.
+//!
+//! The paper's performance model is event-count based (§5.2: NVSim scalars
+//! for ReRAM, CACTI for registers, an ADC survey for converters, "system
+//! performance is modeled by code instrumentation"). [`Metrics`] is that
+//! instrumentation: the executor counts architectural events and charges
+//! time and energy through `graphr-reram`'s [`CostModel`]
+//! (re-exported scalars of the same published sources).
+//!
+//! [`CostModel`]: graphr_reram::CostModel
+
+use graphr_reram::CostBreakdown;
+use graphr_units::{Joules, Nanos};
+use serde::{Deserialize, Serialize};
+
+/// Raw architectural event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EventCounters {
+    /// Subgraphs actually streamed through the GEs.
+    pub subgraphs_processed: u64,
+    /// Subgraph slots skipped because they contain no edges (§3.3).
+    pub subgraphs_skipped_empty: u64,
+    /// Subgraph slots with edges but no active source (add-op only).
+    pub subgraphs_skipped_inactive: u64,
+    /// Logical tiles programmed.
+    pub tiles_loaded: u64,
+    /// Edge values programmed into tiles (one per edge per programming
+    /// pass).
+    pub edges_loaded: u64,
+    /// Tile-level MVM evaluations.
+    pub mvm_scans: u64,
+    /// Serial wordline activations (add-op pattern).
+    pub rows_activated: u64,
+    /// ADC conversions.
+    pub adc_conversions: u64,
+    /// sALU operations.
+    pub salu_ops: u64,
+    /// RegI/RegO reads.
+    pub register_reads: u64,
+    /// RegI/RegO writes.
+    pub register_writes: u64,
+    /// Bytes streamed from memory ReRAM into GEs.
+    pub bytes_streamed: u64,
+    /// RegO capacity the run required, in entries (the §3.3 column- vs
+    /// row-major argument).
+    pub rego_capacity_required: u64,
+}
+
+/// Wall-clock decomposition (raw per-phase sums; with pipelining the
+/// effective total is less than the sum of parts).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Tile programming (edge loading through drivers).
+    pub program: Nanos,
+    /// MVM + ADC drain (GE cycles).
+    pub compute: Nanos,
+    /// Memory-ReRAM streaming of edge data.
+    pub memory: Nanos,
+    /// Strip write-back / apply.
+    pub apply: Nanos,
+}
+
+impl TimeBreakdown {
+    /// Sum of the raw phases (the unpipelined upper bound).
+    #[must_use]
+    pub fn serial_total(&self) -> Nanos {
+        self.program + self.compute + self.memory + self.apply
+    }
+}
+
+/// Complete accounting of one GraphR run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Iterations (vertex-program supersteps, epochs for CF).
+    pub iterations: usize,
+    /// Effective wall-clock (pipelining applied).
+    pub elapsed: Nanos,
+    /// Raw per-phase time sums.
+    pub time_breakdown: TimeBreakdown,
+    /// Energy by component.
+    pub energy: CostBreakdown,
+    /// Raw event counts.
+    pub events: EventCounters,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Effective wall-clock time of the run.
+    #[must_use]
+    pub fn total_time(&self) -> Nanos {
+        self.elapsed
+    }
+
+    /// Total energy of the run.
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.energy.total()
+    }
+
+    /// Average power over the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via division semantics: returns non-finite) only when the
+    /// run has zero elapsed time; callers report runs that did work.
+    #[must_use]
+    pub fn average_power(&self) -> graphr_units::Watts {
+        self.total_energy().averaged_over(self.elapsed)
+    }
+
+    /// Fraction of subgraph slots skipped (empty + inactive) out of all
+    /// slots considered.
+    #[must_use]
+    pub fn skip_fraction(&self) -> f64 {
+        let skipped =
+            self.events.subgraphs_skipped_empty + self.events.subgraphs_skipped_inactive;
+        let total = skipped + self.events.subgraphs_processed;
+        if total == 0 {
+            0.0
+        } else {
+            skipped as f64 / total as f64
+        }
+    }
+
+    /// Merges another run's metrics into this one (used by multi-scan
+    /// algorithms like CF).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.iterations += other.iterations;
+        self.elapsed += other.elapsed;
+        self.time_breakdown.program += other.time_breakdown.program;
+        self.time_breakdown.compute += other.time_breakdown.compute;
+        self.time_breakdown.memory += other.time_breakdown.memory;
+        self.time_breakdown.apply += other.time_breakdown.apply;
+        self.energy += other.energy;
+        let a = &mut self.events;
+        let b = &other.events;
+        a.subgraphs_processed += b.subgraphs_processed;
+        a.subgraphs_skipped_empty += b.subgraphs_skipped_empty;
+        a.subgraphs_skipped_inactive += b.subgraphs_skipped_inactive;
+        a.tiles_loaded += b.tiles_loaded;
+        a.edges_loaded += b.edges_loaded;
+        a.mvm_scans += b.mvm_scans;
+        a.rows_activated += b.rows_activated;
+        a.adc_conversions += b.adc_conversions;
+        a.salu_ops += b.salu_ops;
+        a.register_reads += b.register_reads;
+        a.register_writes += b.register_writes;
+        a.bytes_streamed += b.bytes_streamed;
+        a.rego_capacity_required = a.rego_capacity_required.max(b.rego_capacity_required);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphr_units::Joules;
+
+    #[test]
+    fn zeroed_by_default() {
+        let m = Metrics::new();
+        assert_eq!(m.iterations, 0);
+        assert!(m.total_time().is_zero());
+        assert!(m.total_energy().is_zero());
+        assert_eq!(m.skip_fraction(), 0.0);
+    }
+
+    #[test]
+    fn skip_fraction_counts_both_kinds() {
+        let mut m = Metrics::new();
+        m.events.subgraphs_processed = 6;
+        m.events.subgraphs_skipped_empty = 3;
+        m.events.subgraphs_skipped_inactive = 1;
+        assert_eq!(m.skip_fraction(), 0.4);
+    }
+
+    #[test]
+    fn merge_accumulates_and_maxes_capacity() {
+        let mut a = Metrics::new();
+        a.iterations = 2;
+        a.elapsed = Nanos::new(100.0);
+        a.energy.program = Joules::new(1.0);
+        a.events.edges_loaded = 10;
+        a.events.rego_capacity_required = 64;
+        let mut b = Metrics::new();
+        b.iterations = 3;
+        b.elapsed = Nanos::new(50.0);
+        b.energy.adc = Joules::new(0.5);
+        b.events.edges_loaded = 5;
+        b.events.rego_capacity_required = 128;
+        a.merge(&b);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.elapsed.as_nanos(), 150.0);
+        assert_eq!(a.total_energy().as_joules(), 1.5);
+        assert_eq!(a.events.edges_loaded, 15);
+        assert_eq!(a.events.rego_capacity_required, 128);
+    }
+
+    #[test]
+    fn serial_total_sums_phases() {
+        let tb = TimeBreakdown {
+            program: Nanos::new(1.0),
+            compute: Nanos::new(2.0),
+            memory: Nanos::new(3.0),
+            apply: Nanos::new(4.0),
+        };
+        assert_eq!(tb.serial_total().as_nanos(), 10.0);
+    }
+
+    #[test]
+    fn average_power_is_energy_over_time() {
+        let mut m = Metrics::new();
+        m.elapsed = Nanos::from_secs(2.0);
+        m.energy.mvm = Joules::new(10.0);
+        assert_eq!(m.average_power().as_watts(), 5.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Multi-node GraphR — the paper's declared future work, implemented.
+//!
+//! §3.1: *"multi-node: one can connect different GraphR nodes … to process
+//! large graphs. In this case, each block is processed by a GraphR node.
+//! Data movements happen between GraphR nodes. … we leave this as future
+//! work and extension."*
+//!
+//! The natural partitioning under column-major streaming-apply assigns each
+//! node a slice of destination strips: every node scans only the tiles
+//! whose destinations it owns, reducing into its private RegO windows, and
+//! at the end of each iteration the updated vertex properties are exchanged
+//! so every node starts the next iteration with the full property vector
+//! (an all-gather of `|V| × 2` bytes of 16-bit properties).
+//!
+//! [`estimate_pagerank_scaling`] runs the *per-node* workloads through the
+//! real executor (so tile packing, skipping and energy are exact per node)
+//! and composes iteration time as `max(per-node scan) + exchange`. The
+//! functional result is unchanged by partitioning — destination strips are
+//! disjoint — which [`estimate_pagerank_scaling`] asserts by construction.
+
+use graphr_graph::{Edge, EdgeList};
+use graphr_units::{Joules, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::config::GraphRConfig;
+use crate::sim::{run_pagerank, PageRankOptions, SimError};
+
+/// Interconnect parameters of a multi-node GraphR cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiNodeConfig {
+    /// Number of GraphR nodes.
+    pub nodes: usize,
+    /// Point-to-point interconnect bandwidth per node, GB/s (PCIe/NVLink
+    /// class).
+    pub interconnect_gbps: f64,
+    /// Per-exchange fixed latency (link setup + synchronisation).
+    pub exchange_latency: Nanos,
+    /// Energy per byte crossing the interconnect (≈10 pJ/bit links).
+    pub energy_per_byte: Joules,
+}
+
+impl MultiNodeConfig {
+    /// A small cluster with PCIe-class links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    #[must_use]
+    pub fn pcie_cluster(nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        MultiNodeConfig {
+            nodes,
+            interconnect_gbps: 12.0,
+            exchange_latency: Nanos::from_micros(2.0),
+            energy_per_byte: Joules::from_picojoules(80.0),
+        }
+    }
+}
+
+/// Scaling estimate for one algorithm run on a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiNodeEstimate {
+    /// Nodes in the estimate.
+    pub nodes: usize,
+    /// Single-node runtime of the same workload (the baseline).
+    pub single_node_time: Nanos,
+    /// Slowest node's scan time across the run.
+    pub bottleneck_scan_time: Nanos,
+    /// Total property-exchange time across the run.
+    pub exchange_time: Nanos,
+    /// Estimated cluster runtime (`bottleneck + exchange`).
+    pub total_time: Nanos,
+    /// Compute energy summed over nodes plus interconnect energy.
+    pub total_energy: Joules,
+    /// `single_node_time / total_time`.
+    pub speedup: f64,
+}
+
+/// Splits a graph into per-node edge sets by destination-strip ownership
+/// (node `k` owns strips `s` with `s % nodes == k`), the partitioning that
+/// keeps each node's RegO windows private.
+#[must_use]
+pub fn partition_by_strip(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    nodes: usize,
+) -> Vec<EdgeList> {
+    let width = config.strip_width();
+    let mut parts: Vec<Vec<Edge>> = vec![Vec::new(); nodes.max(1)];
+    for e in graph.iter() {
+        let strip = e.dst as usize / width;
+        parts[strip % nodes.max(1)].push(*e);
+    }
+    parts
+        .into_iter()
+        .map(|edges| {
+            EdgeList::from_edges(graph.num_vertices(), edges)
+                .expect("partition preserves vertex range")
+        })
+        .collect()
+}
+
+/// Estimates multi-node PageRank scaling: each node's scan workload runs
+/// through the real executor; iterations are synchronised by a full
+/// property all-gather.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is invalid.
+///
+/// # Panics
+///
+/// Panics if `cluster.nodes` is zero.
+pub fn estimate_pagerank_scaling(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    cluster: &MultiNodeConfig,
+    opts: &PageRankOptions,
+) -> Result<MultiNodeEstimate, SimError> {
+    assert!(cluster.nodes > 0, "a cluster needs at least one node");
+    let single = run_pagerank(graph, config, opts)?;
+    let iterations = single.metrics.iterations.max(1);
+
+    // Per-node workloads: same iteration count, disjoint destination sets.
+    let mut bottleneck = Nanos::ZERO;
+    let mut compute_energy = Joules::ZERO;
+    let fixed_iter_opts = PageRankOptions {
+        max_iterations: iterations,
+        tolerance: 0.0,
+        ..*opts
+    };
+    for part in partition_by_strip(graph, config, cluster.nodes) {
+        if part.num_edges() == 0 {
+            continue;
+        }
+        let node_run = run_pagerank(&part, config, &fixed_iter_opts)?;
+        bottleneck = bottleneck.max(node_run.metrics.total_time());
+        compute_energy += node_run.metrics.total_energy();
+    }
+
+    // All-gather of 16-bit properties once per iteration: each node sends
+    // its owned slice to every other node; with a switch this is |V|·2
+    // bytes in and out per node.
+    let bytes_per_exchange = (graph.num_vertices() * 2) as f64;
+    let per_exchange = cluster.exchange_latency
+        + Nanos::new(bytes_per_exchange / cluster.interconnect_gbps);
+    let exchange_time = per_exchange * iterations as f64;
+    let exchange_energy = cluster.energy_per_byte
+        * (bytes_per_exchange * cluster.nodes as f64 * iterations as f64);
+
+    let total_time = bottleneck + exchange_time;
+    Ok(MultiNodeEstimate {
+        nodes: cluster.nodes,
+        single_node_time: single.metrics.total_time(),
+        bottleneck_scan_time: bottleneck,
+        exchange_time,
+        total_time,
+        total_energy: compute_energy + exchange_energy,
+        speedup: single.metrics.total_time().ratio(total_time),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphr_graph::generators::rmat::Rmat;
+
+    fn config() -> GraphRConfig {
+        GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .build()
+            .unwrap()
+    }
+
+    fn graph() -> EdgeList {
+        Rmat::new(600, 4000).seed(21).self_loops(false).generate()
+    }
+
+    #[test]
+    fn partition_conserves_edges_and_separates_destinations() {
+        let g = graph();
+        let cfg = config();
+        let parts = partition_by_strip(&g, &cfg, 4);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(EdgeList::num_edges).sum();
+        assert_eq!(total, g.num_edges());
+        let width = cfg.strip_width();
+        for (k, part) in parts.iter().enumerate() {
+            for e in part.iter() {
+                assert_eq!((e.dst as usize / width) % 4, k);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_beats_single_node_and_saturates() {
+        let g = graph();
+        let cfg = config();
+        let opts = PageRankOptions {
+            max_iterations: 5,
+            tolerance: 0.0,
+            ..PageRankOptions::default()
+        };
+        let two = estimate_pagerank_scaling(&g, &cfg, &MultiNodeConfig::pcie_cluster(2), &opts)
+            .unwrap();
+        let eight = estimate_pagerank_scaling(&g, &cfg, &MultiNodeConfig::pcie_cluster(8), &opts)
+            .unwrap();
+        assert!(two.speedup > 1.0, "two nodes should help: {}", two.speedup);
+        assert!(
+            eight.speedup >= two.speedup * 0.9,
+            "more nodes should not badly regress"
+        );
+        assert!(
+            eight.speedup < 8.0,
+            "exchange cost must prevent perfect scaling"
+        );
+        assert!(eight.exchange_time > two.exchange_time * 0.9);
+    }
+
+    #[test]
+    fn one_node_cluster_has_no_advantage() {
+        let g = graph();
+        let cfg = config();
+        let opts = PageRankOptions {
+            max_iterations: 3,
+            tolerance: 0.0,
+            ..PageRankOptions::default()
+        };
+        let one = estimate_pagerank_scaling(&g, &cfg, &MultiNodeConfig::pcie_cluster(1), &opts)
+            .unwrap();
+        assert!(
+            one.speedup <= 1.0 + 1e-9,
+            "one node plus exchange cannot beat one node: {}",
+            one.speedup
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        MultiNodeConfig::pcie_cluster(0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Out-of-core disk modelling (Figure 9's workflow).
+//!
+//! In the paper's evaluation graphs fit in memory and disk I/O is excluded
+//! (§5.2), but the architecture is explicitly a **drop-in accelerator for
+//! out-of-core frameworks**: blocks of the §3.4-ordered edge list load from
+//! disk strictly sequentially and stream through the node. This module
+//! prices that loading so the drop-in story can be examined: because the
+//! preprocessed order makes every disk access sequential, the loads can be
+//! double-buffered against computation, and the estimate shows the regime
+//! change — GraphR is so much faster than the CPU framework that the
+//! *disk*, not the accelerator, becomes the bottleneck of an out-of-core
+//! deployment.
+
+use graphr_units::Nanos;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Metrics;
+use crate::preprocess::tiler::TiledGraph;
+
+/// Bytes per COO edge record on disk.
+const BYTES_PER_EDGE: u64 = 12;
+
+/// Sequential-load characteristics of the backing store.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskModel {
+    /// Sustained sequential read bandwidth, GB/s.
+    pub sequential_gbps: f64,
+    /// Fixed per-block latency (request issue, seek-equivalent).
+    pub per_block_latency: Nanos,
+}
+
+impl DiskModel {
+    /// A SATA-era SSD (the out-of-core hardware of the GridGraph paper).
+    #[must_use]
+    pub fn sata_ssd() -> Self {
+        DiskModel {
+            sequential_gbps: 0.5,
+            per_block_latency: Nanos::from_micros(80.0),
+        }
+    }
+
+    /// A modern NVMe drive.
+    #[must_use]
+    pub fn nvme() -> Self {
+        DiskModel {
+            sequential_gbps: 3.0,
+            per_block_latency: Nanos::from_micros(15.0),
+        }
+    }
+}
+
+/// Disk/compute composition of an out-of-core run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutOfCoreEstimate {
+    /// Blocks per full pass over the graph.
+    pub blocks: usize,
+    /// Bytes loaded from disk per iteration (the whole ordered edge list).
+    pub bytes_per_iteration: u64,
+    /// Accelerator time (from the run's metrics).
+    pub compute_time: Nanos,
+    /// Total disk-load time across all iterations.
+    pub disk_time: Nanos,
+    /// Total with double-buffered loads (sequential order permits it):
+    /// `max(compute, disk)`.
+    pub overlapped_time: Nanos,
+    /// Total without overlap: `compute + disk`.
+    pub serial_time: Nanos,
+}
+
+impl OutOfCoreEstimate {
+    /// Whether the disk, not the accelerator, bounds the deployment.
+    #[must_use]
+    pub fn is_disk_bound(&self) -> bool {
+        self.disk_time > self.compute_time
+    }
+}
+
+/// Prices the disk side of a run: `metrics` must come from executing an
+/// algorithm over `tiled`; every iteration re-streams all nonempty blocks
+/// of the ordered edge list (the out-of-core regime where the graph does
+/// not fit in the node's memory ReRAM).
+#[must_use]
+pub fn estimate_out_of_core(
+    tiled: &TiledGraph,
+    metrics: &Metrics,
+    disk: &DiskModel,
+) -> OutOfCoreEstimate {
+    let blocks = tiled.blocks().len();
+    let bytes_per_iteration = tiled.total_edges() as u64 * BYTES_PER_EDGE;
+    let iterations = metrics.iterations.max(1) as f64;
+    let per_iteration = Nanos::new(bytes_per_iteration as f64 / disk.sequential_gbps)
+        + disk.per_block_latency * blocks as f64;
+    let disk_time = per_iteration * iterations;
+    let compute_time = metrics.total_time();
+    OutOfCoreEstimate {
+        blocks,
+        bytes_per_iteration,
+        compute_time,
+        disk_time,
+        overlapped_time: compute_time.max(disk_time),
+        serial_time: compute_time + disk_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphRConfig;
+    use crate::sim::{run_pagerank, PageRankOptions};
+    use graphr_graph::generators::rmat::Rmat;
+
+    fn run() -> (TiledGraph, Metrics) {
+        let g = Rmat::new(2000, 16_000).seed(3).self_loops(false).generate();
+        let config = GraphRConfig::default();
+        let tiled = TiledGraph::preprocess(&g, &config).unwrap();
+        let pr = run_pagerank(
+            &g,
+            &config,
+            &PageRankOptions {
+                max_iterations: 10,
+                tolerance: 0.0,
+                ..PageRankOptions::default()
+            },
+        )
+        .unwrap();
+        (tiled, pr.metrics)
+    }
+
+    #[test]
+    fn sata_deployment_is_disk_bound() {
+        let (tiled, metrics) = run();
+        let est = estimate_out_of_core(&tiled, &metrics, &DiskModel::sata_ssd());
+        assert!(
+            est.is_disk_bound(),
+            "GraphR should outrun a SATA SSD: compute {} vs disk {}",
+            est.compute_time,
+            est.disk_time
+        );
+        assert_eq!(est.bytes_per_iteration, 16_000 * 12);
+        assert_eq!(est.overlapped_time, est.disk_time);
+        assert!(est.serial_time > est.overlapped_time);
+    }
+
+    #[test]
+    fn faster_disks_shrink_the_gap() {
+        let (tiled, metrics) = run();
+        let sata = estimate_out_of_core(&tiled, &metrics, &DiskModel::sata_ssd());
+        let nvme = estimate_out_of_core(&tiled, &metrics, &DiskModel::nvme());
+        assert!(nvme.disk_time < sata.disk_time);
+        assert_eq!(nvme.compute_time, sata.compute_time);
+        assert!(nvme.overlapped_time <= sata.overlapped_time);
+    }
+
+    #[test]
+    fn overlap_never_beats_either_component() {
+        let (tiled, metrics) = run();
+        let est = estimate_out_of_core(&tiled, &metrics, &DiskModel::nvme());
+        assert!(est.overlapped_time >= est.compute_time);
+        assert!(est.overlapped_time >= est.disk_time);
+        assert_eq!(
+            est.serial_time.as_nanos(),
+            est.compute_time.as_nanos() + est.disk_time.as_nanos()
+        );
+    }
+}

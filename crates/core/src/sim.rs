@@ -1,0 +1,847 @@
+//! Top-level simulation drivers: one function per evaluated application.
+//!
+//! Each driver preprocesses the graph (§3.4), builds a streaming executor,
+//! runs the algorithm's iteration loop with the paper's mapping pattern,
+//! and returns the *functional result* (computed through the emulated
+//! fixed-point/analog datapath) together with full [`Metrics`].
+//!
+//! Fixed-point formats are per-algorithm, as they would be in a real
+//! deployment of the architecture:
+//!
+//! | algorithm | matrix (conductance) format | register format |
+//! |---|---|---|
+//! | PageRank | Q1.15 (`r/outdeg ≤ r < 1`) | Q10.6 on ranks scaled by `|V|` |
+//! | SpMV | Q8.8 (`w/outdeg ≤ 64`) | Q8.8 |
+//! | BFS/SSSP | Q16.0 (integer labels — exact) | same |
+//! | CF | Q4.12, differential (signed errors) | Q4.12 |
+
+use std::error::Error;
+use std::fmt;
+
+use graphr_graph::EdgeList;
+use graphr_units::FixedSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ConfigError, GraphRConfig};
+use crate::exec::streaming::StreamingExecutor;
+use crate::metrics::Metrics;
+use crate::preprocess::tiler::TiledGraph;
+
+/// Errors from the simulation drivers.
+#[derive(Debug)]
+pub enum SimError {
+    /// The architectural configuration or graph geometry is invalid.
+    Config(ConfigError),
+    /// An edge weight is unusable for the algorithm (e.g. SSSP needs
+    /// weights ≥ 1 so they stay nonzero in the integer format).
+    BadWeight {
+        /// Source of the offending edge.
+        src: u32,
+        /// Destination of the offending edge.
+        dst: u32,
+        /// The weight found.
+        weight: f32,
+    },
+    /// The requested source vertex does not exist.
+    BadSource {
+        /// The requested source.
+        source: u32,
+        /// The graph's vertex count.
+        num_vertices: usize,
+    },
+    /// Bipartite dimensions do not match the graph.
+    BadBipartite {
+        /// Expected vertex count (`users + items`).
+        expected: usize,
+        /// The graph's vertex count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::BadWeight { src, dst, weight } => write!(
+                f,
+                "edge ({src}, {dst}) weight {weight} unusable for this algorithm"
+            ),
+            SimError::BadSource {
+                source,
+                num_vertices,
+            } => write!(
+                f,
+                "source vertex {source} out of range for {num_vertices} vertices"
+            ),
+            SimError::BadBipartite { expected, got } => write!(
+                f,
+                "bipartite dimensions expect {expected} vertices, graph has {got}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// Result of a scalar-valued run (PageRank, SpMV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalarRun {
+    /// Final per-vertex values (ranks for PageRank, products for SpMV).
+    pub values: Vec<f64>,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+    /// Full accounting.
+    pub metrics: Metrics,
+}
+
+/// Result of a traversal run (BFS, SSSP).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraversalRun {
+    /// Distance labels; `None` = unreachable (label still at the reserved
+    /// maximum `M`).
+    pub distances: Vec<Option<f64>>,
+    /// Full accounting.
+    pub metrics: Metrics,
+}
+
+/// Result of a collaborative-filtering run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CfRun {
+    /// Training RMSE after each epoch.
+    pub rmse_history: Vec<f64>,
+    /// Full accounting.
+    pub metrics: Metrics,
+}
+
+// ---------------------------------------------------------------- PageRank
+
+/// PageRank options (Figure 13's program).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageRankOptions {
+    /// Damping factor `r`.
+    pub damping: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Mean-absolute-delta convergence threshold (on ranks scaled by `|V|`).
+    pub tolerance: f64,
+    /// Redistribute dangling mass (keeps `Σ rank = 1`); the literal paper
+    /// program drops it.
+    pub redistribute_dangling: bool,
+    /// Conductance fixed-point format.
+    pub matrix_spec: FixedSpec,
+    /// Register (vertex property) fixed-point format, applied to ranks
+    /// scaled by `|V|` so small per-vertex probabilities stay
+    /// representable.
+    pub register_spec: FixedSpec,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions {
+            damping: 0.85,
+            max_iterations: 50,
+            tolerance: 1e-4,
+            redistribute_dangling: true,
+            matrix_spec: FixedSpec::new(16, 15).expect("Q1.15 is valid"),
+            register_spec: FixedSpec::new(16, 6).expect("Q10.6 is valid"),
+        }
+    }
+}
+
+/// Runs PageRank on GraphR (parallel-MAC pattern, §4.1).
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations or an empty
+/// graph.
+pub fn run_pagerank(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    opts: &PageRankOptions,
+) -> Result<ScalarRun, SimError> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Err(SimError::Config(ConfigError::new(
+            "pagerank requires at least one vertex",
+        )));
+    }
+    let tiled = TiledGraph::preprocess(graph, config)?;
+    let mut exec = StreamingExecutor::new(&tiled, config, opts.matrix_spec);
+    let degrees = graph.out_degrees();
+    let r = opts.damping;
+    let value = move |_w: f32, src: u32, _dst: u32| r / f64::from(degrees[src as usize]);
+    let degrees2 = graph.out_degrees();
+
+    // Ranks scaled by n: uniform start is exactly 1.0.
+    let qr = opts.register_spec;
+    let mut s = vec![qr.quantize_value(1.0); n];
+    let base = 1.0 - r;
+    let mut converged = false;
+    while exec.metrics().iterations < opts.max_iterations {
+        let y = exec.scan_mac(&value, &[&s]);
+        let dangling: f64 = if opts.redistribute_dangling {
+            degrees2
+                .iter()
+                .zip(&s)
+                .filter(|&(&d, _)| d == 0)
+                .map(|(_, &sv)| sv)
+                .sum::<f64>()
+                / n as f64
+        } else {
+            0.0
+        };
+        let mut delta = 0.0;
+        for v in 0..n {
+            // `y` already carries the damping factor (the programmed
+            // conductance is r/outdeg); only the dangling mass still needs
+            // damping here.
+            let updated = qr.quantize_value(base + y[0][v] + r * dangling);
+            delta += (updated - s[v]).abs();
+            s[v] = updated;
+        }
+        exec.end_iteration();
+        if delta / n as f64 <= opts.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    let values = s.iter().map(|&sv| sv / n as f64).collect();
+    Ok(ScalarRun {
+        values,
+        converged,
+        metrics: exec.into_metrics(),
+    })
+}
+
+// ------------------------------------------------------------------- SpMV
+
+/// SpMV options (Table 2's vertex program: one normalised pass).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpmvOptions {
+    /// Input vector; `None` = all-ones.
+    pub input: Option<Vec<f64>>,
+    /// Conductance format.
+    pub matrix_spec: FixedSpec,
+    /// Register format (applied to the output).
+    pub register_spec: FixedSpec,
+}
+
+impl Default for SpmvOptions {
+    fn default() -> Self {
+        SpmvOptions {
+            input: None,
+            matrix_spec: FixedSpec::new(16, 8).expect("Q8.8 is valid"),
+            register_spec: FixedSpec::new(16, 8).expect("Q8.8 is valid"),
+        }
+    }
+}
+
+/// Runs one SpMV pass on GraphR (parallel-MAC pattern):
+/// `y[v] = Σ_{u→v} x[u] / outdeg(u) · w(u, v)`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations or an input
+/// vector of the wrong length.
+pub fn run_spmv(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    opts: &SpmvOptions,
+) -> Result<ScalarRun, SimError> {
+    let n = graph.num_vertices();
+    let x = match &opts.input {
+        Some(v) => {
+            if v.len() != n {
+                return Err(SimError::Config(ConfigError::new(format!(
+                    "input vector has {} entries, graph has {n} vertices",
+                    v.len()
+                ))));
+            }
+            v.clone()
+        }
+        None => vec![1.0; n],
+    };
+    let tiled = TiledGraph::preprocess(graph, config)?;
+    let mut exec = StreamingExecutor::new(&tiled, config, opts.matrix_spec);
+    let degrees = graph.out_degrees();
+    let value = move |w: f32, src: u32, _dst: u32| {
+        f64::from(w) / f64::from(degrees[src as usize])
+    };
+    let qx: Vec<f64> = x.iter().map(|&v| opts.register_spec.quantize_value(v)).collect();
+    let y = exec.scan_mac(&value, &[&qx]);
+    exec.end_iteration();
+    let values = y[0]
+        .iter()
+        .map(|&v| opts.register_spec.quantize_value(v))
+        .collect();
+    Ok(ScalarRun {
+        values,
+        converged: true,
+        metrics: exec.into_metrics(),
+    })
+}
+
+// ------------------------------------------------------------- BFS / SSSP
+
+/// Options for the traversal algorithms (BFS, SSSP).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraversalOptions {
+    /// Source vertex.
+    pub source: u32,
+    /// Iteration cap; `None` = `|V|` rounds (the Bellman-Ford bound).
+    pub max_iterations: Option<usize>,
+    /// Label format — Q16.0 keeps integer distances exact, making GraphR's
+    /// BFS/SSSP results bit-identical to the gold references.
+    pub spec: FixedSpec,
+}
+
+impl Default for TraversalOptions {
+    fn default() -> Self {
+        TraversalOptions {
+            source: 0,
+            max_iterations: None,
+            spec: FixedSpec::new(16, 0).expect("Q16.0 is valid"),
+        }
+    }
+}
+
+/// Runs BFS on GraphR (parallel add-op, §4.2, with unit edge values).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadSource`] for an out-of-range source and
+/// [`SimError::Config`] for invalid configurations.
+pub fn run_bfs(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    opts: &TraversalOptions,
+) -> Result<TraversalRun, SimError> {
+    run_add_op(graph, config, opts, &|_w, _s, _d| 1.0, &|du, w| du + w)
+}
+
+/// Runs SSSP on GraphR (parallel add-op, §4.2, Figure 16c).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadWeight`] if any edge weight is below 1 (it would
+/// vanish or go negative in the integer label format),
+/// [`SimError::BadSource`] for an out-of-range source, and
+/// [`SimError::Config`] for invalid configurations.
+pub fn run_sssp(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    opts: &TraversalOptions,
+) -> Result<TraversalRun, SimError> {
+    for e in graph.iter() {
+        if e.weight < 1.0 {
+            return Err(SimError::BadWeight {
+                src: e.src,
+                dst: e.dst,
+                weight: e.weight,
+            });
+        }
+    }
+    run_add_op(graph, config, opts, &|w, _s, _d| f64::from(w), &|du, w| du + w)
+}
+
+fn run_add_op(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    opts: &TraversalOptions,
+    value: &dyn Fn(f32, u32, u32) -> f64,
+    combine: &dyn Fn(f64, f64) -> f64,
+) -> Result<TraversalRun, SimError> {
+    let n = graph.num_vertices();
+    if (opts.source as usize) >= n {
+        return Err(SimError::BadSource {
+            source: opts.source,
+            num_vertices: n,
+        });
+    }
+    let tiled = TiledGraph::preprocess(graph, config)?;
+    let mut exec = StreamingExecutor::new(&tiled, config, opts.spec);
+    let inf = opts.spec.max_value();
+    let mut dist = vec![inf; n];
+    dist[opts.source as usize] = 0.0;
+    let mut active = vec![false; n];
+    active[opts.source as usize] = true;
+    let cap = opts.max_iterations.unwrap_or(n.max(1));
+
+    for _round in 0..cap {
+        let mut frontier = dist.clone();
+        let mut updated = vec![false; n];
+        exec.scan_add_op(value, combine, &dist, &active, &mut frontier, &mut updated);
+        exec.end_iteration();
+        dist = frontier;
+        active = updated;
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+    }
+    let distances = dist
+        .into_iter()
+        .map(|d| if d >= inf { None } else { Some(d) })
+        .collect();
+    Ok(TraversalRun {
+        distances,
+        metrics: exec.into_metrics(),
+    })
+}
+
+// -------------------------------------------------------------------- WCC
+
+/// Result of a connected-components run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WccRun {
+    /// Component label per vertex (smallest vertex id in the component).
+    pub labels: Vec<u32>,
+    /// Number of distinct components.
+    pub num_components: usize,
+    /// Full accounting.
+    pub metrics: Metrics,
+}
+
+/// Runs weakly-connected components on GraphR — an *extension* application
+/// demonstrating the generality claim (§3.5: GraphR accelerates any vertex
+/// program in SpMV form). Label propagation in the parallel add-op pattern:
+/// `processEdge` forwards the source's label (`combine(du, _w) = du`),
+/// `reduce` is `min`, over the symmetrised graph.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] if the graph has more vertices than the
+/// 16-bit label format can name (the §3.2 data format caps labels at
+/// `2^15 − 1`), or for invalid configurations.
+pub fn run_wcc(graph: &EdgeList, config: &GraphRConfig) -> Result<WccRun, SimError> {
+    let n = graph.num_vertices();
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    if n as f64 > spec.max_value() {
+        return Err(SimError::Config(ConfigError::new(format!(
+            "WCC labels vertices by id; {n} vertices exceed the 16-bit format"
+        ))));
+    }
+    // Label propagation needs both directions: symmetrise once (part of
+    // preprocessing, like the §3.4 ordering).
+    let mut sym = graph.clone();
+    for e in graph.transposed().iter() {
+        sym.add_edge(*e).expect("transposed edges are in range");
+    }
+    let tiled = TiledGraph::preprocess(&sym, config)?;
+    let mut exec = StreamingExecutor::new(&tiled, config, spec);
+    let value = |_w: f32, _s: u32, _d: u32| 1.0; // presence marker
+    let combine = |du: f64, _w: f64| du; // forward the label unchanged
+
+    let mut labels: Vec<f64> = (0..n).map(|v| v as f64).collect();
+    let mut active = vec![true; n];
+    for _round in 0..n.max(1) {
+        let mut frontier = labels.clone();
+        let mut updated = vec![false; n];
+        exec.scan_add_op(&value, &combine, &labels, &active, &mut frontier, &mut updated);
+        exec.end_iteration();
+        labels = frontier;
+        active = updated;
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+    }
+    let labels: Vec<u32> = labels.iter().map(|&l| l as u32).collect();
+    let mut distinct = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    Ok(WccRun {
+        num_components: distinct.len(),
+        labels,
+        metrics: exec.into_metrics(),
+    })
+}
+
+// --------------------------------------------------------------------- CF
+
+/// Collaborative-filtering options (batch gradient-descent matrix
+/// factorisation — the SpMV-shaped formulation that maps onto crossbars;
+/// §5.1 uses feature length 32 on Netflix).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CfOptions {
+    /// Latent feature length.
+    pub features: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// L2 regularisation.
+    pub regularization: f64,
+    /// Factor-initialisation seed.
+    pub seed: u64,
+    /// Fixed-point format for factors and errors (signed → the driver
+    /// forces differential tiles).
+    pub spec: FixedSpec,
+}
+
+impl Default for CfOptions {
+    fn default() -> Self {
+        CfOptions {
+            features: 32,
+            epochs: 5,
+            learning_rate: 0.1,
+            regularization: 0.005,
+            seed: 1,
+            spec: FixedSpec::new(16, 12).expect("Q4.12 is valid"),
+        }
+    }
+}
+
+/// Runs collaborative filtering on GraphR.
+///
+/// Per epoch: errors `e_ui = r_ui − p_u·q_i` are formed by the sALUs while
+/// streaming the rating tiles; the two gradient products `EᵀP` and `EQ` are
+/// parallel-MAC scans (one tile-programming pass each, amortised over all
+/// `F` feature vectors); the controller applies the degree-normalised
+/// update `P += lr (deg⁻¹ E Q − λP)`, `Q += lr (deg⁻¹ Eᵀ P − λQ)` in fixed
+/// point (normalising by each vertex's rating count keeps the step size
+/// bounded for hot users/items — without it batch gradient descent
+/// diverges on power-law popularity; the scaling is a diagonal the
+/// controller applies during the register write-back).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadBipartite`] if `users + items` does not match the
+/// graph, and [`SimError::Config`] for invalid configurations.
+pub fn run_cf(
+    ratings: &EdgeList,
+    users: usize,
+    items: usize,
+    config: &GraphRConfig,
+    opts: &CfOptions,
+) -> Result<CfRun, SimError> {
+    if ratings.num_vertices() != users + items {
+        return Err(SimError::BadBipartite {
+            expected: users + items,
+            got: ratings.num_vertices(),
+        });
+    }
+    // Signed errors need differential tiles.
+    let mut cf_config = config.clone();
+    cf_config.sign_mode = graphr_reram::SignMode::Differential;
+    if !cf_config.crossbars_per_ge.is_multiple_of(cf_config.arrays_per_tile()) {
+        return Err(SimError::Config(ConfigError::new(
+            "crossbars_per_ge must accommodate differential tiles for CF",
+        )));
+    }
+    let n = users + items;
+    let f = opts.features.max(1);
+    let q = opts.spec;
+    let tiled = TiledGraph::preprocess(ratings, &cf_config)?;
+    let transposed = ratings.transposed();
+    let tiled_t = TiledGraph::preprocess(&transposed, &cf_config)?;
+
+    // Deterministic small positive init (splitmix64), quantised.
+    let mut state = opts.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next_init = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        0.2 + (z >> 11) as f64 / (1u64 << 53) as f64 * 0.4
+    };
+    let mut p: Vec<f64> = (0..users * f).map(|_| q.quantize_value(next_init())).collect();
+    let mut qm: Vec<f64> = (0..items * f).map(|_| q.quantize_value(next_init())).collect();
+
+    let out_deg = ratings.out_degrees();
+    let in_deg = ratings.in_degrees();
+    let mut metrics = Metrics::new();
+    let mut rmse_history = Vec::with_capacity(opts.epochs);
+    for _epoch in 0..opts.epochs {
+        // Error closure: e(u, i) = rating − p_u · q_i, in fixed point.
+        let p_ref = &p;
+        let q_ref = &qm;
+        let error_ui = move |w: f32, u: usize, i: usize| -> f64 {
+            let pu = &p_ref[u * f..(u + 1) * f];
+            let qi = &q_ref[i * f..(i + 1) * f];
+            let pred: f64 = pu.iter().zip(qi).map(|(a, b)| a * b).sum();
+            q.quantize_value(f64::from(w) - pred)
+        };
+        // Item-side gradients: y[i] = Σ_u e_ui · p_u[feat] over R.
+        let value_r = |w: f32, src: u32, dst: u32| -> f64 {
+            error_ui(w, src as usize, dst as usize - users)
+        };
+        let p_cols: Vec<Vec<f64>> = (0..f)
+            .map(|feat| {
+                let mut col = vec![0.0; n];
+                for u in 0..users {
+                    col[u] = p[u * f + feat];
+                }
+                col
+            })
+            .collect();
+        let p_col_refs: Vec<&[f64]> = p_cols.iter().map(Vec::as_slice).collect();
+        let mut exec_r = StreamingExecutor::new(&tiled, &cf_config, q);
+        let grad_q = exec_r.scan_mac(&value_r, &p_col_refs);
+        exec_r.end_iteration();
+        metrics.merge(&exec_r.into_metrics());
+
+        // User-side gradients: y[u] = Σ_i e_ui · q_i[feat] over Rᵀ.
+        let value_rt = |w: f32, src: u32, dst: u32| -> f64 {
+            error_ui(w, dst as usize, src as usize - users)
+        };
+        let q_cols: Vec<Vec<f64>> = (0..f)
+            .map(|feat| {
+                let mut col = vec![0.0; n];
+                for i in 0..items {
+                    col[users + i] = qm[i * f + feat];
+                }
+                col
+            })
+            .collect();
+        let q_col_refs: Vec<&[f64]> = q_cols.iter().map(Vec::as_slice).collect();
+        let mut exec_t = StreamingExecutor::new(&tiled_t, &cf_config, q);
+        let grad_p = exec_t.scan_mac(&value_rt, &q_col_refs);
+        metrics.merge(&exec_t.into_metrics());
+
+        // Controller update, quantised.
+        let lr = opts.learning_rate;
+        let reg = opts.regularization;
+        let mut p_new = p.clone();
+        for u in 0..users {
+            let norm = f64::from(out_deg[u].max(1));
+            for feat in 0..f {
+                let g = grad_p[feat][u] / norm;
+                let cur = p[u * f + feat];
+                p_new[u * f + feat] = q.quantize_value(cur + lr * (g - reg * cur));
+            }
+        }
+        let mut q_new = qm.clone();
+        for i in 0..items {
+            let norm = f64::from(in_deg[users + i].max(1));
+            for feat in 0..f {
+                let g = grad_q[feat][users + i] / norm;
+                let cur = qm[i * f + feat];
+                q_new[i * f + feat] = q.quantize_value(cur + lr * (g - reg * cur));
+            }
+        }
+        p = p_new;
+        qm = q_new;
+
+        // Training RMSE (controller work: F MACs per rating, charged to the
+        // sALUs which computed the errors during streaming anyway).
+        let mut sq = 0.0;
+        for e in ratings.iter() {
+            let u = e.src as usize;
+            let i = e.dst as usize - users;
+            let pu = &p[u * f..(u + 1) * f];
+            let qi = &qm[i * f..(i + 1) * f];
+            let pred: f64 = pu.iter().zip(qi).map(|(a, b)| a * b).sum();
+            let err = f64::from(e.weight) - pred;
+            sq += err * err;
+        }
+        rmse_history.push((sq / ratings.num_edges().max(1) as f64).sqrt());
+        // Charge the per-edge error formation: F sALU MACs per rating,
+        // spread over all GEs' sALUs.
+        let cost = &cf_config.cost;
+        let ops = ratings.num_edges() as u64 * f as u64;
+        metrics.energy.salu += cost.salu_energy(ops);
+        metrics.events.salu_ops += ops;
+        let t = cost.salu_latency(ops / cf_config.num_ges.max(1) as u64);
+        metrics.elapsed += t;
+        metrics.time_breakdown.apply += t;
+    }
+    Ok(CfRun {
+        rmse_history,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphr_graph::algorithms::bfs::bfs;
+    use graphr_graph::algorithms::pagerank::{pagerank, PageRankParams};
+    use graphr_graph::algorithms::spmv::spmv_vertex_program;
+    use graphr_graph::algorithms::sssp::dijkstra;
+    use graphr_graph::generators::bipartite::RatingMatrix;
+    use graphr_graph::generators::rmat::Rmat;
+    use graphr_graph::generators::structured::{cycle, grid, star};
+
+    fn test_config() -> GraphRConfig {
+        GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let run = run_pagerank(&cycle(8), &test_config(), &PageRankOptions::default()).unwrap();
+        assert!(run.converged);
+        for &v in &run.values {
+            assert!((v - 0.125).abs() < 1e-3, "rank {v} should be ~1/8");
+        }
+        assert!(run.metrics.total_time().as_nanos() > 0.0);
+        assert!(run.metrics.total_energy().as_joules() > 0.0);
+    }
+
+    #[test]
+    fn pagerank_tracks_gold_ordering() {
+        let g = Rmat::new(120, 700).seed(4).generate();
+        let run = run_pagerank(&g, &test_config(), &PageRankOptions::default()).unwrap();
+        let gold = pagerank(&g.to_csr(), &PageRankParams::default());
+        // Quantised ranks should correlate strongly with gold: check that
+        // the top-5 gold vertices all land in the sim's top-15.
+        let top = |vals: &[f64], k: usize| -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..vals.len()).collect();
+            idx.sort_by(|&a, &b| vals[b].total_cmp(&vals[a]));
+            idx.truncate(k);
+            idx
+        };
+        let gold_top = top(&gold.ranks, 5);
+        let sim_top = top(&run.values, 15);
+        for v in gold_top {
+            assert!(sim_top.contains(&v), "gold top vertex {v} missing");
+        }
+        // Total mass stays near 1 despite quantisation.
+        let total: f64 = run.values.iter().sum();
+        assert!((total - 1.0).abs() < 0.05, "mass {total}");
+    }
+
+    #[test]
+    fn spmv_matches_quantised_reference() {
+        let g = Rmat::new(60, 250).seed(9).max_weight(8).generate();
+        let opts = SpmvOptions::default();
+        let run = run_spmv(&g, &test_config(), &opts).unwrap();
+        let gold = spmv_vertex_program(&g.to_csr(), &vec![1.0; 60]);
+        for (a, b) in run.values.iter().zip(&gold) {
+            assert!(
+                (a - b).abs() < 0.1 + b.abs() * 0.02,
+                "spmv {a} vs gold {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_matches_gold_exactly() {
+        for (g, src) in [
+            (grid(5, 5), 0u32),
+            (star(9), 0),
+            (Rmat::new(80, 400).seed(3).generate(), 1),
+        ] {
+            let run = run_bfs(
+                &g,
+                &test_config(),
+                &TraversalOptions {
+                    source: src,
+                    ..TraversalOptions::default()
+                },
+            )
+            .unwrap();
+            let gold = bfs(&g.to_csr(), src);
+            let gold_f: Vec<Option<f64>> = gold
+                .levels
+                .iter()
+                .map(|l| l.map(f64::from))
+                .collect();
+            assert_eq!(run.distances, gold_f);
+        }
+    }
+
+    #[test]
+    fn sssp_matches_gold_exactly() {
+        let g = Rmat::new(70, 350).seed(8).max_weight(32).generate();
+        let run = run_sssp(&g, &test_config(), &TraversalOptions::default()).unwrap();
+        let gold = dijkstra(&g.to_csr(), 0);
+        assert_eq!(run.distances, gold.distances);
+    }
+
+    #[test]
+    fn sssp_rejects_sub_unit_weights() {
+        let mut g = EdgeList::new(2);
+        g.add_edge(graphr_graph::Edge::new(0, 1, 0.25)).unwrap();
+        let err = run_sssp(&g, &test_config(), &TraversalOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadWeight { .. }));
+    }
+
+    #[test]
+    fn traversal_rejects_bad_source() {
+        let g = cycle(4);
+        let err = run_bfs(
+            &g,
+            &test_config(),
+            &TraversalOptions {
+                source: 99,
+                ..TraversalOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::BadSource { .. }));
+    }
+
+    #[test]
+    fn cf_rmse_decreases() {
+        let m = RatingMatrix::new(40, 15, 600).seed(5).generate();
+        let opts = CfOptions {
+            features: 8,
+            epochs: 6,
+            ..CfOptions::default()
+        };
+        let run = run_cf(m.graph(), 40, 15, &test_config(), &opts).unwrap();
+        assert_eq!(run.rmse_history.len(), 6);
+        let first = run.rmse_history[0];
+        let last = *run.rmse_history.last().unwrap();
+        assert!(last < first, "rmse should drop: {first} → {last}");
+        assert!(run.metrics.total_energy().as_joules() > 0.0);
+    }
+
+    #[test]
+    fn wcc_matches_union_find_gold() {
+        use graphr_graph::algorithms::wcc::wcc as gold_wcc;
+        let g = Rmat::new(90, 200).seed(12).generate();
+        let run = run_wcc(&g, &test_config()).unwrap();
+        let gold = gold_wcc(&g);
+        assert_eq!(run.labels, gold.labels);
+        assert_eq!(run.num_components, gold.num_components);
+        assert!(run.metrics.total_time().as_nanos() > 0.0);
+    }
+
+    #[test]
+    fn wcc_rejects_oversized_graphs() {
+        let g = EdgeList::new(40_000);
+        let err = run_wcc(&g, &test_config()).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+    }
+
+    #[test]
+    fn cf_rejects_wrong_dimensions() {
+        let m = RatingMatrix::new(10, 5, 50).seed(1).generate();
+        let err = run_cf(m.graph(), 10, 4, &test_config(), &CfOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadBipartite { .. }));
+    }
+
+    #[test]
+    fn mac_apps_process_all_subgraphs_addop_skips() {
+        let g = Rmat::new(100, 500).seed(6).generate();
+        let cfg = test_config();
+        let pr = run_pagerank(&g, &cfg, &PageRankOptions::default()).unwrap();
+        assert_eq!(pr.metrics.events.subgraphs_skipped_inactive, 0);
+        let ss = run_sssp(&g, &cfg, &TraversalOptions::default()).unwrap();
+        assert!(
+            ss.metrics.events.subgraphs_skipped_inactive > 0,
+            "SSSP should skip inactive subgraphs"
+        );
+    }
+
+    use graphr_graph::EdgeList;
+}

@@ -1,0 +1,22 @@
+//! Sequential *gold* implementations of every application in the paper's
+//! Table 2 plus collaborative filtering.
+//!
+//! These run on plain CSR structures with `f64` arithmetic and serve as the
+//! correctness oracles for both the CPU substrate (`graphr-gridgraph`) and
+//! the accelerator model (`graphr-core`): BFS/SSSP results must match
+//! exactly, PageRank/SpMV within quantisation tolerance, and CF must drive
+//! RMSE down.
+
+pub mod bfs;
+pub mod cf;
+pub mod pagerank;
+pub mod spmv;
+pub mod sssp;
+pub mod wcc;
+
+pub use bfs::{bfs, BfsResult};
+pub use cf::{train_cf, CfParams, CfResult};
+pub use pagerank::{pagerank, DanglingPolicy, PageRankParams, PageRankResult};
+pub use spmv::{spmv, spmv_vertex_program};
+pub use sssp::{bellman_ford, dijkstra, SsspResult};
+pub use wcc::{wcc, WccResult};

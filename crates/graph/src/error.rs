@@ -1,0 +1,112 @@
+//! Error type shared across the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced while constructing, loading or validating graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a vertex id at or beyond the declared vertex count.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The declared number of vertices.
+        num_vertices: usize,
+    },
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+    /// An edge weight was NaN or infinite.
+    InvalidWeight {
+        /// Source vertex of the offending edge.
+        src: u32,
+        /// Destination vertex of the offending edge.
+        dst: u32,
+    },
+    /// A parse error while reading an edge-list file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::InvalidWeight { src, dst } => {
+                write!(f, "edge ({src}, {dst}) has a non-finite weight")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "vertex id 9 out of range for graph with 4 vertices"
+        );
+        assert_eq!(
+            GraphError::EmptyGraph.to_string(),
+            "operation requires a non-empty graph"
+        );
+        let p = GraphError::Parse {
+            line: 3,
+            message: "expected two fields".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

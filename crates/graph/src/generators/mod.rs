@@ -1,0 +1,27 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on SNAP graphs plus the Netflix rating matrix
+//! (Table 3). Those datasets cannot be redistributed here, so the dataset
+//! catalog ([`crate::datasets`]) clones them with R-MAT ([`rmat`]) and a
+//! bipartite rating generator ([`bipartite`]); Erdős–Rényi ([`erdos_renyi`])
+//! and the structured topologies ([`structured`]) serve tests and ablations.
+//! Every generator is seeded and reproducible.
+
+pub mod bipartite;
+pub mod erdos_renyi;
+pub mod rmat;
+pub mod structured;
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::SmallRng;
+
+/// Draws an integer edge weight in `[1, max_weight]` as `f32`, the scheme
+/// used for SSSP workloads (integer weights survive 16-bit fixed point
+/// exactly).
+pub(crate) fn draw_weight(rng: &mut SmallRng, max_weight: u32) -> f32 {
+    if max_weight <= 1 {
+        1.0
+    } else {
+        Uniform::new_inclusive(1, max_weight).sample(rng) as f32
+    }
+}

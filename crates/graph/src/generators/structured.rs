@@ -1,0 +1,180 @@
+//! Structured deterministic topologies with known-in-closed-form algorithm
+//! results, used throughout the test suites as oracles.
+
+use crate::coo::{Edge, EdgeList};
+
+/// A directed path `0 → 1 → … → n-1` with unit weights.
+///
+/// BFS/SSSP from vertex 0 must produce distance `v` at vertex `v`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn path(n: usize) -> EdgeList {
+    assert!(n > 0, "path needs at least one vertex");
+    EdgeList::from_pairs(n, (0..n as u32 - 1).map(|v| (v, v + 1)))
+        .expect("path edges are in range")
+}
+
+/// A directed cycle `0 → 1 → … → n-1 → 0`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn cycle(n: usize) -> EdgeList {
+    assert!(n > 0, "cycle needs at least one vertex");
+    EdgeList::from_pairs(n, (0..n as u32).map(|v| (v, (v + 1) % n as u32)))
+        .expect("cycle edges are in range")
+}
+
+/// A star: hub 0 with edges to every spoke `1..n`.
+///
+/// PageRank concentrates on the spokes' backlinks; BFS from the hub reaches
+/// everything in one hop.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn star(n: usize) -> EdgeList {
+    assert!(n > 0, "star needs at least one vertex");
+    EdgeList::from_pairs(n, (1..n as u32).map(|v| (0, v))).expect("star edges are in range")
+}
+
+/// The complete directed graph on `n` vertices without self-loops.
+///
+/// PageRank must be exactly uniform by symmetry.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn complete(n: usize) -> EdgeList {
+    assert!(n > 0, "complete graph needs at least one vertex");
+    let pairs = (0..n as u32)
+        .flat_map(|s| (0..n as u32).filter(move |&d| d != s).map(move |d| (s, d)));
+    EdgeList::from_pairs(n, pairs).expect("complete-graph edges are in range")
+}
+
+/// A 2-D grid of `rows × cols` vertices with edges right and down.
+///
+/// SSSP from the corner has Manhattan distances; useful for checking the
+/// active-frontier evolution of the add-op pattern.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> EdgeList {
+    assert!(rows > 0 && cols > 0, "grid needs positive dimensions");
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::unweighted(at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::unweighted(at(r, c), at(r + 1, c)));
+            }
+        }
+    }
+    EdgeList::from_edges(rows * cols, edges).expect("grid edges are in range")
+}
+
+/// The 8-vertex example graph of the paper's Figure 5(a), whose COO
+/// partitioning into four 4×4 blocks is spelled out in Figure 5(c).
+/// Handy for tests that want to cross-check against the paper directly.
+#[must_use]
+pub fn figure5() -> EdgeList {
+    EdgeList::from_pairs(
+        8,
+        [
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 0),
+            (3, 0),
+            (3, 1),
+            (4, 1),
+            (5, 0),
+            (5, 1),
+            (6, 0),
+            (6, 1),
+            (7, 1),
+            (6, 2),
+            (6, 3),
+            (7, 2),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 4),
+            (6, 5),
+            (7, 4),
+            (7, 6),
+            (7, 7),
+        ],
+    )
+    .expect("figure-5 edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degrees(), vec![1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degrees(), vec![1; 4]);
+        assert_eq!(g.in_degrees(), vec![1; 4]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_degrees()[0], 5);
+        assert_eq!(g.in_degrees()[0], 0);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // Horizontal: 3 rows × 3; vertical: 2 × 4.
+        assert_eq!(g.num_edges(), 9 + 8);
+    }
+
+    #[test]
+    fn figure5_matches_paper_counts() {
+        let g = figure5();
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 25);
+    }
+
+    #[test]
+    fn single_vertex_cases() {
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(star(1).num_edges(), 0);
+        assert_eq!(cycle(1).num_edges(), 1); // self-loop 0 → 0
+    }
+}

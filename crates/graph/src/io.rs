@@ -1,0 +1,271 @@
+//! Edge-list serialisation.
+//!
+//! Two formats:
+//!
+//! * **Text** — the SNAP layout the paper's datasets ship in: one
+//!   `src dst [weight]` triple per line, `#` comments ignored.
+//! * **Binary** — the preprocessed on-disk form of Figure 9: a fixed 16-byte
+//!   header followed by 12-byte little-endian records `(u32 src, u32 dst,
+//!   f32 weight)`, supporting the strictly sequential block loads the
+//!   streaming-apply model requires.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::coo::{Edge, EdgeList};
+use crate::error::GraphError;
+
+const BINARY_MAGIC: u32 = 0x4752_4152; // "GRAR"
+
+/// Writes a graph in SNAP-style text format.
+///
+/// The output starts with a comment header recording the vertex count so
+/// that isolated trailing vertices survive a round trip. A `&mut` reference
+/// may be passed for any `W: Write`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_text<W: Write>(graph: &EdgeList, mut writer: W) -> Result<(), GraphError> {
+    writeln!(writer, "# graphr edge list")?;
+    writeln!(
+        writer,
+        "# nodes: {} edges: {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for e in graph.iter() {
+        if e.weight == 1.0 {
+            writeln!(writer, "{}\t{}", e.src, e.dst)?;
+        } else {
+            writeln!(writer, "{}\t{}\t{}", e.src, e.dst, e.weight)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a graph in SNAP-style text format.
+///
+/// Lines starting with `#` are comments; a `# nodes: N ...` comment pins the
+/// vertex count, otherwise it is inferred as `max id + 1`. Fields may be
+/// separated by any ASCII whitespace; a missing weight defaults to `1.0`.
+/// A `&mut` reference may be passed for any `R: Read`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines and [`GraphError::Io`]
+/// on reader failures.
+pub fn read_text<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut declared_vertices: Option<usize> = None;
+    let mut max_id: u64 = 0;
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            if let Some(rest) = comment.trim().strip_prefix("nodes:") {
+                let first = rest.split_whitespace().next().unwrap_or("");
+                if let Ok(n) = first.parse::<usize>() {
+                    declared_vertices = Some(n);
+                }
+            }
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let src: u32 = parse_field(fields.next(), line_no, "source")?;
+        let dst: u32 = parse_field(fields.next(), line_no, "destination")?;
+        let weight: f32 = match fields.next() {
+            Some(w) => w.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid weight '{w}'"),
+            })?,
+            None => 1.0,
+        };
+        max_id = max_id.max(u64::from(src)).max(u64::from(dst));
+        edges.push(Edge::new(src, dst, weight));
+    }
+    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let num_vertices = declared_vertices.unwrap_or(inferred).max(inferred);
+    EdgeList::from_edges(num_vertices, edges)
+}
+
+fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
+    let s = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what} vertex"),
+    })?;
+    s.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} vertex '{s}'"),
+    })
+}
+
+/// Encodes a graph into the compact binary format.
+#[must_use]
+pub fn to_binary(graph: &EdgeList) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + graph.num_edges() * 12);
+    buf.put_u32_le(BINARY_MAGIC);
+    buf.put_u32_le(1); // format version
+    buf.put_u32_le(graph.num_vertices() as u32);
+    buf.put_u32_le(graph.num_edges() as u32);
+    for e in graph.iter() {
+        buf.put_u32_le(e.src);
+        buf.put_u32_le(e.dst);
+        buf.put_f32_le(e.weight);
+    }
+    buf.freeze()
+}
+
+/// Decodes a graph from the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] if the magic number, version, or length is
+/// wrong, or if any record references an out-of-range vertex.
+pub fn from_binary(mut data: &[u8]) -> Result<EdgeList, GraphError> {
+    let parse_err = |message: &str| GraphError::Parse {
+        line: 0,
+        message: message.into(),
+    };
+    if data.len() < 16 {
+        return Err(parse_err("truncated header"));
+    }
+    if data.get_u32_le() != BINARY_MAGIC {
+        return Err(parse_err("bad magic number"));
+    }
+    if data.get_u32_le() != 1 {
+        return Err(parse_err("unsupported format version"));
+    }
+    let num_vertices = data.get_u32_le() as usize;
+    let num_edges = data.get_u32_le() as usize;
+    if data.len() != num_edges * 12 {
+        return Err(parse_err("edge payload length mismatch"));
+    }
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let src = data.get_u32_le();
+        let dst = data.get_u32_le();
+        let weight = data.get_f32_le();
+        edges.push(Edge::new(src, dst, weight));
+    }
+    EdgeList::from_edges(num_vertices, edges)
+}
+
+/// Writes a graph to a SNAP-style text file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn write_text_file<P: AsRef<Path>>(graph: &EdgeList, path: P) -> Result<(), GraphError> {
+    let file = File::create(path)?;
+    write_text(graph, BufWriter::new(file))
+}
+
+/// Reads a graph from a SNAP-style text file at `path`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] if the file cannot be opened and
+/// [`GraphError::Parse`] on malformed content.
+pub fn read_text_file<P: AsRef<Path>>(path: P) -> Result<EdgeList, GraphError> {
+    read_text(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::rmat::Rmat;
+
+    #[test]
+    fn text_round_trip_preserves_graph() {
+        let g = Rmat::new(64, 200).seed(3).max_weight(8).generate();
+        let mut out = Vec::new();
+        write_text(&g, &mut out).unwrap();
+        let back = read_text(out.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn text_reader_accepts_snap_style_input() {
+        let input = "# Directed graph\n# Nodes here are fake\n0\t1\n1 2 2.5\n\n2\t0\n";
+        let g = read_text(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edges()[1].weight, 2.5);
+    }
+
+    #[test]
+    fn declared_node_count_preserves_isolated_vertices() {
+        let input = "# nodes: 10 edges: 1\n0 1\n";
+        let g = read_text(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn text_parse_errors_carry_line_numbers() {
+        let err = read_text("0 1\nxyz 2\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = read_text("0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("destination"));
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_graph() {
+        let g = Rmat::new(128, 500).seed(5).max_weight(16).generate();
+        let bytes = to_binary(&g);
+        assert_eq!(bytes.len(), 16 + 500 * 12);
+        let back = from_binary(&bytes).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = Rmat::new(16, 10).seed(1).generate();
+        let bytes = to_binary(&g);
+        assert!(from_binary(&bytes[..8]).is_err());
+        let mut bad_magic = bytes.to_vec();
+        bad_magic[0] ^= 0xFF;
+        assert!(from_binary(&bad_magic).is_err());
+        let truncated = &bytes[..bytes.len() - 4];
+        assert!(from_binary(truncated).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = Rmat::new(32, 100).seed(9).max_weight(4).generate();
+        let path = std::env::temp_dir().join(format!(
+            "graphr-io-test-{}.txt",
+            std::process::id()
+        ));
+        write_text_file(&g, &path).unwrap();
+        let back = read_text_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_text_file("/definitely/not/a/real/path.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn empty_graph_round_trips_both_formats() {
+        let g = EdgeList::new(5);
+        let mut out = Vec::new();
+        write_text(&g, &mut out).unwrap();
+        assert_eq!(read_text(out.as_slice()).unwrap(), g);
+        assert_eq!(from_binary(&to_binary(&g)).unwrap(), g);
+    }
+}

@@ -1,0 +1,53 @@
+//! Graph substrate for the GraphR reproduction.
+//!
+//! GraphR (HPCA 2018) is evaluated on seven real-world graphs processed by an
+//! out-of-core framework. This crate supplies everything below the
+//! accelerator model:
+//!
+//! * [`coo`] / [`csr`] — the sparse representations of paper §2.4
+//!   (coordinate list, compressed sparse row/column),
+//! * [`generators`] — deterministic synthetic graphs (R-MAT, Erdős–Rényi,
+//!   bipartite rating matrices, and structured topologies for tests),
+//! * [`datasets`] — a catalog mirroring Table 3 with R-MAT clones of the
+//!   SNAP datasets, scalable for fast CI runs,
+//! * [`io`] — SNAP-style text and compact binary edge-list formats,
+//! * [`partition`] — the 2-level grid partitioning shared by GridGraph's
+//!   dual sliding windows and GraphR's block/subgraph tiling,
+//! * [`algorithms`] — sequential *gold* implementations of every evaluated
+//!   application (PageRank, BFS, SSSP, SpMV, collaborative filtering) used
+//!   as correctness oracles by the simulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphr_graph::generators::rmat::Rmat;
+//! use graphr_graph::algorithms::pagerank::{pagerank, PageRankParams};
+//!
+//! let graph = Rmat::new(1 << 8, 4 * (1 << 8)).seed(7).generate();
+//! let csr = graph.to_csr();
+//! let result = pagerank(&csr, &PageRankParams::default());
+//! assert!((result.ranks.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod analysis;
+pub mod coo;
+pub mod csr;
+pub mod datasets;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod partition;
+
+pub use coo::{Edge, EdgeList};
+pub use csr::Csr;
+pub use datasets::{DatasetKind, DatasetSpec};
+pub use error::GraphError;
+pub use partition::GridPartition;
+
+/// Vertex identifier. 32 bits suffice for every graph in the paper's Table 3
+/// (largest: LiveJournal at 4.8 M vertices) with room to spare.
+pub type VertexId = u32;

@@ -1,0 +1,53 @@
+//! Analytical time/energy models of the paper's comparison platforms.
+//!
+//! The paper measures wall-clock and estimates energy on three systems:
+//! a dual-socket Xeon E5-2630 v3 running GridGraph/GraphChi (Table 4), a
+//! Tesla K40c running Gunrock/CuMF_SGD (Table 5), and Tesseract simulated
+//! on zSim. None of those stacks is reproducible here, so each platform is
+//! modelled analytically from the *workload statistics* produced by the
+//! `graphr-gridgraph` engine actually executing the algorithms:
+//!
+//! * [`cpu::CpuModel`] — streaming + random-access memory terms racing a
+//!   per-edge instruction term across the Xeon's threads, plus the
+//!   framework's fixed and per-iteration overheads (which dominate tiny
+//!   single-pass workloads — the paper's 132× best case on SpMV/WikiVote
+//!   is exactly this effect),
+//! * [`gpu::GpuModel`] — the same terms with GPU bandwidth/parallelism,
+//!   plus the host↔device transfer the paper explicitly charges to the GPU
+//!   ("an overhead GraphR does not incur"),
+//! * [`pim::PimModel`] — Tesseract-style: 512 in-order vault cores behind
+//!   HMC-internal bandwidth with a cross-cube communication tax,
+//! * [`specs`] — the machine constants (Tables 4 and 5, HMC parameters),
+//! * [`comparison`] — Table 1's qualitative architecture comparison as
+//!   data.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphr_platforms::{CpuModel, GpuModel};
+//! use graphr_gridgraph::engine::{GridEngine, PageRankSettings};
+//! use graphr_graph::generators::rmat::Rmat;
+//!
+//! let graph = Rmat::new(256, 2048).seed(1).generate();
+//! let run = GridEngine::new(&graph, 4).pagerank(&PageRankSettings::default());
+//! let cpu = CpuModel::paper_default();
+//! let gpu = GpuModel::paper_default();
+//! let t_cpu = cpu.run_time(&run.stats);
+//! let t_gpu = gpu.run_time(&run.stats);
+//! assert!(t_cpu.as_nanos() > 0.0 && t_gpu.as_nanos() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod cpu;
+pub mod gpu;
+pub mod pim;
+pub mod specs;
+
+pub use comparison::{architecture_comparison, ArchitectureRow};
+pub use cpu::CpuModel;
+pub use gpu::GpuModel;
+pub use pim::PimModel;
+pub use specs::{CpuSpec, GpuSpec, PimSpec};

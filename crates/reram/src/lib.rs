@@ -1,0 +1,61 @@
+//! ReRAM device, crossbar, and periphery models for the GraphR
+//! reproduction.
+//!
+//! GraphR's graph engines are meshes of small ReRAM crossbars that perform
+//! matrix–vector multiplication *in situ*: wordline voltages encode the
+//! input vector, cell conductances encode the matrix, and bitline currents
+//! sum the products (paper Figure 3c). This crate emulates that datapath
+//! digitally but faithfully:
+//!
+//! * [`DeviceParams`] — cell-level constants taken from the same published
+//!   sources the paper uses (Niu et al. \[44\] for latency/energy, §5.2 for
+//!   resistances and voltages),
+//! * [`Crossbar`] — a single crossbar of quantised conductance levels with
+//!   analog current-summation MVM and optional programming noise,
+//! * [`MatrixArray`] — the ganged structure GraphR actually computes with:
+//!   four 4-bit slices recombined by shift-and-add to reach 16-bit fixed
+//!   point, optionally doubled into a differential pair for signed values,
+//! * [`periphery`] — driver/DAC, sample-and-hold, shared ADC and
+//!   shift-and-add models with per-event energy,
+//! * [`CostModel`] — converts event counts (cells programmed, rows driven,
+//!   conversions) into [`Nanos`]/[`Joules`] totals for the architecture
+//!   simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphr_reram::{ArrayConfig, MatrixArray, SignMode};
+//!
+//! // An 8×8 logical tile at the paper's 16-bit / 4-bit-cell format.
+//! let mut array = MatrixArray::new(ArrayConfig::paper_default(8, 8));
+//! let matrix: Vec<f64> = (0..64).map(|i| (i % 7) as f64 * 0.125).collect();
+//! array.program_dense(&matrix)?;
+//! let x = vec![1.0; 8];
+//! let y = array.mvm(&x);
+//! // The analog result equals the exact product because every value is
+//! // representable in Q4.12.
+//! let exact: f64 = (0..8).map(|r| matrix[r * 8]).sum();
+//! assert!((y[0] - exact).abs() < 1e-9);
+//! assert_eq!(array.config().sign_mode, SignMode::Unsigned);
+//! # Ok::<(), graphr_reram::ArrayError>(())
+//! ```
+//!
+//! [`Nanos`]: graphr_units::Nanos
+//! [`Joules`]: graphr_units::Joules
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cost;
+pub mod crossbar;
+pub mod noise;
+pub mod params;
+pub mod periphery;
+
+pub use array::{ArrayConfig, ArrayError, MatrixArray, SignMode};
+pub use cost::{CostBreakdown, CostModel};
+pub use crossbar::Crossbar;
+pub use noise::NoiseModel;
+pub use params::{DeviceParams, PeripheryParams};
+pub use periphery::AdcModel;

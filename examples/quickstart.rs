@@ -1,0 +1,57 @@
+//! Quickstart: run PageRank through the GraphR accelerator model and read
+//! the time/energy report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use graphr_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic social-style graph: 4096 vertices, 32768 edges, R-MAT
+    // skew like the paper's SNAP datasets.
+    let graph = graphr_repro::graph::generators::rmat::Rmat::new(4096, 32768)
+        .seed(7)
+        .self_loops(false)
+        .generate();
+    println!(
+        "graph: {} vertices, {} edges, density {:.2e}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.density()
+    );
+
+    // The paper's §5.2 GraphR node: 8x8 crossbars, 32 per graph engine,
+    // 64 graph engines, 16-bit fixed point on 4-bit cells.
+    let config = GraphRConfig::default();
+    println!(
+        "GraphR node: {0}x{0} crossbars, {1} per GE, {2} GEs, strip width {3}",
+        config.crossbar_size,
+        config.crossbars_per_ge,
+        config.num_ges,
+        config.strip_width()
+    );
+
+    let run = run_pagerank(&graph, &config, &PageRankOptions::default())?;
+    println!(
+        "\nPageRank: {} iterations, converged = {}",
+        run.metrics.iterations, run.converged
+    );
+    println!("simulated time:   {}", run.metrics.total_time());
+    println!("simulated energy: {}", run.metrics.total_energy());
+    println!(
+        "subgraphs processed: {} (skip fraction {:.1}%)",
+        run.metrics.events.subgraphs_processed,
+        run.metrics.skip_fraction() * 100.0
+    );
+    println!("\n{}", run.metrics.energy);
+
+    // Top five vertices by rank.
+    let mut order: Vec<usize> = (0..graph.num_vertices()).collect();
+    order.sort_by(|&a, &b| run.values[b].total_cmp(&run.values[a]));
+    println!("top vertices by rank:");
+    for &v in order.iter().take(5) {
+        println!("  vertex {v:>5}  rank {:.6}", run.values[v]);
+    }
+    Ok(())
+}

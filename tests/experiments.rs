@@ -1,0 +1,147 @@
+//! Smoke tests of the evaluation harness at a tiny scale: every figure
+//! generator runs end to end, and the headline *shape* claims of the
+//! paper's §5 hold — GraphR wins against every platform on the geometric
+//! mean, the MAC-pattern best case lands on the densest graph, and
+//! performance falls with density.
+
+use graphr_bench::apps::{run_app, App};
+use graphr_bench::figures;
+use graphr_bench::ExperimentContext;
+use graphr_graph::DatasetSpec;
+use graphr_units::GeoMean;
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::with_scale(0.002)
+}
+
+#[test]
+fn figure17_shape_holds() {
+    let ctx = ctx();
+    let (runs, text) = figures::figure17(&ctx);
+    assert_eq!(runs.len(), 25, "4 apps × 6 datasets + CF");
+    assert!(text.contains("geomean"));
+    // Headline: GraphR beats the CPU on the geometric mean...
+    let gm: GeoMean = runs.iter().map(|r| r.speedup_vs_cpu()).collect();
+    assert!(gm.value().unwrap() > 1.0, "GraphR must win on geomean");
+    // ...and the single best cell is a MAC-pattern app on one of the two
+    // densest datasets (the paper's 132.67× is SpMV on WikiVote; at the
+    // tiny test scale WV sits at the generator's minimum-size clamp, so
+    // Slashdot may edge it out).
+    let best = runs
+        .iter()
+        .max_by(|a, b| a.speedup_vs_cpu().total_cmp(&b.speedup_vs_cpu()))
+        .unwrap();
+    assert!(
+        best.dataset == "WV" || best.dataset == "SD",
+        "best cell on {} instead of a dense dataset",
+        best.dataset
+    );
+    assert!(matches!(best.app, App::Spmv | App::PageRank));
+    // Every cell wins (the paper's minimum is 2.40×).
+    for r in &runs {
+        assert!(
+            r.speedup_vs_cpu() > 1.0,
+            "{:?} on {} lost to the CPU",
+            r.app,
+            r.dataset
+        );
+    }
+}
+
+#[test]
+fn figure18_energy_beats_speedup() {
+    let ctx = ctx();
+    let (runs, _) = figures::figure18(&ctx);
+    let speed: GeoMean = runs.iter().map(|r| r.speedup_vs_cpu()).collect();
+    let energy: GeoMean = runs.iter().map(|r| r.energy_saving_vs_cpu()).collect();
+    // The paper's energy geomean (33.8×) exceeds its speedup geomean
+    // (16.0×): ReRAM has no static power while the CPU burns TDP.
+    assert!(
+        energy.value().unwrap() > speed.value().unwrap(),
+        "energy saving should exceed speedup"
+    );
+}
+
+#[test]
+fn figure19_graphr_beats_gpu_modestly() {
+    let ctx = ctx();
+    let (runs, text) = figures::figure19(&ctx);
+    assert_eq!(runs.len(), 3);
+    assert!(text.contains("GPU"));
+    for r in &runs {
+        let perf = r.gpu.time.ratio(r.graphr.time);
+        let energy = r.gpu.energy.ratio(r.graphr.energy);
+        assert!(perf > 1.0, "{:?}: GraphR must beat the GPU", r.app);
+        assert!(
+            energy > perf,
+            "{:?}: the energy gap must exceed the performance gap",
+            r.app
+        );
+    }
+}
+
+#[test]
+fn figure20_graphr_beats_pim() {
+    let ctx = ctx();
+    let (runs, _) = figures::figure20(&ctx);
+    assert_eq!(runs.len(), 6);
+    let gm: GeoMean = runs.iter().map(|r| r.pim.time.ratio(r.graphr.time)).collect();
+    assert!(
+        gm.value().unwrap() > 1.0,
+        "GraphR must beat Tesseract on the geomean"
+    );
+}
+
+#[test]
+fn figure21_speedup_declines_with_sparsity() {
+    let ctx = ctx();
+    let (runs, text) = figures::figure21(&ctx);
+    assert!(text.contains("density"));
+    // PageRank speedups across WV, SD, AZ, WG, LJ (descending density):
+    // the paper's trend is a decline; require the broad direction — the
+    // densest dataset must beat the sparsest by a clear margin.
+    let pr: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.app == App::PageRank)
+        .map(|r| r.speedup_vs_cpu())
+        .collect();
+    assert_eq!(pr.len(), 5);
+    assert!(
+        pr[0] > pr[4] * 1.5,
+        "densest (WV: {:.2}) must clearly beat sparsest (LJ: {:.2})",
+        pr[0],
+        pr[4]
+    );
+}
+
+#[test]
+fn iterations_match_across_platforms() {
+    // The comparison is apples-to-apples: the accelerator and the software
+    // baseline run the same synchronous rounds.
+    let ctx = ctx();
+    let spec = DatasetSpec::amazon();
+    let bfs = run_app(&ctx, App::Bfs, &spec);
+    let graph = ctx.graph(&spec);
+    let sw = graphr_gridgraph::engine::GridEngine::with_auto_partitions(&graph)
+        .bfs(graphr_bench::apps::traversal_source(&graph));
+    let diff = (sw.stats.num_iterations() as i64 - bfs.iterations as i64).abs();
+    assert!(diff <= 1, "BFS round counts diverged by {diff}");
+}
+
+#[test]
+fn tables_render() {
+    let ctx = ctx();
+    assert!(figures::table1().contains("GraphR"));
+    assert!(figures::table2().contains("ParallelAddOp"));
+    assert!(figures::table3(&ctx).contains("Netflix"));
+}
+
+#[test]
+fn extension_reports_render_and_self_check() {
+    let ctx = ctx();
+    // wcc_extension internally asserts GraphR labels equal union-find.
+    let wcc = graphr_bench::ablations::wcc_extension(&ctx);
+    assert!(wcc.contains("components"));
+    let order = graphr_bench::ablations::streaming_order(&ctx);
+    assert!(order.contains("RegO"));
+}

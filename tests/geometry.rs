@@ -1,0 +1,89 @@
+//! Geometry-invariance properties: the architectural knobs (crossbar size,
+//! crossbars per GE, GE count, block size) change *time and energy*, never
+//! *results*. This is the deepest invariant of the simulator — the
+//! functional datapath and the cost accounting must be fully decoupled.
+
+use graphr_repro::core::sim::{run_pagerank, run_sssp, PageRankOptions, TraversalOptions};
+use graphr_repro::core::GraphRConfig;
+use graphr_repro::graph::generators::rmat::Rmat;
+use proptest::prelude::*;
+
+fn geometry_config(
+    c_pow: u32,
+    tiles_per_ge: usize,
+    num_ges: usize,
+    block_strips: Option<usize>,
+) -> GraphRConfig {
+    let crossbar = 1usize << c_pow;
+    let mut builder = GraphRConfig::builder()
+        .crossbar_size(crossbar)
+        .crossbars_per_ge(tiles_per_ge * 4) // 4 slices per logical tile
+        .num_ges(num_ges);
+    if let Some(strips) = block_strips {
+        let strip_width = crossbar * tiles_per_ge * num_ges;
+        builder = builder.block_vertices(strip_width * strips);
+    }
+    builder.build().expect("generated geometry is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// SSSP distances are identical across arbitrary geometries (and equal
+    /// to the gold reference, transitively via the correctness suite).
+    #[test]
+    fn sssp_results_are_geometry_invariant(
+        c_pow in 2u32..=4,
+        tiles in 1usize..=4,
+        ges in 1usize..=4,
+        strips in proptest::option::of(1usize..=3),
+        seed in 0u64..12,
+    ) {
+        let g = Rmat::new(150, 900)
+            .seed(seed)
+            .max_weight(16)
+            .self_loops(false)
+            .generate();
+        let reference = run_sssp(
+            &g,
+            &GraphRConfig::default(),
+            &TraversalOptions::default(),
+        )
+        .expect("reference run");
+        let config = geometry_config(c_pow, tiles, ges, strips);
+        let run = run_sssp(&g, &config, &TraversalOptions::default()).expect("run");
+        prop_assert_eq!(&run.distances, &reference.distances);
+        // Cost accounting stays self-consistent: every edge loads at least
+        // once per round it is touched, and energy is strictly positive.
+        prop_assert!(run.metrics.total_energy().as_joules() > 0.0);
+        prop_assert!(run.metrics.total_time().as_nanos() > 0.0);
+    }
+
+    /// PageRank values are identical across geometries: quantisation
+    /// happens per value, never per tile boundary.
+    #[test]
+    fn pagerank_results_are_geometry_invariant(
+        c_pow in 2u32..=4,
+        tiles in 1usize..=4,
+        ges in 1usize..=4,
+        strips in proptest::option::of(1usize..=3),
+        seed in 0u64..12,
+    ) {
+        let g = Rmat::new(120, 700).seed(seed).self_loops(false).generate();
+        let opts = PageRankOptions {
+            max_iterations: 6,
+            tolerance: 0.0,
+            ..PageRankOptions::default()
+        };
+        let reference =
+            run_pagerank(&g, &GraphRConfig::default(), &opts).expect("reference run");
+        let config = geometry_config(c_pow, tiles, ges, strips);
+        let run = run_pagerank(&g, &config, &opts).expect("run");
+        prop_assert_eq!(&run.values, &reference.values);
+        // Same functional work ⇒ same edge loads per MAC iteration.
+        prop_assert_eq!(
+            run.metrics.events.edges_loaded,
+            reference.metrics.events.edges_loaded
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration tests of the §3.4 preprocessing through the public API:
+//! the Figure 12 worked geometry, edge-conservation round trips, and the
+//! ordering properties the streaming-apply executor relies on.
+
+use graphr_repro::core::preprocess::TileOrder;
+use graphr_repro::core::{GraphRConfig, TiledGraph};
+use graphr_repro::graph::generators::rmat::Rmat;
+use graphr_repro::graph::generators::structured::figure5;
+use graphr_repro::units::{BitSlicer, FixedSpec};
+use proptest::prelude::*;
+
+/// The Figure 12 node: C=4, N=2, G=2, B=32 with single-slice 4-bit data.
+fn figure12_config() -> GraphRConfig {
+    GraphRConfig::builder()
+        .crossbar_size(4)
+        .crossbars_per_ge(2)
+        .num_ges(2)
+        .spec(FixedSpec::new(5, 0).expect("valid spec"))
+        .slicer(BitSlicer::new(4, 1).expect("valid slicer"))
+        .block_vertices(32)
+        .build()
+        .expect("figure-12 geometry is valid")
+}
+
+#[test]
+fn figure12_worked_example_counts() {
+    // 64 vertices → 2×2 blocks; each block: 2 strips × 8 chunks = 16
+    // subgraphs of 4×16 positions — exactly the paper's walkthrough.
+    let order = TileOrder::new(64, 4, 16, 32).expect("valid geometry");
+    assert_eq!(order.num_blocks(), 4);
+    assert_eq!(order.subgraphs_per_block(), 16);
+    assert_eq!(order.positions_per_subgraph(), 64);
+    // Block traversal order B(0,0)→B(1,0)→B(0,1)→B(1,1).
+    assert!(order.global_id(0, 0) < order.global_id(32, 0));
+    assert!(order.global_id(32, 0) < order.global_id(0, 32));
+    assert!(order.global_id(0, 32) < order.global_id(32, 32));
+}
+
+#[test]
+fn figure5_graph_preprocesses_losslessly() {
+    let g = figure5();
+    let tiled = TiledGraph::preprocess(&g, &figure12_config()).expect("valid geometry");
+    assert_eq!(tiled.total_edges(), 25);
+    // Reconstruct every edge from tile coordinates.
+    let mut rebuilt = Vec::new();
+    for block in tiled.blocks() {
+        for strip in &block.strips {
+            for sg in &strip.subgraphs {
+                let src0 = tiled.subgraph_src_start(block, sg);
+                for tile in &sg.tiles {
+                    for e in &tile.entries {
+                        rebuilt.push((
+                            (src0 + e.row as usize) as u32,
+                            tiled.tile_dst(block, strip, tile, e.col) as u32,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    rebuilt.sort_unstable();
+    let mut expected: Vec<(u32, u32)> = g.iter().map(|e| (e.src, e.dst)).collect();
+    expected.sort_unstable();
+    assert_eq!(rebuilt, expected);
+}
+
+#[test]
+fn default_node_tiles_real_sized_graph() {
+    let g = Rmat::new(10_000, 80_000).seed(1).generate();
+    let config = GraphRConfig::default();
+    let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
+    assert_eq!(tiled.total_edges(), 80_000);
+    assert!(tiled.nonempty_tiles() <= 80_000);
+    assert!(tiled.nonempty_subgraphs() <= tiled.total_subgraph_slots());
+    // 10 K vertices pad to 3 strips of the 4096-wide window.
+    assert_eq!(tiled.order().padded_vertices(), 12288);
+}
+
+#[test]
+fn ordering_is_disk_sequential() {
+    // Walking the tiled structure in executor order must visit edges in
+    // nondecreasing global-order-ID — the §3.4 guarantee that block loads
+    // are strictly sequential.
+    let g = Rmat::new(80, 500).seed(4).generate();
+    let config = figure12_config();
+    let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
+    let order = *tiled.order();
+    let mut last = 0u64;
+    for block in tiled.blocks() {
+        for strip in &block.strips {
+            for sg in &strip.subgraphs {
+                let src0 = tiled.subgraph_src_start(block, sg);
+                // Per subgraph, take the smallest-ID edge; across the walk
+                // those must be nondecreasing.
+                let min_id = sg
+                    .tiles
+                    .iter()
+                    .flat_map(|t| {
+                        t.entries.iter().map(|e| {
+                            order.global_id(
+                                src0 + e.row as usize,
+                                tiled.tile_dst(block, strip, t, e.col),
+                            )
+                        })
+                    })
+                    .min()
+                    .expect("nonempty subgraph");
+                assert!(min_id >= last, "subgraph order regressed");
+                last = min_id;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn preprocessing_conserves_edges(
+        n in 1usize..200,
+        m in 0usize..600,
+        seed in 0u64..25,
+    ) {
+        let g = Rmat::new(n, m).seed(seed).generate();
+        let tiled = TiledGraph::preprocess(&g, &figure12_config()).unwrap();
+        let total: usize = tiled
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.strips)
+            .flat_map(|s| &s.subgraphs)
+            .flat_map(|sg| &sg.tiles)
+            .map(|t| t.entries.len())
+            .sum();
+        prop_assert_eq!(total, m);
+    }
+
+    #[test]
+    fn padding_never_creates_edges(extra in 1usize..40) {
+        // A graph whose vertex count is deliberately not a multiple of
+        // anything: padding must not invent or lose edges.
+        let n = 32 + extra;
+        let g = Rmat::new(n, 100).seed(extra as u64).generate();
+        let tiled = TiledGraph::preprocess(&g, &figure12_config()).unwrap();
+        prop_assert_eq!(tiled.total_edges(), 100);
+        prop_assert!(tiled.order().padded_vertices() >= n);
+        prop_assert_eq!(tiled.order().padded_vertices() % 32, 0);
+    }
+}
