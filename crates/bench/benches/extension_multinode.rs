@@ -36,7 +36,14 @@ fn main() {
         "{}",
         graphr_bench::report::render_table(
             "Extension: multi-node GraphR (PageRank on WG, 5 iterations)",
-            &["nodes", "bottleneck scan", "exchange", "total", "speedup", "energy"],
+            &[
+                "nodes",
+                "bottleneck scan",
+                "exchange",
+                "total",
+                "speedup",
+                "energy"
+            ],
             &rows,
         )
     );

@@ -22,21 +22,35 @@ fn main() {
     )
     .expect("valid configuration");
     let mut rows = Vec::new();
-    for (name, disk) in [("SATA SSD", DiskModel::sata_ssd()), ("NVMe", DiskModel::nvme())] {
+    for (name, disk) in [
+        ("SATA SSD", DiskModel::sata_ssd()),
+        ("NVMe", DiskModel::nvme()),
+    ] {
         let est = estimate_out_of_core(&tiled, &run.metrics, &disk);
         rows.push(vec![
             name.to_string(),
             format!("{}", est.compute_time),
             format!("{}", est.disk_time),
             format!("{}", est.overlapped_time),
-            if est.is_disk_bound() { "disk" } else { "compute" }.to_string(),
+            if est.is_disk_bound() {
+                "disk"
+            } else {
+                "compute"
+            }
+            .to_string(),
         ]);
     }
     println!(
         "{}",
         graphr_bench::report::render_table(
             "Extension: out-of-core deployment (PageRank on WG, 10 iterations)",
-            &["disk", "compute", "disk loads", "overlapped total", "bound by"],
+            &[
+                "disk",
+                "compute",
+                "disk loads",
+                "overlapped total",
+                "bound by"
+            ],
             &rows,
         )
     );

@@ -6,7 +6,10 @@ use graphr_reram::{ArrayConfig, MatrixArray, SignMode};
 
 fn crossbar_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("crossbar");
-    for (name, sign) in [("unsigned", SignMode::Unsigned), ("differential", SignMode::Differential)] {
+    for (name, sign) in [
+        ("unsigned", SignMode::Unsigned),
+        ("differential", SignMode::Differential),
+    ] {
         let mut cfg = ArrayConfig::paper_default(8, 8);
         cfg.sign_mode = sign;
         let matrix: Vec<f64> = (0..64).map(|i| (i % 13) as f64 * 0.0625).collect();

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use graphr_core::exec::streaming::StreamingExecutor;
 use graphr_core::{GraphRConfig, TiledGraph};
-use graphr_gridgraph::engine::{GridEngine, PageRankSettings};
 use graphr_graph::generators::rmat::Rmat;
+use graphr_gridgraph::engine::{GridEngine, PageRankSettings};
 use graphr_units::FixedSpec;
 
 fn substrate_benches(c: &mut Criterion) {

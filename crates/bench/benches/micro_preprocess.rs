@@ -21,13 +21,9 @@ fn preprocess_benches(c: &mut Criterion) {
     for edges in [10_000usize, 100_000] {
         let graph = Rmat::new(edges / 8, edges).seed(1).generate();
         group.throughput(Throughput::Elements(edges as u64));
-        group.bench_with_input(
-            BenchmarkId::new("tile_graph", edges),
-            &graph,
-            |b, graph| {
-                b.iter(|| TiledGraph::preprocess(std::hint::black_box(graph), &config).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("tile_graph", edges), &graph, |b, graph| {
+            b.iter(|| TiledGraph::preprocess(std::hint::black_box(graph), &config).unwrap());
+        });
     }
     group.finish();
 }

@@ -5,9 +5,7 @@
 //! targets print them.
 
 use graphr_core::config::StreamingOrder;
-use graphr_core::sim::{
-    run_pagerank, run_sssp, PageRankOptions, TraversalOptions,
-};
+use graphr_core::sim::{run_pagerank, run_sssp, PageRankOptions, TraversalOptions};
 use graphr_graph::algorithms::pagerank::{pagerank, PageRankParams};
 use graphr_graph::DatasetSpec;
 use graphr_reram::NoiseModel;
@@ -49,7 +47,13 @@ pub fn streaming_order(ctx: &ExperimentContext) -> String {
     }
     render_table(
         "Ablation: streaming-apply order (PageRank on AZ, 5 iterations)",
-        &["order", "time", "energy", "register writes", "RegO entries needed"],
+        &[
+            "order",
+            "time",
+            "energy",
+            "register writes",
+            "RegO entries needed",
+        ],
         &rows,
     )
 }
@@ -130,9 +134,12 @@ pub fn precision(ctx: &ExperimentContext) -> String {
         },
     );
     let mut rows = Vec::new();
-    for (bits, cell_bits, frac_matrix, frac_reg) in
-        [(8u8, 2u8, 7u8, 3u8), (12, 3, 11, 5), (16, 4, 15, 6), (24, 6, 23, 10)]
-    {
+    for (bits, cell_bits, frac_matrix, frac_reg) in [
+        (8u8, 2u8, 7u8, 3u8),
+        (12, 3, 11, 5),
+        (16, 4, 15, 6),
+        (24, 6, 23, 10),
+    ] {
         let mut config = ctx.config_clone();
         config.slicer = BitSlicer::new(cell_bits, 4).expect("valid slicer");
         let opts = PageRankOptions {
@@ -182,7 +189,10 @@ pub fn noise(ctx: &ExperimentContext) -> String {
         let mut config = ctx.config_clone();
         config.fidelity = graphr_core::Fidelity::Analog;
         if sigma > 0.0 {
-            config.noise = NoiseModel::Gaussian { sigma_rel: sigma, seed: 7 };
+            config.noise = NoiseModel::Gaussian {
+                sigma_rel: sigma,
+                seed: 7,
+            };
         }
         let run = run_pagerank(&graph, &config, &pr_opts(20)).expect("valid config");
         let top_sim = top_k(&run.values, 10);
@@ -340,8 +350,7 @@ pub fn cpu_engine(ctx: &ExperimentContext) -> String {
         tolerance: 0.0,
         ..graphr_gridgraph::engine::PageRankSettings::default()
     };
-    let gg = graphr_gridgraph::engine::GridEngine::with_auto_partitions(&graph)
-        .pagerank(&settings);
+    let gg = graphr_gridgraph::engine::GridEngine::with_auto_partitions(&graph).pagerank(&settings);
     let xs = graphr_gridgraph::xstream::pagerank(&graph, &settings);
     let cpu = ctx.cpu_model();
     let rows = vec![
@@ -360,7 +369,12 @@ pub fn cpu_engine(ctx: &ExperimentContext) -> String {
     ];
     render_table(
         "Ablation: CPU engine (PageRank on AZ, 10 iterations)",
-        &["engine", "sequential bytes", "update records", "modelled time"],
+        &[
+            "engine",
+            "sequential bytes",
+            "update records",
+            "modelled time",
+        ],
         &rows,
     )
 }

@@ -15,9 +15,9 @@ use graphr_core::sim::{
     TraversalOptions,
 };
 use graphr_core::Metrics;
+use graphr_graph::{DatasetSpec, EdgeList};
 use graphr_gridgraph::engine::{CfSettings, GridEngine, PageRankSettings};
 use graphr_gridgraph::WorkloadStats;
-use graphr_graph::{DatasetSpec, EdgeList};
 use graphr_units::{Joules, Nanos};
 use serde::Serialize;
 
@@ -206,8 +206,8 @@ pub fn run_app(ctx: &ExperimentContext, app: App, spec: &DatasetSpec) -> AppRun 
         }
         App::Spmv => {
             let sw = engine.spmv(None);
-            let hw = run_spmv(&graph, config, &SpmvOptions::default())
-                .expect("standard configuration");
+            let hw =
+                run_spmv(&graph, config, &SpmvOptions::default()).expect("standard configuration");
             (hw.metrics, sw.stats, 1)
         }
         App::Cf => {
@@ -282,8 +282,7 @@ mod tests {
         // check round difference at most).
         let graph = ctx.graph(&spec);
         let sw = GridEngine::with_auto_partitions(&graph).bfs(traversal_source(&graph));
-        let diff =
-            (sw.stats.num_iterations() as i64 - run.iterations as i64).abs();
+        let diff = (sw.stats.num_iterations() as i64 - run.iterations as i64).abs();
         assert!(diff <= 1, "round counts diverge: {diff}");
     }
 

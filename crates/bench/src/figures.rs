@@ -104,7 +104,15 @@ pub fn figure19(ctx: &ExperimentContext) -> (Vec<AppRun>, String) {
         run_app(ctx, App::Sssp, &lj),
         run_app(ctx, App::Cf, &DatasetSpec::netflix()),
     ];
-    let header = ["app", "GPU perf", "GraphR perf", "GraphR/GPU", "GPU energy", "GraphR energy", "GraphR/GPU"];
+    let header = [
+        "app",
+        "GPU perf",
+        "GraphR perf",
+        "GraphR/GPU",
+        "GPU energy",
+        "GraphR energy",
+        "GraphR/GPU",
+    ];
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
@@ -147,7 +155,16 @@ pub fn figure20(ctx: &ExperimentContext) -> (Vec<AppRun>, String) {
             runs.push(run_app(ctx, app, spec));
         }
     }
-    let header = ["app", "dataset", "PIM perf", "GraphR perf", "GraphR/PIM", "PIM energy", "GraphR energy", "GraphR/PIM"];
+    let header = [
+        "app",
+        "dataset",
+        "PIM perf",
+        "GraphR perf",
+        "GraphR/PIM",
+        "PIM energy",
+        "GraphR energy",
+        "GraphR/PIM",
+    ];
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
@@ -200,7 +217,14 @@ pub fn figure21(ctx: &ExperimentContext) -> (Vec<AppRun>, String) {
         runs.push(pr);
         runs.push(ss);
     }
-    let header = ["dataset", "density", "PR speedup", "SSSP speedup", "PR energy", "SSSP energy"];
+    let header = [
+        "dataset",
+        "density",
+        "PR speedup",
+        "SSSP speedup",
+        "PR energy",
+        "SSSP energy",
+    ];
     let text = render_table(
         "Figure 21: GraphR performance/energy saving vs dataset density",
         &header,
@@ -228,7 +252,14 @@ pub fn table1() -> String {
         .collect();
     let mut out = render_table(
         "Table 1: Comparison of architectures for graph processing",
-        &["arch", "processEdge", "reduce", "model", "memory access", "generality"],
+        &[
+            "arch",
+            "processEdge",
+            "reduce",
+            "model",
+            "memory access",
+            "generality",
+        ],
         &rows,
     );
     let cpu = CpuSpec::table4();
@@ -240,7 +271,10 @@ pub fn table1() -> String {
             vec!["CPU".into(), cpu.model.into()],
             vec![
                 "cores".into(),
-                format!("{} x {} @ {} GHz", cpu.sockets, cpu.cores_per_socket, cpu.freq_ghz),
+                format!(
+                    "{} x {} @ {} GHz",
+                    cpu.sockets, cpu.cores_per_socket, cpu.freq_ghz
+                ),
             ],
             vec!["threads".into(), cpu.threads.to_string()],
             vec!["L3".into(), format!("{} MB", cpu.l3_mib)],
@@ -257,7 +291,10 @@ pub fn table1() -> String {
             vec!["base clock".into(), format!("{} MHz", gpu.base_clock_mhz)],
             vec![
                 "memory".into(),
-                format!("{} GB GDDR5, {} GB/s", gpu.memory_gib, gpu.memory_bandwidth_gbps),
+                format!(
+                    "{} GB GDDR5, {} GB/s",
+                    gpu.memory_gib, gpu.memory_bandwidth_gbps
+                ),
             ],
         ],
     ));
@@ -275,14 +312,26 @@ pub fn table2() -> String {
                 a.property.to_string(),
                 a.process_edge.to_string(),
                 a.reduce.to_string(),
-                if a.active_list { "Required" } else { "Not Required" }.to_string(),
+                if a.active_list {
+                    "Required"
+                } else {
+                    "Not Required"
+                }
+                .to_string(),
                 format!("{:?}", a.pattern),
             ]
         })
         .collect();
     render_table(
         "Table 2: Property and operations of applications in GraphR",
-        &["app", "property", "processEdge()", "reduce()", "active list", "pattern"],
+        &[
+            "app",
+            "property",
+            "processEdge()",
+            "reduce()",
+            "active list",
+            "pattern",
+        ],
         &rows,
     )
 }
@@ -311,7 +360,16 @@ pub fn table3(ctx: &ExperimentContext) -> String {
             "Table 3: Graph datasets (clones generated at scale {:.5})",
             ctx.scale()
         ),
-        &["dataset", "tag", "paper |V|", "paper |E|", "gen |V|", "gen |E|", "density", "max deg"],
+        &[
+            "dataset",
+            "tag",
+            "paper |V|",
+            "paper |E|",
+            "gen |V|",
+            "gen |E|",
+            "density",
+            "max deg",
+        ],
         &rows,
     )
 }

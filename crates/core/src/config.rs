@@ -423,10 +423,7 @@ mod tests {
         assert_eq!(c.ge_cycle().as_nanos(), 256.0);
         // §3.2's literal sizing statement: a GE of eight 8-bitline
         // crossbars drains through the same ADC in one 64 ns cycle.
-        let small = GraphRConfig::builder()
-            .crossbars_per_ge(8)
-            .build()
-            .unwrap();
+        let small = GraphRConfig::builder().crossbars_per_ge(8).build().unwrap();
         assert_eq!(small.ge_cycle().as_nanos(), 64.0);
         assert_eq!(c.program_latency().as_nanos(), 50.88);
     }
@@ -448,7 +445,10 @@ mod tests {
         assert_eq!(c.effective_block_vertices(7_000), 8192);
         assert_eq!(c.effective_block_vertices(4096), 4096);
         assert_eq!(c.effective_block_vertices(1), 4096);
-        let blocked = GraphRConfig::builder().block_vertices(8192).build().unwrap();
+        let blocked = GraphRConfig::builder()
+            .block_vertices(8192)
+            .build()
+            .unwrap();
         assert_eq!(blocked.effective_block_vertices(1_000_000), 8192);
     }
 
@@ -469,7 +469,10 @@ mod tests {
 
     #[test]
     fn error_message_is_informative() {
-        let err = GraphRConfig::builder().block_vertices(100).build().unwrap_err();
+        let err = GraphRConfig::builder()
+            .block_vertices(100)
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("strip width"));
     }
 

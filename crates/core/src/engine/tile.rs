@@ -110,11 +110,7 @@ impl TileCompute {
     /// Panics if `values.len() != entries.len()`, on out-of-range
     /// coordinates, or (in unsigned mode) on negative values.
     pub fn load(&mut self, entries: &[TileEntry], values: &[f64], merge: MergeRule) {
-        assert_eq!(
-            entries.len(),
-            values.len(),
-            "one value required per entry"
-        );
+        assert_eq!(entries.len(), values.len(), "one value required per entry");
         // Merge parallel edges into the raw dense buffer.
         self.dense.fill(0.0);
         self.touched.clear();
@@ -290,8 +286,7 @@ mod tests {
     fn row_entries_report_sparse_content() {
         let (e, v) = entries(&[(2, 1, 3.0), (2, 6, 5.0)]);
         for fidelity in [Fidelity::Fast, Fidelity::Analog] {
-            let mut tile =
-                TileCompute::new(&config(fidelity), FixedSpec::new(16, 0).unwrap());
+            let mut tile = TileCompute::new(&config(fidelity), FixedSpec::new(16, 0).unwrap());
             tile.load(&e, &v, MergeRule::Sum);
             assert_eq!(tile.row_entries(2), vec![(1, 3.0), (6, 5.0)]);
             assert!(tile.row_entries(0).is_empty());

@@ -6,9 +6,53 @@
 //! parallel add-op (§4.2) — reduces on the fly through the sALU into RegO,
 //! and charges every event to the [`Metrics`].
 //!
+//! [`strip`] exposes the scan's parallel-safe decomposition: one
+//! [`strip::StripUnit`] per global destination strip, executed by a
+//! per-worker [`strip::StripScanner`]. The serial executor and any
+//! parallel driver built on the units (such as `graphr-runtime`'s)
+//! produce bit-identical results and metrics by construction.
+//!
+//! [`ScanEngine`] abstracts over executors so the `sim` drivers can run
+//! the same algorithm loops on the serial executor or a parallel one.
+//!
 //! [`TiledGraph`]: crate::preprocess::tiler::TiledGraph
 //! [`Metrics`]: crate::metrics::Metrics
 
 pub mod streaming;
+pub mod strip;
 
 pub use streaming::{EdgeValueFn, StreamingExecutor};
+pub use strip::{mac_rego_capacity, strip_units, StripScanner, StripUnit};
+
+use crate::metrics::Metrics;
+
+/// An executor capable of running the two streaming-apply scan
+/// primitives. Implemented by the serial [`StreamingExecutor`] and by
+/// `graphr-runtime`'s parallel executor; the `sim` drivers are generic
+/// over it.
+pub trait ScanEngine {
+    /// One parallel-MAC pass (§4.1) over the whole graph; see
+    /// [`StreamingExecutor::scan_mac`].
+    fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>>;
+
+    /// One parallel-add-op pass (§4.2) over the whole graph; see
+    /// [`StreamingExecutor::scan_add_op`].
+    fn scan_add_op(
+        &mut self,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addend: &[f64],
+        active: &[bool],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+    ) -> u64;
+
+    /// Marks the end of one algorithm iteration.
+    fn end_iteration(&mut self);
+
+    /// The metrics accumulated so far.
+    fn metrics(&self) -> &Metrics;
+
+    /// Takes the accumulated metrics, leaving zeroed ones behind.
+    fn take_metrics(&mut self) -> Metrics;
+}

@@ -13,6 +13,13 @@
 //!   into RegO by the sALU, and lowered destinations become active for the
 //!   next iteration.
 //!
+//! Both primitives execute as a sequence of [`StripUnit`] scans — one per
+//! global destination strip, in merge order — through a private
+//! [`StripScanner`]. That decomposition is the contract parallel drivers
+//! build on: executing the same units on worker threads and merging
+//! per-unit [`Metrics`] in the same order reproduces this executor's
+//! results and accounting bit for bit (see [`crate::exec::strip`]).
+//!
 //! # Timing: dense tile packing within a strip
 //!
 //! Under column-major streaming, everything processed while a destination
@@ -31,20 +38,16 @@
 //! aligned `C × strip_width` window — one step per source chunk, empty or
 //! not — which is the ablation quantifying what sparsity-awareness buys.
 
-use crate::config::{Fidelity, GraphRConfig, StreamingOrder};
-use crate::engine::salu::{ReduceOp, SAlu};
-use crate::engine::tile::{MergeRule, TileCompute};
+use crate::config::{Fidelity, GraphRConfig};
+use crate::exec::strip::{mac_rego_capacity, strip_units, StripScanner, StripUnit};
+use crate::exec::ScanEngine;
 use crate::metrics::Metrics;
 use crate::preprocess::tiler::TiledGraph;
 
 /// Computes the value programmed into a crossbar cell for an edge:
 /// `(weight, src, dst) → value`. This is the `processEdge`-side transform —
 /// e.g. PageRank programs `r / outdegree(src)`, SSSP programs the weight.
-pub type EdgeValueFn<'f> = dyn Fn(f32, u32, u32) -> f64 + 'f;
-
-/// Bytes per COO edge record streamed from memory ReRAM (two 32-bit vertex
-/// ids + a 32-bit weight, matching `graphr_graph::io`'s binary format).
-const BYTES_PER_EDGE: u64 = 12;
+pub type EdgeValueFn<'f> = dyn Fn(f32, u32, u32) -> f64 + Sync + 'f;
 
 /// The streaming-apply executor over one preprocessed graph.
 ///
@@ -53,12 +56,9 @@ const BYTES_PER_EDGE: u64 = 12;
 pub struct StreamingExecutor<'a> {
     tiled: &'a TiledGraph,
     config: &'a GraphRConfig,
-    tile: TileCompute,
+    scanner: StripScanner<'a>,
+    units: Vec<StripUnit>,
     metrics: Metrics,
-    /// Scratch: per-tile programmed values, reused across tiles.
-    value_buf: Vec<f64>,
-    /// Scratch: chunk-local input slice.
-    input_buf: Vec<f64>,
 }
 
 impl<'a> StreamingExecutor<'a> {
@@ -70,14 +70,12 @@ impl<'a> StreamingExecutor<'a> {
         config: &'a GraphRConfig,
         spec: graphr_units::FixedSpec,
     ) -> Self {
-        let c = config.crossbar_size;
         StreamingExecutor {
             tiled,
             config,
-            tile: TileCompute::new(config, spec),
+            scanner: StripScanner::new(tiled, config, spec),
+            units: strip_units(tiled),
             metrics: Metrics::new(),
-            value_buf: Vec::with_capacity(c * c),
-            input_buf: vec![0.0; c],
         }
     }
 
@@ -96,13 +94,7 @@ impl<'a> StreamingExecutor<'a> {
     /// Marks the end of one algorithm iteration (bumps the counter and
     /// charges the controller's convergence check — one GE cycle).
     pub fn end_iteration(&mut self) {
-        self.metrics.iterations += 1;
-        self.metrics.elapsed += self.config.ge_cycle();
-    }
-
-    /// Total crossbar tile slots across the node.
-    fn tile_slots(&self) -> usize {
-        self.config.num_ges * self.config.tiles_per_ge()
+        self.metrics.charge_iteration(self.config.ge_cycle());
     }
 
     /// One parallel-MAC pass over the whole graph: for each input vector
@@ -110,196 +102,38 @@ impl<'a> StreamingExecutor<'a> {
     /// x[src]`, returning one output vector per input. All inputs share a
     /// single tile-programming pass (K MVM evaluations per tile).
     pub fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
-        let tiled = self.tiled;
-        let n = tiled.num_vertices();
+        let n = self.tiled.num_vertices();
         let k = inputs.len();
         assert!(k > 0, "at least one input vector required");
         for x in inputs {
             assert_eq!(x.len(), n, "input vectors must have one entry per vertex");
         }
         let mut outputs = vec![vec![0.0; n]; k];
-        let mut salu = SAlu::new(ReduceOp::Add);
-
-        match self.config.order {
-            StreamingOrder::ColumnMajor => {
-                for bidx in 0..tiled.blocks().len() {
-                    let block = &tiled.blocks()[bidx];
-                    for sidx in 0..block.strips.len() {
-                        let strip = &block.strips[sidx];
-                        let mut strip_tiles = 0u64;
-                        let mut strip_edges = 0u64;
-                        for g in 0..strip.subgraphs.len() {
-                            let sg = &strip.subgraphs[g];
-                            strip_tiles += sg.tiles.len() as u64;
-                            strip_edges += u64::from(sg.edges);
-                            self.mac_subgraph(bidx, sidx, g, value, inputs, &mut outputs, &mut salu);
-                        }
-                        self.charge_strip_time(strip_tiles, strip_edges, k);
-                        // Strip write-back: RegO → memory, once per strip.
-                        self.charge_strip_writeback(self.config.strip_width().min(n));
-                    }
-                }
-                self.metrics.events.rego_capacity_required = self
-                    .metrics
-                    .events
-                    .rego_capacity_required
-                    .max(self.config.strip_width() as u64);
+        let width = self.config.strip_width();
+        let mut local: Vec<Vec<f64>> = vec![vec![0.0; width]; k];
+        let units = std::mem::take(&mut self.units);
+        for unit in &units {
+            for buf in &mut local {
+                buf.fill(0.0);
             }
-            StreamingOrder::RowMajor => {
-                // Source-major: all strips of a chunk before the next chunk.
-                // Tiles cannot pack across chunks (each chunk revisits every
-                // strip's RegO window), so every nonempty subgraph costs its
-                // own GE step and a full RegO spill — the §3.3 argument.
-                for bidx in 0..tiled.blocks().len() {
-                    let block = &tiled.blocks()[bidx];
-                    let mut visits: Vec<(u32, usize, usize)> = Vec::new();
-                    for (sidx, strip) in block.strips.iter().enumerate() {
-                        for (g, sg) in strip.subgraphs.iter().enumerate() {
-                            visits.push((sg.chunk, sidx, g));
-                        }
-                    }
-                    visits.sort_unstable();
-                    for (_, sidx, g) in visits {
-                        let sg = &tiled.blocks()[bidx].strips[sidx].subgraphs[g];
-                        let (tiles, edges) = (sg.tiles.len() as u64, u64::from(sg.edges));
-                        self.mac_subgraph(bidx, sidx, g, value, inputs, &mut outputs, &mut salu);
-                        self.charge_strip_time(tiles.min(self.tile_slots() as u64), edges, k);
-                        self.charge_strip_writeback(self.config.strip_width().min(n));
-                    }
+            let mut unit_metrics = Metrics::new();
+            self.scanner
+                .scan_mac_unit(unit, value, inputs, &mut local, &mut unit_metrics);
+            self.metrics.merge(&unit_metrics);
+            if unit.dst_len > 0 {
+                for (out, buf) in outputs.iter_mut().zip(&local) {
+                    out[unit.dst_start..unit.dst_start + unit.dst_len]
+                        .copy_from_slice(&buf[..unit.dst_len]);
                 }
-                let strips = tiled.order().strips_per_block();
-                self.metrics.events.rego_capacity_required = self
-                    .metrics
-                    .events
-                    .rego_capacity_required
-                    .max((self.config.strip_width() * strips) as u64);
             }
         }
-        self.metrics.events.salu_ops += salu.ops_performed();
+        self.units = units;
+        self.metrics.events.rego_capacity_required = self
+            .metrics
+            .events
+            .rego_capacity_required
+            .max(mac_rego_capacity(self.config, self.tiled));
         outputs
-    }
-
-    /// Charges the time for one strip's worth of `tiles` nonempty tiles
-    /// (MAC pattern): `⌈tiles/slots⌉` packed GE steps, or one step per
-    /// source chunk when skipping is disabled.
-    fn charge_strip_time(&mut self, tiles: u64, edges: u64, k: usize) {
-        let slots = self.tile_slots() as u64;
-        let steps = if self.config.skip_empty {
-            tiles.div_ceil(slots)
-        } else {
-            let per_chunk = self.tiled.order().chunks_per_block() as u64;
-            self.charge_idle_conversions(per_chunk * slots - tiles, k);
-            per_chunk
-        };
-        if steps == 0 && edges == 0 {
-            return;
-        }
-        let program = self.config.program_latency() * steps as f64;
-        let compute = self.config.ge_cycle() * (steps * k as u64) as f64;
-        let stream = self.config.cost.memory_stream_latency(edges * BYTES_PER_EDGE);
-        self.metrics.time_breakdown.program += program;
-        self.metrics.time_breakdown.compute += compute;
-        self.metrics.time_breakdown.memory += stream;
-        self.metrics.elapsed += if self.config.pipelined {
-            program.max(compute).max(stream)
-        } else {
-            program + compute + stream
-        };
-        let skipped = &mut self.metrics.events.subgraphs_skipped_empty;
-        if self.config.skip_empty {
-            // Count fully-empty windows avoided, for the skip statistics.
-            let windows = self.tiled.order().chunks_per_block() as u64;
-            let used = tiles.div_ceil(slots);
-            *skipped += windows.saturating_sub(used);
-        }
-    }
-
-    /// Idle tile slots still drain their bitlines through the shared ADCs
-    /// when empty-window scanning is forced.
-    fn charge_idle_conversions(&mut self, idle_tiles: u64, k: usize) {
-        let c = self.config.crossbar_size as u64;
-        let arrays = self.config.arrays_per_tile() as u64;
-        let conversions = idle_tiles * c * arrays * k as u64;
-        self.metrics.energy.adc += self.config.cost.adc_energy(conversions);
-        self.metrics.events.adc_conversions += conversions;
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn mac_subgraph(
-        &mut self,
-        bidx: usize,
-        sidx: usize,
-        g: usize,
-        value: &EdgeValueFn<'_>,
-        inputs: &[&[f64]],
-        outputs: &mut [Vec<f64>],
-        salu: &mut SAlu,
-    ) {
-        let tiled = self.tiled;
-        let n = tiled.num_vertices();
-        let c = self.config.crossbar_size;
-        let k = inputs.len();
-        let block = &tiled.blocks()[bidx];
-        let strip = &block.strips[sidx];
-        let sg = &strip.subgraphs[g];
-        let src0 = tiled.subgraph_src_start(block, sg);
-        let arrays = self.config.arrays_per_tile() as u64;
-        let tiles = sg.tiles.len() as u64;
-        let edges = u64::from(sg.edges);
-
-        // --- functional compute ---
-        for tile in &sg.tiles {
-            self.value_buf.clear();
-            for e in &tile.entries {
-                let src = (src0 + e.row as usize) as u32;
-                let dst = tiled.tile_dst(block, strip, tile, e.col) as u32;
-                self.value_buf.push(value(e.weight, src, dst));
-            }
-            self.tile.load(&tile.entries, &self.value_buf, MergeRule::Sum);
-            for (ki, x) in inputs.iter().enumerate() {
-                for r in 0..c {
-                    let src = src0 + r;
-                    self.input_buf[r] = if src < n { x[src] } else { 0.0 };
-                }
-                let y = self.tile.mac(&self.input_buf);
-                for (col, &yv) in y.iter().enumerate() {
-                    if yv == 0.0 {
-                        continue;
-                    }
-                    let dst = tiled.tile_dst(block, strip, tile, col as u8);
-                    if dst < n {
-                        let slot = &mut outputs[ki][dst];
-                        salu.reduce_one(slot, yv);
-                    }
-                }
-            }
-        }
-
-        // --- energy & events (time is charged per strip) ---
-        let cost = &self.config.cost;
-        let cells = edges * arrays;
-        let conversions = tiles * c as u64 * arrays * k as u64;
-        self.metrics.energy.program += cost.program_energy(cells);
-        self.metrics.energy.mvm += cost.mvm_energy(cells * k as u64);
-        self.metrics.energy.driver += cost.driver_energy(c as u64 * tiles * arrays * k as u64);
-        self.metrics.energy.adc += cost.adc_energy(conversions);
-        self.metrics.energy.sample_hold += cost.sample_hold_energy(conversions);
-        self.metrics.energy.shift_add += cost.shift_add_energy(conversions);
-        self.metrics.energy.salu += cost.salu_energy(tiles * c as u64 * k as u64);
-        let reg_reads = tiles * c as u64 * k as u64; // per-tile RegI row reads
-        let reg_writes = tiles * c as u64 * k as u64; // RegO merges
-        self.metrics.energy.registers += cost.register_energy(reg_reads + reg_writes);
-        self.metrics.energy.memory += cost.memory_stream_energy(edges * BYTES_PER_EDGE);
-
-        let ev = &mut self.metrics.events;
-        ev.subgraphs_processed += 1;
-        ev.tiles_loaded += tiles;
-        ev.edges_loaded += edges;
-        ev.mvm_scans += tiles * k as u64;
-        ev.adc_conversions += conversions;
-        ev.register_reads += reg_reads;
-        ev.register_writes += reg_writes;
-        ev.bytes_streamed += edges * BYTES_PER_EDGE;
     }
 
     /// One parallel-add-op pass (Figure 16 c3): for each tile containing an
@@ -316,216 +150,60 @@ impl<'a> StreamingExecutor<'a> {
     pub fn scan_add_op(
         &mut self,
         value: &EdgeValueFn<'_>,
-        combine: &dyn Fn(f64, f64) -> f64,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
         active: &[bool],
         frontier: &mut [f64],
         updated: &mut [bool],
     ) -> u64 {
-        let tiled = self.tiled;
-        let n = tiled.num_vertices();
+        let n = self.tiled.num_vertices();
         assert_eq!(addend.len(), n, "addend must have one entry per vertex");
-        assert_eq!(active.len(), n, "active mask must have one entry per vertex");
+        assert_eq!(
+            active.len(),
+            n,
+            "active mask must have one entry per vertex"
+        );
         assert_eq!(frontier.len(), n, "frontier must have one entry per vertex");
-        assert_eq!(updated.len(), n, "updated mask must have one entry per vertex");
-        let c = self.config.crossbar_size;
-        let spec = self.tile.spec();
-        let mut salu = SAlu::new(ReduceOp::Min);
-        let mut total_rows: u64 = 0;
-
-        for bidx in 0..tiled.blocks().len() {
-            let block = &tiled.blocks()[bidx];
-            for sidx in 0..block.strips.len() {
-                let strip = &block.strips[sidx];
-                // Per-tile active-row counts drive the packed timing.
-                let mut tile_rows: Vec<u64> = Vec::new();
-                let mut strip_edges = 0u64;
-                for g in 0..strip.subgraphs.len() {
-                    let sg = &strip.subgraphs[g];
-                    let src0 = tiled.subgraph_src_start(block, sg);
-                    let active_rows: Vec<usize> = (0..c)
-                        .filter(|&r| src0 + r < n && active[src0 + r])
-                        .collect();
-                    if active_rows.is_empty() {
-                        self.metrics.events.subgraphs_skipped_inactive += 1;
-                        continue;
-                    }
-                    total_rows += active_rows.len() as u64;
-                    strip_edges += u64::from(sg.edges);
-                    self.addop_subgraph(
-                        bidx,
-                        sidx,
-                        g,
-                        value,
-                        combine,
-                        addend,
-                        &active_rows,
-                        frontier,
-                        updated,
-                        &mut salu,
-                        spec,
-                        &mut tile_rows,
-                    );
-                }
-                self.charge_addop_strip_time(&mut tile_rows, strip_edges);
-                self.charge_strip_writeback(self.config.strip_width().min(n));
+        assert_eq!(
+            updated.len(),
+            n,
+            "updated mask must have one entry per vertex"
+        );
+        let width = self.config.strip_width();
+        let mut frontier_local = vec![0.0; width];
+        let mut updated_local = vec![false; width];
+        let mut total_rows = 0u64;
+        let units = std::mem::take(&mut self.units);
+        for unit in &units {
+            let (ds, dl) = (unit.dst_start, unit.dst_len);
+            if dl > 0 {
+                frontier_local[..dl].copy_from_slice(&frontier[ds..ds + dl]);
+                updated_local[..dl].copy_from_slice(&updated[ds..ds + dl]);
+            }
+            let mut unit_metrics = Metrics::new();
+            total_rows += self.scanner.scan_add_op_unit(
+                unit,
+                value,
+                combine,
+                addend,
+                active,
+                &mut frontier_local,
+                &mut updated_local,
+                &mut unit_metrics,
+            );
+            self.metrics.merge(&unit_metrics);
+            if dl > 0 {
+                frontier[ds..ds + dl].copy_from_slice(&frontier_local[..dl]);
+                updated[ds..ds + dl].copy_from_slice(&updated_local[..dl]);
             }
         }
+        self.units = units;
         self.metrics.events.rego_capacity_required = self
             .metrics
             .events
             .rego_capacity_required
             .max(self.config.strip_width() as u64);
-        self.metrics.events.salu_ops += salu.ops_performed();
         total_rows
-    }
-
-    /// Packs active tiles into GE steps; a step's latency is its tallest
-    /// tile's serial row count times the GE cycle (all tiles in the step
-    /// progress in lockstep behind the shared ADC schedule).
-    fn charge_addop_strip_time(&mut self, tile_rows: &mut [u64], edges: u64) {
-        if tile_rows.is_empty() {
-            if !self.config.skip_empty {
-                // Forced scan of all windows even with nothing active.
-                let steps = self.tiled.order().chunks_per_block() as u64;
-                let t = self.config.program_latency() * steps as f64;
-                self.metrics.time_breakdown.program += t;
-                self.metrics.elapsed += t;
-            }
-            return;
-        }
-        tile_rows.sort_unstable_by(|a, b| b.cmp(a));
-        let slots = self.tile_slots();
-        let mut serial_rows = 0u64;
-        let mut steps = 0u64;
-        let mut idx = 0usize;
-        while idx < tile_rows.len() {
-            serial_rows += tile_rows[idx]; // tallest tile of this step
-            steps += 1;
-            idx += slots;
-        }
-        if !self.config.skip_empty {
-            steps = steps.max(self.tiled.order().chunks_per_block() as u64);
-            serial_rows = serial_rows.max(steps);
-        }
-        let program = self.config.program_latency() * steps as f64;
-        let compute = self.config.ge_cycle() * serial_rows as f64;
-        let stream = self.config.cost.memory_stream_latency(edges * BYTES_PER_EDGE);
-        self.metrics.time_breakdown.program += program;
-        self.metrics.time_breakdown.compute += compute;
-        self.metrics.time_breakdown.memory += stream;
-        self.metrics.elapsed += if self.config.pipelined {
-            program.max(compute).max(stream)
-        } else {
-            program + compute + stream
-        };
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn addop_subgraph(
-        &mut self,
-        bidx: usize,
-        sidx: usize,
-        g: usize,
-        value: &EdgeValueFn<'_>,
-        combine: &dyn Fn(f64, f64) -> f64,
-        addend: &[f64],
-        active_rows: &[usize],
-        frontier: &mut [f64],
-        updated: &mut [bool],
-        salu: &mut SAlu,
-        spec: graphr_units::FixedSpec,
-        tile_rows: &mut Vec<u64>,
-    ) {
-        let tiled = self.tiled;
-        let n = tiled.num_vertices();
-        let c = self.config.crossbar_size;
-        let block = &tiled.blocks()[bidx];
-        let strip = &block.strips[sidx];
-        let sg = &strip.subgraphs[g];
-        let src0 = tiled.subgraph_src_start(block, sg);
-        let arrays = self.config.arrays_per_tile() as u64;
-        let tiles = sg.tiles.len() as u64;
-        let edges = u64::from(sg.edges);
-        let mut active_cells: u64 = 0;
-        let mut rows_driven: u64 = 0;
-
-        // --- functional compute ---
-        for tile in &sg.tiles {
-            self.value_buf.clear();
-            for e in &tile.entries {
-                let src = (src0 + e.row as usize) as u32;
-                let dst = tiled.tile_dst(block, strip, tile, e.col) as u32;
-                self.value_buf.push(value(e.weight, src, dst));
-            }
-            self.tile.load(&tile.entries, &self.value_buf, MergeRule::Min);
-            let mut this_tile_rows = 0u64;
-            for &r in active_rows {
-                let entries = self.tile.row_entries(r);
-                if entries.is_empty() {
-                    continue; // no edge from this source in this tile
-                }
-                this_tile_rows += 1;
-                let src = src0 + r;
-                let du = addend[src];
-                for (col, w) in entries {
-                    active_cells += arrays;
-                    let dst = tiled.tile_dst(block, strip, tile, col as u8);
-                    if dst >= n {
-                        continue;
-                    }
-                    // The relaxation (e.g. dist(u) + w(u, v)), saturating
-                    // in the fixed-point datapath, then min via the sALU.
-                    let candidate = spec.quantize_value(combine(du, w));
-                    if salu.reduce_one(&mut frontier[dst], candidate) {
-                        updated[dst] = true;
-                    }
-                }
-            }
-            if this_tile_rows > 0 {
-                tile_rows.push(this_tile_rows);
-                rows_driven += this_tile_rows;
-            }
-        }
-
-        // --- energy & events (time is charged per strip) ---
-        let cost = &self.config.cost;
-        let cells = edges * arrays;
-        let conversions = tiles * c as u64 * arrays * rows_driven.max(1);
-        self.metrics.energy.program += cost.program_energy(cells);
-        self.metrics.energy.mvm += cost.mvm_energy(active_cells);
-        // Each activation drives one wordline plus the constant-1 line
-        // carrying dist(u) (Figure 16's green row).
-        self.metrics.energy.driver += cost.driver_energy(2 * arrays * rows_driven);
-        self.metrics.energy.adc += cost.adc_energy(conversions);
-        self.metrics.energy.sample_hold += cost.sample_hold_energy(conversions);
-        self.metrics.energy.shift_add += cost.shift_add_energy(conversions);
-        self.metrics.energy.salu += cost.salu_energy(c as u64 * rows_driven);
-        let reg_reads = rows_driven; // dist(u) per activation
-        let reg_writes = c as u64 * rows_driven; // RegO min-merge
-        self.metrics.energy.registers += cost.register_energy(reg_reads + reg_writes);
-        self.metrics.energy.memory += cost.memory_stream_energy(edges * BYTES_PER_EDGE);
-
-        let ev = &mut self.metrics.events;
-        ev.subgraphs_processed += 1;
-        ev.tiles_loaded += tiles;
-        ev.edges_loaded += edges;
-        ev.mvm_scans += rows_driven;
-        ev.rows_activated += active_rows.len() as u64;
-        ev.adc_conversions += conversions;
-        ev.register_reads += reg_reads;
-        ev.register_writes += reg_writes;
-        ev.bytes_streamed += edges * BYTES_PER_EDGE;
-    }
-
-    /// Charges the once-per-strip RegO write-back of `entries` values.
-    fn charge_strip_writeback(&mut self, entries: usize) {
-        let cost = &self.config.cost;
-        self.metrics.energy.registers += cost.register_energy(entries as u64);
-        self.metrics.events.register_writes += entries as u64;
-        let t = cost.salu_latency(entries as u64 / self.config.num_ges.max(1) as u64);
-        self.metrics.time_breakdown.apply += t;
-        self.metrics.elapsed += t;
     }
 
     /// Whether the executor runs full analog emulation.
@@ -535,10 +213,40 @@ impl<'a> StreamingExecutor<'a> {
     }
 }
 
+impl ScanEngine for StreamingExecutor<'_> {
+    fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
+        StreamingExecutor::scan_mac(self, value, inputs)
+    }
+
+    fn scan_add_op(
+        &mut self,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addend: &[f64],
+        active: &[bool],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+    ) -> u64 {
+        StreamingExecutor::scan_add_op(self, value, combine, addend, active, frontier, updated)
+    }
+
+    fn end_iteration(&mut self) {
+        StreamingExecutor::end_iteration(self);
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::GraphRConfig;
+    use crate::config::{GraphRConfig, StreamingOrder};
     use graphr_graph::algorithms::spmv::spmv;
     use graphr_graph::generators::rmat::Rmat;
     use graphr_graph::EdgeList;
@@ -637,7 +345,14 @@ mod tests {
         let active = vec![true, false, false];
         let mut frontier = dist.clone();
         let mut updated = vec![false; 3];
-        let rows = exec.scan_add_op(&weights_value, &|du, w| du + w, &dist, &active, &mut frontier, &mut updated);
+        let rows = exec.scan_add_op(
+            &weights_value,
+            &|du, w| du + w,
+            &dist,
+            &active,
+            &mut frontier,
+            &mut updated,
+        );
         assert_eq!(rows, 1);
         assert_eq!(frontier, vec![0.0, 2.0, inf]);
         assert_eq!(updated, vec![false, true, false]);
@@ -647,7 +362,14 @@ mod tests {
         let active = updated.clone();
         let mut updated2 = vec![false; 3];
         let mut frontier2 = dist.clone();
-        exec.scan_add_op(&weights_value, &|du, w| du + w, &dist, &active, &mut frontier2, &mut updated2);
+        exec.scan_add_op(
+            &weights_value,
+            &|du, w| du + w,
+            &dist,
+            &active,
+            &mut frontier2,
+            &mut updated2,
+        );
         assert_eq!(frontier2, vec![0.0, 2.0, 5.0]);
         assert_eq!(updated2, vec![false, false, true]);
     }
@@ -664,7 +386,14 @@ mod tests {
         let active = vec![false; 64]; // nothing active: everything skipped
         let mut frontier = dist.clone();
         let mut updated = vec![false; 64];
-        let rows = exec.scan_add_op(&weights_value, &|du, w| du + w, &dist, &active, &mut frontier, &mut updated);
+        let rows = exec.scan_add_op(
+            &weights_value,
+            &|du, w| du + w,
+            &dist,
+            &active,
+            &mut frontier,
+            &mut updated,
+        );
         assert_eq!(rows, 0);
         let m = exec.into_metrics();
         assert_eq!(m.events.subgraphs_processed, 0);
@@ -770,8 +499,7 @@ mod tests {
         let g = Rmat::new(10, 20).seed(1).generate();
         let cfg = small_config(Fidelity::Fast);
         let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
-        let mut exec =
-            StreamingExecutor::new(&tiled, &cfg, FixedSpec::new(16, 8).unwrap());
+        let mut exec = StreamingExecutor::new(&tiled, &cfg, FixedSpec::new(16, 8).unwrap());
         exec.end_iteration();
         exec.end_iteration();
         assert_eq!(exec.metrics().iterations, 2);

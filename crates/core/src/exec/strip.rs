@@ -1,0 +1,632 @@
+//! Strip-level scan units: the parallel-safe decomposition of the
+//! streaming-apply scan.
+//!
+//! GraphR's column-major streaming (§3.3) processes one *destination
+//! strip* at a time: everything reducing into a strip's RegO window is
+//! independent of every other strip. That makes the global destination
+//! strip — the `(block column, strip)` pair, spanning all block rows — the
+//! natural unit of host-side parallelism, mirroring the accelerator's own
+//! inter-subgraph GE parallelism. A [`StripUnit`] names one such unit;
+//! [`StripScanner`] executes one unit with private engine state
+//! ([`TileCompute`], [`SAlu`], scratch buffers), writing functional
+//! results into unit-local buffers and charging time/energy into a
+//! unit-local [`Metrics`].
+//!
+//! Determinism contract: a full scan is the units of [`strip_units`]
+//! executed in `index` order with their metrics [`Metrics::merge`]d in that
+//! same order. The serial [`StreamingExecutor`] does exactly this, and any
+//! parallel driver that executes units on worker threads but merges in
+//! `index` order produces **bit-identical** results and metrics — every
+//! floating-point reduction happens inside one unit, in one deterministic
+//! order, regardless of which thread ran it.
+//!
+//! [`StreamingExecutor`]: crate::exec::streaming::StreamingExecutor
+
+use crate::config::{GraphRConfig, StreamingOrder};
+use crate::engine::salu::{ReduceOp, SAlu};
+use crate::engine::tile::{MergeRule, TileCompute};
+use crate::exec::streaming::EdgeValueFn;
+use crate::metrics::Metrics;
+use crate::preprocess::tiler::TiledGraph;
+
+/// Bytes per COO edge record streamed from memory ReRAM (two 32-bit vertex
+/// ids + a 32-bit weight, matching `graphr_graph::io`'s binary format).
+pub(crate) const BYTES_PER_EDGE: u64 = 12;
+
+/// One global destination strip: the parallel work unit of a scan.
+///
+/// Covers destination vertices `dst_start .. dst_start + dst_len` across
+/// *all* block rows (source ranges), so no two units ever write the same
+/// output element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripUnit {
+    /// Position in the deterministic merge order.
+    pub index: usize,
+    /// Block column (destination side).
+    pub bj: u32,
+    /// Strip index within the block column.
+    pub strip: u32,
+    /// First destination vertex of the strip.
+    pub dst_start: usize,
+    /// Real (unpadded) destination vertices covered; may be zero for
+    /// strips that exist only in the padding.
+    pub dst_len: usize,
+}
+
+/// Enumerates the scan units of a preprocessed graph in merge order
+/// (block columns outer, strips inner — the column-major disk order).
+#[must_use]
+pub fn strip_units(tiled: &TiledGraph) -> Vec<StripUnit> {
+    let order = tiled.order();
+    let n = tiled.num_vertices();
+    let per_side = order.blocks_per_side();
+    let strips = order.strips_per_block();
+    let width = order.strip_width();
+    let mut units = Vec::with_capacity(per_side * strips);
+    for bj in 0..per_side {
+        for s in 0..strips {
+            let dst_start = bj * order.block_size() + s * width;
+            units.push(StripUnit {
+                index: units.len(),
+                bj: bj as u32,
+                strip: s as u32,
+                dst_start,
+                dst_len: width.min(n.saturating_sub(dst_start)),
+            });
+        }
+    }
+    units
+}
+
+/// RegO capacity a MAC scan requires, in entries (§3.3: one strip under
+/// column-major streaming, every strip of a block at once under
+/// row-major).
+#[must_use]
+pub fn mac_rego_capacity(config: &GraphRConfig, tiled: &TiledGraph) -> u64 {
+    match config.order {
+        StreamingOrder::ColumnMajor => config.strip_width() as u64,
+        StreamingOrder::RowMajor => {
+            (config.strip_width() * tiled.order().strips_per_block()) as u64
+        }
+    }
+}
+
+/// Executes scan units with private engine state.
+///
+/// One scanner per worker thread: [`TileCompute`] (the scratch crossbar
+/// tile), the [`SAlu`], and the value/input staging buffers are all owned,
+/// so scanners on different units never share mutable state.
+pub struct StripScanner<'a> {
+    tiled: &'a TiledGraph,
+    config: &'a GraphRConfig,
+    tile: TileCompute,
+    /// Scratch: per-tile programmed values, reused across tiles.
+    value_buf: Vec<f64>,
+    /// Scratch: chunk-local input slice.
+    input_buf: Vec<f64>,
+}
+
+impl<'a> StripScanner<'a> {
+    /// Creates a scanner for `tiled` under `config`, quantising values to
+    /// `spec`.
+    #[must_use]
+    pub fn new(
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        spec: graphr_units::FixedSpec,
+    ) -> Self {
+        let c = config.crossbar_size;
+        StripScanner {
+            tiled,
+            config,
+            tile: TileCompute::new(config, spec),
+            value_buf: Vec::with_capacity(c * c),
+            input_buf: vec![0.0; c],
+        }
+    }
+
+    /// The fixed-point format in use.
+    #[must_use]
+    pub fn spec(&self) -> graphr_units::FixedSpec {
+        self.tile.spec()
+    }
+
+    /// Total crossbar tile slots across the node.
+    fn tile_slots(&self) -> usize {
+        self.config.num_ges * self.config.tiles_per_ge()
+    }
+
+    /// One parallel-MAC pass over a single unit: for each input vector in
+    /// `inputs`, accumulates `y[dst - unit.dst_start] += value(w, src, dst)
+    /// · x[src]` into the unit-local `outputs` (one buffer of at least
+    /// `strip_width` entries per input, pre-zeroed by the caller), charging
+    /// the unit's share of time and energy into `metrics`.
+    pub fn scan_mac_unit(
+        &mut self,
+        unit: &StripUnit,
+        value: &EdgeValueFn<'_>,
+        inputs: &[&[f64]],
+        outputs: &mut [Vec<f64>],
+        metrics: &mut Metrics,
+    ) {
+        let tiled = self.tiled;
+        let n = tiled.num_vertices();
+        let k = inputs.len();
+        let per_side = tiled.order().blocks_per_side();
+        let mut salu = SAlu::new(ReduceOp::Add);
+
+        for bi in 0..per_side {
+            let bidx = unit.bj as usize * per_side + bi;
+            let block = &tiled.blocks()[bidx];
+            let sidx = unit.strip as usize;
+            let strip = &block.strips[sidx];
+            match self.config.order {
+                StreamingOrder::ColumnMajor => {
+                    // Dense tile packing: the whole strip's nonempty tiles
+                    // feed the GE slots back to back.
+                    let mut strip_tiles = 0u64;
+                    let mut strip_edges = 0u64;
+                    for g in 0..strip.subgraphs.len() {
+                        let sg = &strip.subgraphs[g];
+                        strip_tiles += sg.tiles.len() as u64;
+                        strip_edges += u64::from(sg.edges);
+                        self.mac_subgraph(
+                            bidx, sidx, g, unit, value, inputs, outputs, &mut salu, metrics,
+                        );
+                    }
+                    self.charge_strip_time(strip_tiles, strip_edges, k, metrics);
+                    // Strip write-back: RegO → memory, once per strip.
+                    self.charge_strip_writeback(self.config.strip_width().min(n), metrics);
+                }
+                StreamingOrder::RowMajor => {
+                    // Source-major: each chunk revisits the strip's RegO
+                    // window, so every nonempty subgraph costs its own GE
+                    // step and a full RegO spill — the §3.3 argument.
+                    // Subgraphs are stored in ascending chunk order, which
+                    // is exactly the source-major visit order within one
+                    // strip.
+                    for g in 0..strip.subgraphs.len() {
+                        let sg = &strip.subgraphs[g];
+                        let (tiles, edges) = (sg.tiles.len() as u64, u64::from(sg.edges));
+                        self.mac_subgraph(
+                            bidx, sidx, g, unit, value, inputs, outputs, &mut salu, metrics,
+                        );
+                        self.charge_strip_time(
+                            tiles.min(self.tile_slots() as u64),
+                            edges,
+                            k,
+                            metrics,
+                        );
+                        self.charge_strip_writeback(self.config.strip_width().min(n), metrics);
+                    }
+                }
+            }
+        }
+        metrics.events.salu_ops += salu.ops_performed();
+    }
+
+    /// Charges the time for one strip's worth of `tiles` nonempty tiles
+    /// (MAC pattern): `⌈tiles/slots⌉` packed GE steps, or one step per
+    /// source chunk when skipping is disabled.
+    fn charge_strip_time(&mut self, tiles: u64, edges: u64, k: usize, metrics: &mut Metrics) {
+        let slots = self.tile_slots() as u64;
+        let steps = if self.config.skip_empty {
+            tiles.div_ceil(slots)
+        } else {
+            let per_chunk = self.tiled.order().chunks_per_block() as u64;
+            self.charge_idle_conversions(per_chunk * slots - tiles, k, metrics);
+            per_chunk
+        };
+        if steps == 0 && edges == 0 {
+            return;
+        }
+        let program = self.config.program_latency() * steps as f64;
+        let compute = self.config.ge_cycle() * (steps * k as u64) as f64;
+        let stream = self
+            .config
+            .cost
+            .memory_stream_latency(edges * BYTES_PER_EDGE);
+        metrics.time_breakdown.program += program;
+        metrics.time_breakdown.compute += compute;
+        metrics.time_breakdown.memory += stream;
+        metrics.elapsed += if self.config.pipelined {
+            program.max(compute).max(stream)
+        } else {
+            program + compute + stream
+        };
+        if self.config.skip_empty {
+            // Count fully-empty windows avoided, for the skip statistics.
+            let windows = self.tiled.order().chunks_per_block() as u64;
+            let used = tiles.div_ceil(slots);
+            metrics.events.subgraphs_skipped_empty += windows.saturating_sub(used);
+        }
+    }
+
+    /// Idle tile slots still drain their bitlines through the shared ADCs
+    /// when empty-window scanning is forced.
+    fn charge_idle_conversions(&mut self, idle_tiles: u64, k: usize, metrics: &mut Metrics) {
+        let c = self.config.crossbar_size as u64;
+        let arrays = self.config.arrays_per_tile() as u64;
+        let conversions = idle_tiles * c * arrays * k as u64;
+        metrics.energy.adc += self.config.cost.adc_energy(conversions);
+        metrics.events.adc_conversions += conversions;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mac_subgraph(
+        &mut self,
+        bidx: usize,
+        sidx: usize,
+        g: usize,
+        unit: &StripUnit,
+        value: &EdgeValueFn<'_>,
+        inputs: &[&[f64]],
+        outputs: &mut [Vec<f64>],
+        salu: &mut SAlu,
+        metrics: &mut Metrics,
+    ) {
+        let tiled = self.tiled;
+        let n = tiled.num_vertices();
+        let c = self.config.crossbar_size;
+        let k = inputs.len();
+        let block = &tiled.blocks()[bidx];
+        let strip = &block.strips[sidx];
+        let sg = &strip.subgraphs[g];
+        let src0 = tiled.subgraph_src_start(block, sg);
+        let arrays = self.config.arrays_per_tile() as u64;
+        let tiles = sg.tiles.len() as u64;
+        let edges = u64::from(sg.edges);
+
+        // --- functional compute ---
+        for tile in &sg.tiles {
+            self.value_buf.clear();
+            for e in &tile.entries {
+                let src = (src0 + e.row as usize) as u32;
+                let dst = tiled.tile_dst(block, strip, tile, e.col) as u32;
+                self.value_buf.push(value(e.weight, src, dst));
+            }
+            self.tile
+                .load(&tile.entries, &self.value_buf, MergeRule::Sum);
+            for (ki, x) in inputs.iter().enumerate() {
+                for r in 0..c {
+                    let src = src0 + r;
+                    self.input_buf[r] = if src < n { x[src] } else { 0.0 };
+                }
+                let y = self.tile.mac(&self.input_buf);
+                for (col, &yv) in y.iter().enumerate() {
+                    if yv == 0.0 {
+                        continue;
+                    }
+                    let dst = tiled.tile_dst(block, strip, tile, col as u8);
+                    if dst < n {
+                        let slot = &mut outputs[ki][dst - unit.dst_start];
+                        salu.reduce_one(slot, yv);
+                    }
+                }
+            }
+        }
+
+        // --- energy & events (time is charged per strip) ---
+        let cost = &self.config.cost;
+        let cells = edges * arrays;
+        let conversions = tiles * c as u64 * arrays * k as u64;
+        metrics.energy.program += cost.program_energy(cells);
+        metrics.energy.mvm += cost.mvm_energy(cells * k as u64);
+        metrics.energy.driver += cost.driver_energy(c as u64 * tiles * arrays * k as u64);
+        metrics.energy.adc += cost.adc_energy(conversions);
+        metrics.energy.sample_hold += cost.sample_hold_energy(conversions);
+        metrics.energy.shift_add += cost.shift_add_energy(conversions);
+        metrics.energy.salu += cost.salu_energy(tiles * c as u64 * k as u64);
+        let reg_reads = tiles * c as u64 * k as u64; // per-tile RegI row reads
+        let reg_writes = tiles * c as u64 * k as u64; // RegO merges
+        metrics.energy.registers += cost.register_energy(reg_reads + reg_writes);
+        metrics.energy.memory += cost.memory_stream_energy(edges * BYTES_PER_EDGE);
+
+        let ev = &mut metrics.events;
+        ev.subgraphs_processed += 1;
+        ev.tiles_loaded += tiles;
+        ev.edges_loaded += edges;
+        ev.mvm_scans += tiles * k as u64;
+        ev.adc_conversions += conversions;
+        ev.register_reads += reg_reads;
+        ev.register_writes += reg_writes;
+        ev.bytes_streamed += edges * BYTES_PER_EDGE;
+    }
+
+    /// One parallel-add-op pass over a single unit (Figure 16 c3): active
+    /// rows are driven serially; candidates are min-reduced into the
+    /// unit-local `frontier` (at least `strip_width` entries, pre-seeded
+    /// with the strip's current labels by the caller), with `updated`
+    /// marking lowered destinations. Returns the source-row activations
+    /// executed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_add_op_unit(
+        &mut self,
+        unit: &StripUnit,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addend: &[f64],
+        active: &[bool],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+        metrics: &mut Metrics,
+    ) -> u64 {
+        let tiled = self.tiled;
+        let n = tiled.num_vertices();
+        let c = self.config.crossbar_size;
+        let per_side = tiled.order().blocks_per_side();
+        let spec = self.tile.spec();
+        let mut salu = SAlu::new(ReduceOp::Min);
+        let mut total_rows: u64 = 0;
+
+        for bi in 0..per_side {
+            let bidx = unit.bj as usize * per_side + bi;
+            let block = &tiled.blocks()[bidx];
+            let sidx = unit.strip as usize;
+            let strip = &block.strips[sidx];
+            // Per-tile active-row counts drive the packed timing.
+            let mut tile_rows: Vec<u64> = Vec::new();
+            let mut strip_edges = 0u64;
+            for g in 0..strip.subgraphs.len() {
+                let sg = &strip.subgraphs[g];
+                let src0 = tiled.subgraph_src_start(block, sg);
+                let active_rows: Vec<usize> = (0..c)
+                    .filter(|&r| src0 + r < n && active[src0 + r])
+                    .collect();
+                if active_rows.is_empty() {
+                    metrics.events.subgraphs_skipped_inactive += 1;
+                    continue;
+                }
+                total_rows += active_rows.len() as u64;
+                strip_edges += u64::from(sg.edges);
+                self.addop_subgraph(
+                    bidx,
+                    sidx,
+                    g,
+                    unit,
+                    value,
+                    combine,
+                    addend,
+                    &active_rows,
+                    frontier,
+                    updated,
+                    &mut salu,
+                    spec,
+                    &mut tile_rows,
+                    metrics,
+                );
+            }
+            self.charge_addop_strip_time(&mut tile_rows, strip_edges, metrics);
+            self.charge_strip_writeback(self.config.strip_width().min(n), metrics);
+        }
+        metrics.events.salu_ops += salu.ops_performed();
+        total_rows
+    }
+
+    /// Packs active tiles into GE steps; a step's latency is its tallest
+    /// tile's serial row count times the GE cycle (all tiles in the step
+    /// progress in lockstep behind the shared ADC schedule).
+    fn charge_addop_strip_time(
+        &mut self,
+        tile_rows: &mut [u64],
+        edges: u64,
+        metrics: &mut Metrics,
+    ) {
+        if tile_rows.is_empty() {
+            if !self.config.skip_empty {
+                // Forced scan of all windows even with nothing active.
+                let steps = self.tiled.order().chunks_per_block() as u64;
+                let t = self.config.program_latency() * steps as f64;
+                metrics.time_breakdown.program += t;
+                metrics.elapsed += t;
+            }
+            return;
+        }
+        tile_rows.sort_unstable_by(|a, b| b.cmp(a));
+        let slots = self.tile_slots();
+        let mut serial_rows = 0u64;
+        let mut steps = 0u64;
+        let mut idx = 0usize;
+        while idx < tile_rows.len() {
+            serial_rows += tile_rows[idx]; // tallest tile of this step
+            steps += 1;
+            idx += slots;
+        }
+        if !self.config.skip_empty {
+            steps = steps.max(self.tiled.order().chunks_per_block() as u64);
+            serial_rows = serial_rows.max(steps);
+        }
+        let program = self.config.program_latency() * steps as f64;
+        let compute = self.config.ge_cycle() * serial_rows as f64;
+        let stream = self
+            .config
+            .cost
+            .memory_stream_latency(edges * BYTES_PER_EDGE);
+        metrics.time_breakdown.program += program;
+        metrics.time_breakdown.compute += compute;
+        metrics.time_breakdown.memory += stream;
+        metrics.elapsed += if self.config.pipelined {
+            program.max(compute).max(stream)
+        } else {
+            program + compute + stream
+        };
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn addop_subgraph(
+        &mut self,
+        bidx: usize,
+        sidx: usize,
+        g: usize,
+        unit: &StripUnit,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addend: &[f64],
+        active_rows: &[usize],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+        salu: &mut SAlu,
+        spec: graphr_units::FixedSpec,
+        tile_rows: &mut Vec<u64>,
+        metrics: &mut Metrics,
+    ) {
+        let tiled = self.tiled;
+        let n = tiled.num_vertices();
+        let c = self.config.crossbar_size;
+        let block = &tiled.blocks()[bidx];
+        let strip = &block.strips[sidx];
+        let sg = &strip.subgraphs[g];
+        let src0 = tiled.subgraph_src_start(block, sg);
+        let arrays = self.config.arrays_per_tile() as u64;
+        let tiles = sg.tiles.len() as u64;
+        let edges = u64::from(sg.edges);
+        let mut active_cells: u64 = 0;
+        let mut rows_driven: u64 = 0;
+
+        // --- functional compute ---
+        for tile in &sg.tiles {
+            self.value_buf.clear();
+            for e in &tile.entries {
+                let src = (src0 + e.row as usize) as u32;
+                let dst = tiled.tile_dst(block, strip, tile, e.col) as u32;
+                self.value_buf.push(value(e.weight, src, dst));
+            }
+            self.tile
+                .load(&tile.entries, &self.value_buf, MergeRule::Min);
+            let mut this_tile_rows = 0u64;
+            for &r in active_rows {
+                let entries = self.tile.row_entries(r);
+                if entries.is_empty() {
+                    continue; // no edge from this source in this tile
+                }
+                this_tile_rows += 1;
+                let src = src0 + r;
+                let du = addend[src];
+                for (col, w) in entries {
+                    active_cells += arrays;
+                    let dst = tiled.tile_dst(block, strip, tile, col as u8);
+                    if dst >= n {
+                        continue;
+                    }
+                    // The relaxation (e.g. dist(u) + w(u, v)), saturating
+                    // in the fixed-point datapath, then min via the sALU.
+                    let candidate = spec.quantize_value(combine(du, w));
+                    if salu.reduce_one(&mut frontier[dst - unit.dst_start], candidate) {
+                        updated[dst - unit.dst_start] = true;
+                    }
+                }
+            }
+            if this_tile_rows > 0 {
+                tile_rows.push(this_tile_rows);
+                rows_driven += this_tile_rows;
+            }
+        }
+
+        // --- energy & events (time is charged per strip) ---
+        let cost = &self.config.cost;
+        let cells = edges * arrays;
+        let conversions = tiles * c as u64 * arrays * rows_driven.max(1);
+        metrics.energy.program += cost.program_energy(cells);
+        metrics.energy.mvm += cost.mvm_energy(active_cells);
+        // Each activation drives one wordline plus the constant-1 line
+        // carrying dist(u) (Figure 16's green row).
+        metrics.energy.driver += cost.driver_energy(2 * arrays * rows_driven);
+        metrics.energy.adc += cost.adc_energy(conversions);
+        metrics.energy.sample_hold += cost.sample_hold_energy(conversions);
+        metrics.energy.shift_add += cost.shift_add_energy(conversions);
+        metrics.energy.salu += cost.salu_energy(c as u64 * rows_driven);
+        let reg_reads = rows_driven; // dist(u) per activation
+        let reg_writes = c as u64 * rows_driven; // RegO min-merge
+        metrics.energy.registers += cost.register_energy(reg_reads + reg_writes);
+        metrics.energy.memory += cost.memory_stream_energy(edges * BYTES_PER_EDGE);
+
+        let ev = &mut metrics.events;
+        ev.subgraphs_processed += 1;
+        ev.tiles_loaded += tiles;
+        ev.edges_loaded += edges;
+        ev.mvm_scans += rows_driven;
+        ev.rows_activated += active_rows.len() as u64;
+        ev.adc_conversions += conversions;
+        ev.register_reads += reg_reads;
+        ev.register_writes += reg_writes;
+        ev.bytes_streamed += edges * BYTES_PER_EDGE;
+    }
+
+    /// Charges the once-per-strip RegO write-back of `entries` values.
+    fn charge_strip_writeback(&mut self, entries: usize, metrics: &mut Metrics) {
+        let cost = &self.config.cost;
+        metrics.energy.registers += cost.register_energy(entries as u64);
+        metrics.events.register_writes += entries as u64;
+        let t = cost.salu_latency(entries as u64 / self.config.num_ges.max(1) as u64);
+        metrics.time_breakdown.apply += t;
+        metrics.elapsed += t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphr_graph::generators::rmat::Rmat;
+    use graphr_units::FixedSpec;
+
+    fn small_config() -> GraphRConfig {
+        GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn units_tile_the_destination_axis_exactly() {
+        let g = Rmat::new(100, 400).seed(1).generate();
+        let cfg = small_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let units = strip_units(&tiled);
+        assert!(!units.is_empty());
+        // Units are in merge order, disjoint, and cover [0, n).
+        let mut covered = 0usize;
+        for (i, u) in units.iter().enumerate() {
+            assert_eq!(u.index, i);
+            covered += u.dst_len;
+            assert!(u.dst_start + u.dst_len <= tiled.num_vertices() || u.dst_len == 0);
+        }
+        assert_eq!(covered, tiled.num_vertices());
+    }
+
+    #[test]
+    fn unit_scan_equals_whole_scan() {
+        use crate::exec::streaming::StreamingExecutor;
+        let g = Rmat::new(120, 700).seed(9).max_weight(5).generate();
+        let cfg = small_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let spec = FixedSpec::new(16, 8).unwrap();
+        let x: Vec<f64> = (0..120).map(|i| (i % 7) as f64 * 0.5).collect();
+
+        let mut exec = StreamingExecutor::new(&tiled, &cfg, spec);
+        let whole = exec.scan_mac(&|w, _, _| f64::from(w), &[&x]);
+        let whole_metrics = exec.into_metrics();
+
+        // Hand-rolled unit loop: same results, same merged metrics.
+        let units = strip_units(&tiled);
+        let mut scanner = StripScanner::new(&tiled, &cfg, spec);
+        let mut merged = Metrics::new();
+        let mut out = vec![0.0; 120];
+        let w = cfg.strip_width();
+        for unit in &units {
+            let mut local = vec![vec![0.0; w]];
+            let mut m = Metrics::new();
+            scanner.scan_mac_unit(unit, &|w, _, _| f64::from(w), &[&x], &mut local, &mut m);
+            merged.merge(&m);
+            out[unit.dst_start..unit.dst_start + unit.dst_len]
+                .copy_from_slice(&local[0][..unit.dst_len]);
+        }
+        merged.events.rego_capacity_required = merged
+            .events
+            .rego_capacity_required
+            .max(mac_rego_capacity(&cfg, &tiled));
+        assert_eq!(out, whole[0]);
+        assert_eq!(merged, whole_metrics);
+    }
+}

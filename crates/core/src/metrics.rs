@@ -117,14 +117,21 @@ impl Metrics {
     /// slots considered.
     #[must_use]
     pub fn skip_fraction(&self) -> f64 {
-        let skipped =
-            self.events.subgraphs_skipped_empty + self.events.subgraphs_skipped_inactive;
+        let skipped = self.events.subgraphs_skipped_empty + self.events.subgraphs_skipped_inactive;
         let total = skipped + self.events.subgraphs_processed;
         if total == 0 {
             0.0
         } else {
             skipped as f64 / total as f64
         }
+    }
+
+    /// Charges the end of one algorithm iteration: bumps the counter and
+    /// adds the controller's convergence check (one GE cycle). Shared by
+    /// every executor so serial and parallel accounting cannot drift.
+    pub fn charge_iteration(&mut self, ge_cycle: Nanos) {
+        self.iterations += 1;
+        self.elapsed += ge_cycle;
     }
 
     /// Merges another run's metrics into this one (used by multi-scan

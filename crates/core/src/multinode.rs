@@ -80,11 +80,7 @@ pub struct MultiNodeEstimate {
 /// (node `k` owns strips `s` with `s % nodes == k`), the partitioning that
 /// keeps each node's RegO windows private.
 #[must_use]
-pub fn partition_by_strip(
-    graph: &EdgeList,
-    config: &GraphRConfig,
-    nodes: usize,
-) -> Vec<EdgeList> {
+pub fn partition_by_strip(graph: &EdgeList, config: &GraphRConfig, nodes: usize) -> Vec<EdgeList> {
     let width = config.strip_width();
     let mut parts: Vec<Vec<Edge>> = vec![Vec::new(); nodes.max(1)];
     for e in graph.iter() {
@@ -142,11 +138,11 @@ pub fn estimate_pagerank_scaling(
     // its owned slice to every other node; with a switch this is |V|·2
     // bytes in and out per node.
     let bytes_per_exchange = (graph.num_vertices() * 2) as f64;
-    let per_exchange = cluster.exchange_latency
-        + Nanos::new(bytes_per_exchange / cluster.interconnect_gbps);
+    let per_exchange =
+        cluster.exchange_latency + Nanos::new(bytes_per_exchange / cluster.interconnect_gbps);
     let exchange_time = per_exchange * iterations as f64;
-    let exchange_energy = cluster.energy_per_byte
-        * (bytes_per_exchange * cluster.nodes as f64 * iterations as f64);
+    let exchange_energy =
+        cluster.energy_per_byte * (bytes_per_exchange * cluster.nodes as f64 * iterations as f64);
 
     let total_time = bottleneck + exchange_time;
     Ok(MultiNodeEstimate {
@@ -203,10 +199,10 @@ mod tests {
             tolerance: 0.0,
             ..PageRankOptions::default()
         };
-        let two = estimate_pagerank_scaling(&g, &cfg, &MultiNodeConfig::pcie_cluster(2), &opts)
-            .unwrap();
-        let eight = estimate_pagerank_scaling(&g, &cfg, &MultiNodeConfig::pcie_cluster(8), &opts)
-            .unwrap();
+        let two =
+            estimate_pagerank_scaling(&g, &cfg, &MultiNodeConfig::pcie_cluster(2), &opts).unwrap();
+        let eight =
+            estimate_pagerank_scaling(&g, &cfg, &MultiNodeConfig::pcie_cluster(8), &opts).unwrap();
         assert!(two.speedup > 1.0, "two nodes should help: {}", two.speedup);
         assert!(
             eight.speedup >= two.speedup * 0.9,
@@ -228,8 +224,8 @@ mod tests {
             tolerance: 0.0,
             ..PageRankOptions::default()
         };
-        let one = estimate_pagerank_scaling(&g, &cfg, &MultiNodeConfig::pcie_cluster(1), &opts)
-            .unwrap();
+        let one =
+            estimate_pagerank_scaling(&g, &cfg, &MultiNodeConfig::pcie_cluster(1), &opts).unwrap();
         assert!(
             one.speedup <= 1.0 + 1e-9,
             "one node plus exchange cannot beat one node: {}",
@@ -240,6 +236,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
-        MultiNodeConfig::pcie_cluster(0);
+        let _ = MultiNodeConfig::pcie_cluster(0);
     }
 }

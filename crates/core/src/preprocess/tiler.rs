@@ -264,8 +264,7 @@ impl TiledGraph {
     /// First source vertex of `subgraph` in `block`.
     #[must_use]
     pub fn subgraph_src_start(&self, block: &Block, subgraph: &Subgraph) -> usize {
-        block.bi as usize * self.order.block_size()
-            + subgraph.chunk as usize * self.crossbar_size
+        block.bi as usize * self.order.block_size() + subgraph.chunk as usize * self.crossbar_size
     }
 
     /// Global destination vertex of a tile-local column.

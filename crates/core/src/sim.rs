@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{ConfigError, GraphRConfig};
 use crate::exec::streaming::StreamingExecutor;
+use crate::exec::ScanEngine;
 use crate::metrics::Metrics;
 use crate::preprocess::tiler::TiledGraph;
 
@@ -172,14 +173,35 @@ pub fn run_pagerank(
     config: &GraphRConfig,
     opts: &PageRankOptions,
 ) -> Result<ScalarRun, SimError> {
-    let n = graph.num_vertices();
-    if n == 0 {
+    if graph.num_vertices() == 0 {
         return Err(SimError::Config(ConfigError::new(
             "pagerank requires at least one vertex",
         )));
     }
     let tiled = TiledGraph::preprocess(graph, config)?;
     let mut exec = StreamingExecutor::new(&tiled, config, opts.matrix_spec);
+    run_pagerank_with(graph, &mut exec, opts)
+}
+
+/// Runs PageRank on any [`ScanEngine`] (the generic core of
+/// [`run_pagerank`], also driven by `graphr-runtime`'s parallel
+/// executor). The engine must have been built over a preprocessing of
+/// `graph` with the algorithm's matrix format.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for an empty graph.
+pub fn run_pagerank_with(
+    graph: &EdgeList,
+    exec: &mut dyn ScanEngine,
+    opts: &PageRankOptions,
+) -> Result<ScalarRun, SimError> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Err(SimError::Config(ConfigError::new(
+            "pagerank requires at least one vertex",
+        )));
+    }
     let degrees = graph.out_degrees();
     let r = opts.damping;
     let value = move |_w: f32, src: u32, _dst: u32| r / f64::from(degrees[src as usize]);
@@ -222,7 +244,7 @@ pub fn run_pagerank(
     Ok(ScalarRun {
         values,
         converged,
-        metrics: exec.into_metrics(),
+        metrics: exec.take_metrics(),
     })
 }
 
@@ -261,6 +283,31 @@ pub fn run_spmv(
     config: &GraphRConfig,
     opts: &SpmvOptions,
 ) -> Result<ScalarRun, SimError> {
+    if let Some(v) = &opts.input {
+        if v.len() != graph.num_vertices() {
+            return Err(SimError::Config(ConfigError::new(format!(
+                "input vector has {} entries, graph has {} vertices",
+                v.len(),
+                graph.num_vertices()
+            ))));
+        }
+    }
+    let tiled = TiledGraph::preprocess(graph, config)?;
+    let mut exec = StreamingExecutor::new(&tiled, config, opts.matrix_spec);
+    run_spmv_with(graph, &mut exec, opts)
+}
+
+/// Runs one SpMV pass on any [`ScanEngine`] (the generic core of
+/// [`run_spmv`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for an input vector of the wrong length.
+pub fn run_spmv_with(
+    graph: &EdgeList,
+    exec: &mut dyn ScanEngine,
+    opts: &SpmvOptions,
+) -> Result<ScalarRun, SimError> {
     let n = graph.num_vertices();
     let x = match &opts.input {
         Some(v) => {
@@ -274,13 +321,12 @@ pub fn run_spmv(
         }
         None => vec![1.0; n],
     };
-    let tiled = TiledGraph::preprocess(graph, config)?;
-    let mut exec = StreamingExecutor::new(&tiled, config, opts.matrix_spec);
     let degrees = graph.out_degrees();
-    let value = move |w: f32, src: u32, _dst: u32| {
-        f64::from(w) / f64::from(degrees[src as usize])
-    };
-    let qx: Vec<f64> = x.iter().map(|&v| opts.register_spec.quantize_value(v)).collect();
+    let value = move |w: f32, src: u32, _dst: u32| f64::from(w) / f64::from(degrees[src as usize]);
+    let qx: Vec<f64> = x
+        .iter()
+        .map(|&v| opts.register_spec.quantize_value(v))
+        .collect();
     let y = exec.scan_mac(&value, &[&qx]);
     exec.end_iteration();
     let values = y[0]
@@ -290,7 +336,7 @@ pub fn run_spmv(
     Ok(ScalarRun {
         values,
         converged: true,
-        metrics: exec.into_metrics(),
+        metrics: exec.take_metrics(),
     })
 }
 
@@ -329,7 +375,34 @@ pub fn run_bfs(
     config: &GraphRConfig,
     opts: &TraversalOptions,
 ) -> Result<TraversalRun, SimError> {
-    run_add_op(graph, config, opts, &|_w, _s, _d| 1.0, &|du, w| du + w)
+    check_source(graph, opts)?;
+    let tiled = TiledGraph::preprocess(graph, config)?;
+    let mut exec = StreamingExecutor::new(&tiled, config, opts.spec);
+    run_bfs_with(graph, &mut exec, opts)
+}
+
+/// Validates a traversal source before any preprocessing is paid for.
+fn check_source(graph: &EdgeList, opts: &TraversalOptions) -> Result<(), SimError> {
+    if (opts.source as usize) >= graph.num_vertices() {
+        return Err(SimError::BadSource {
+            source: opts.source,
+            num_vertices: graph.num_vertices(),
+        });
+    }
+    Ok(())
+}
+
+/// Runs BFS on any [`ScanEngine`] (the generic core of [`run_bfs`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadSource`] for an out-of-range source.
+pub fn run_bfs_with(
+    graph: &EdgeList,
+    exec: &mut dyn ScanEngine,
+    opts: &TraversalOptions,
+) -> Result<TraversalRun, SimError> {
+    run_add_op_with(graph, exec, opts, &|_w, _s, _d| 1.0, &|du, w| du + w)
 }
 
 /// Runs SSSP on GraphR (parallel add-op, §4.2, Figure 16c).
@@ -345,6 +418,16 @@ pub fn run_sssp(
     config: &GraphRConfig,
     opts: &TraversalOptions,
 ) -> Result<TraversalRun, SimError> {
+    check_source(graph, opts)?;
+    check_sssp_weights(graph)?;
+    let tiled = TiledGraph::preprocess(graph, config)?;
+    let mut exec = StreamingExecutor::new(&tiled, config, opts.spec);
+    run_sssp_with(graph, &mut exec, opts)
+}
+
+/// Validates SSSP edge weights (≥ 1 so they stay nonzero in the integer
+/// label format) before any preprocessing is paid for.
+fn check_sssp_weights(graph: &EdgeList) -> Result<(), SimError> {
     for e in graph.iter() {
         if e.weight < 1.0 {
             return Err(SimError::BadWeight {
@@ -354,15 +437,32 @@ pub fn run_sssp(
             });
         }
     }
-    run_add_op(graph, config, opts, &|w, _s, _d| f64::from(w), &|du, w| du + w)
+    Ok(())
 }
 
-fn run_add_op(
+/// Runs SSSP on any [`ScanEngine`] (the generic core of [`run_sssp`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadWeight`] if any edge weight is below 1 and
+/// [`SimError::BadSource`] for an out-of-range source.
+pub fn run_sssp_with(
     graph: &EdgeList,
-    config: &GraphRConfig,
+    exec: &mut dyn ScanEngine,
     opts: &TraversalOptions,
-    value: &dyn Fn(f32, u32, u32) -> f64,
-    combine: &dyn Fn(f64, f64) -> f64,
+) -> Result<TraversalRun, SimError> {
+    check_sssp_weights(graph)?;
+    run_add_op_with(graph, exec, opts, &|w, _s, _d| f64::from(w), &|du, w| {
+        du + w
+    })
+}
+
+fn run_add_op_with(
+    graph: &EdgeList,
+    exec: &mut dyn ScanEngine,
+    opts: &TraversalOptions,
+    value: &(dyn Fn(f32, u32, u32) -> f64 + Sync),
+    combine: &(dyn Fn(f64, f64) -> f64 + Sync),
 ) -> Result<TraversalRun, SimError> {
     let n = graph.num_vertices();
     if (opts.source as usize) >= n {
@@ -371,8 +471,6 @@ fn run_add_op(
             num_vertices: n,
         });
     }
-    let tiled = TiledGraph::preprocess(graph, config)?;
-    let mut exec = StreamingExecutor::new(&tiled, config, opts.spec);
     let inf = opts.spec.max_value();
     let mut dist = vec![inf; n];
     dist[opts.source as usize] = 0.0;
@@ -397,7 +495,7 @@ fn run_add_op(
         .collect();
     Ok(TraversalRun {
         distances,
-        metrics: exec.into_metrics(),
+        metrics: exec.take_metrics(),
     })
 }
 
@@ -426,6 +524,35 @@ pub struct WccRun {
 /// 16-bit label format can name (the §3.2 data format caps labels at
 /// `2^15 − 1`), or for invalid configurations.
 pub fn run_wcc(graph: &EdgeList, config: &GraphRConfig) -> Result<WccRun, SimError> {
+    let sym = symmetrised(graph);
+    let tiled = TiledGraph::preprocess(&sym, config)?;
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    let mut exec = StreamingExecutor::new(&tiled, config, spec);
+    run_wcc_with(graph, &mut exec)
+}
+
+/// Symmetrises a graph by adding every transposed edge — the
+/// preprocessing step label-propagation algorithms (WCC) need before
+/// tiling, split out so callers with preprocessed-graph caches can key on
+/// it.
+#[must_use]
+pub fn symmetrised(graph: &EdgeList) -> EdgeList {
+    let mut sym = graph.clone();
+    for e in graph.transposed().iter() {
+        sym.add_edge(*e).expect("transposed edges are in range");
+    }
+    sym
+}
+
+/// Runs WCC on any [`ScanEngine`] (the generic core of [`run_wcc`]). The
+/// engine must have been built over a preprocessing of the
+/// [`symmetrised`] graph with a Q16.0 format.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] if the graph has more vertices than the
+/// 16-bit label format can name.
+pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRun, SimError> {
     let n = graph.num_vertices();
     let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
     if n as f64 > spec.max_value() {
@@ -433,14 +560,6 @@ pub fn run_wcc(graph: &EdgeList, config: &GraphRConfig) -> Result<WccRun, SimErr
             "WCC labels vertices by id; {n} vertices exceed the 16-bit format"
         ))));
     }
-    // Label propagation needs both directions: symmetrise once (part of
-    // preprocessing, like the §3.4 ordering).
-    let mut sym = graph.clone();
-    for e in graph.transposed().iter() {
-        sym.add_edge(*e).expect("transposed edges are in range");
-    }
-    let tiled = TiledGraph::preprocess(&sym, config)?;
-    let mut exec = StreamingExecutor::new(&tiled, config, spec);
     let value = |_w: f32, _s: u32, _d: u32| 1.0; // presence marker
     let combine = |du: f64, _w: f64| du; // forward the label unchanged
 
@@ -449,7 +568,14 @@ pub fn run_wcc(graph: &EdgeList, config: &GraphRConfig) -> Result<WccRun, SimErr
     for _round in 0..n.max(1) {
         let mut frontier = labels.clone();
         let mut updated = vec![false; n];
-        exec.scan_add_op(&value, &combine, &labels, &active, &mut frontier, &mut updated);
+        exec.scan_add_op(
+            &value,
+            &combine,
+            &labels,
+            &active,
+            &mut frontier,
+            &mut updated,
+        );
         exec.end_iteration();
         labels = frontier;
         active = updated;
@@ -464,7 +590,7 @@ pub fn run_wcc(graph: &EdgeList, config: &GraphRConfig) -> Result<WccRun, SimErr
     Ok(WccRun {
         num_components: distinct.len(),
         labels,
-        metrics: exec.into_metrics(),
+        metrics: exec.take_metrics(),
     })
 }
 
@@ -526,26 +652,79 @@ pub fn run_cf(
     config: &GraphRConfig,
     opts: &CfOptions,
 ) -> Result<CfRun, SimError> {
+    let cf_config = cf_config_for(config)?;
+    let tiled = TiledGraph::preprocess(ratings, &cf_config)?;
+    let transposed = ratings.transposed();
+    let tiled_t = TiledGraph::preprocess(&transposed, &cf_config)?;
+    run_cf_with(ratings, users, items, &cf_config, opts, &mut |matrix| {
+        let t = match matrix {
+            CfMatrix::Ratings => &tiled,
+            CfMatrix::Transposed => &tiled_t,
+        };
+        Box::new(StreamingExecutor::new(t, &cf_config, opts.spec))
+    })
+}
+
+/// Which orientation of the ratings matrix a CF engine streams: `R` for
+/// item-side gradients, `Rᵀ` for user-side gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfMatrix {
+    /// The ratings matrix `R` (users → items).
+    Ratings,
+    /// The transposed matrix `Rᵀ` (items → users).
+    Transposed,
+}
+
+/// Derives the CF execution configuration from a base configuration:
+/// signed errors need differential tiles.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] if the geometry cannot accommodate
+/// differential tiles.
+pub fn cf_config_for(config: &GraphRConfig) -> Result<GraphRConfig, SimError> {
+    let mut cf_config = config.clone();
+    cf_config.sign_mode = graphr_reram::SignMode::Differential;
+    if !cf_config
+        .crossbars_per_ge
+        .is_multiple_of(cf_config.arrays_per_tile())
+    {
+        return Err(SimError::Config(ConfigError::new(
+            "crossbars_per_ge must accommodate differential tiles for CF",
+        )));
+    }
+    Ok(cf_config)
+}
+
+/// Runs collaborative filtering on engines supplied per scan (the generic
+/// core of [`run_cf`], also driven by `graphr-runtime`). `make_engine` is
+/// called twice per epoch — once per [`CfMatrix`] orientation — and must
+/// build engines over preprocessings of `R`/`Rᵀ` under [`cf_config_for`]'s
+/// configuration (passed here as `config` for the controller's cost
+/// charging).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadBipartite`] if `users + items` does not match
+/// the graph.
+pub fn run_cf_with<'e>(
+    ratings: &EdgeList,
+    users: usize,
+    items: usize,
+    config: &GraphRConfig,
+    opts: &CfOptions,
+    make_engine: &mut dyn FnMut(CfMatrix) -> Box<dyn ScanEngine + 'e>,
+) -> Result<CfRun, SimError> {
     if ratings.num_vertices() != users + items {
         return Err(SimError::BadBipartite {
             expected: users + items,
             got: ratings.num_vertices(),
         });
     }
-    // Signed errors need differential tiles.
-    let mut cf_config = config.clone();
-    cf_config.sign_mode = graphr_reram::SignMode::Differential;
-    if !cf_config.crossbars_per_ge.is_multiple_of(cf_config.arrays_per_tile()) {
-        return Err(SimError::Config(ConfigError::new(
-            "crossbars_per_ge must accommodate differential tiles for CF",
-        )));
-    }
+    let cf_config = config;
     let n = users + items;
     let f = opts.features.max(1);
     let q = opts.spec;
-    let tiled = TiledGraph::preprocess(ratings, &cf_config)?;
-    let transposed = ratings.transposed();
-    let tiled_t = TiledGraph::preprocess(&transposed, &cf_config)?;
 
     // Deterministic small positive init (splitmix64), quantised.
     let mut state = opts.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -557,8 +736,12 @@ pub fn run_cf(
         z ^= z >> 31;
         0.2 + (z >> 11) as f64 / (1u64 << 53) as f64 * 0.4
     };
-    let mut p: Vec<f64> = (0..users * f).map(|_| q.quantize_value(next_init())).collect();
-    let mut qm: Vec<f64> = (0..items * f).map(|_| q.quantize_value(next_init())).collect();
+    let mut p: Vec<f64> = (0..users * f)
+        .map(|_| q.quantize_value(next_init()))
+        .collect();
+    let mut qm: Vec<f64> = (0..items * f)
+        .map(|_| q.quantize_value(next_init()))
+        .collect();
 
     let out_deg = ratings.out_degrees();
     let in_deg = ratings.in_degrees();
@@ -575,9 +758,8 @@ pub fn run_cf(
             q.quantize_value(f64::from(w) - pred)
         };
         // Item-side gradients: y[i] = Σ_u e_ui · p_u[feat] over R.
-        let value_r = |w: f32, src: u32, dst: u32| -> f64 {
-            error_ui(w, src as usize, dst as usize - users)
-        };
+        let value_r =
+            |w: f32, src: u32, dst: u32| -> f64 { error_ui(w, src as usize, dst as usize - users) };
         let p_cols: Vec<Vec<f64>> = (0..f)
             .map(|feat| {
                 let mut col = vec![0.0; n];
@@ -588,15 +770,14 @@ pub fn run_cf(
             })
             .collect();
         let p_col_refs: Vec<&[f64]> = p_cols.iter().map(Vec::as_slice).collect();
-        let mut exec_r = StreamingExecutor::new(&tiled, &cf_config, q);
+        let mut exec_r = make_engine(CfMatrix::Ratings);
         let grad_q = exec_r.scan_mac(&value_r, &p_col_refs);
         exec_r.end_iteration();
-        metrics.merge(&exec_r.into_metrics());
+        metrics.merge(&exec_r.take_metrics());
 
         // User-side gradients: y[u] = Σ_i e_ui · q_i[feat] over Rᵀ.
-        let value_rt = |w: f32, src: u32, dst: u32| -> f64 {
-            error_ui(w, dst as usize, src as usize - users)
-        };
+        let value_rt =
+            |w: f32, src: u32, dst: u32| -> f64 { error_ui(w, dst as usize, src as usize - users) };
         let q_cols: Vec<Vec<f64>> = (0..f)
             .map(|feat| {
                 let mut col = vec![0.0; n];
@@ -607,9 +788,9 @@ pub fn run_cf(
             })
             .collect();
         let q_col_refs: Vec<&[f64]> = q_cols.iter().map(Vec::as_slice).collect();
-        let mut exec_t = StreamingExecutor::new(&tiled_t, &cf_config, q);
+        let mut exec_t = make_engine(CfMatrix::Transposed);
         let grad_p = exec_t.scan_mac(&value_rt, &q_col_refs);
-        metrics.merge(&exec_t.into_metrics());
+        metrics.merge(&exec_t.take_metrics());
 
         // Controller update, quantised.
         let lr = opts.learning_rate;
@@ -725,10 +906,7 @@ mod tests {
         let run = run_spmv(&g, &test_config(), &opts).unwrap();
         let gold = spmv_vertex_program(&g.to_csr(), &vec![1.0; 60]);
         for (a, b) in run.values.iter().zip(&gold) {
-            assert!(
-                (a - b).abs() < 0.1 + b.abs() * 0.02,
-                "spmv {a} vs gold {b}"
-            );
+            assert!((a - b).abs() < 0.1 + b.abs() * 0.02, "spmv {a} vs gold {b}");
         }
     }
 
@@ -749,11 +927,7 @@ mod tests {
             )
             .unwrap();
             let gold = bfs(&g.to_csr(), src);
-            let gold_f: Vec<Option<f64>> = gold
-                .levels
-                .iter()
-                .map(|l| l.map(f64::from))
-                .collect();
+            let gold_f: Vec<Option<f64>> = gold.levels.iter().map(|l| l.map(f64::from)).collect();
             assert_eq!(run.distances, gold_f);
         }
     }

@@ -86,10 +86,7 @@ mod tests {
     #[test]
     fn cycle_levels_wrap() {
         let r = bfs(&cycle(5).to_csr(), 2);
-        assert_eq!(
-            r.levels,
-            vec![Some(3), Some(4), Some(0), Some(1), Some(2)]
-        );
+        assert_eq!(r.levels, vec![Some(3), Some(4), Some(0), Some(1), Some(2)]);
     }
 
     #[test]

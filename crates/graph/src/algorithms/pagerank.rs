@@ -195,7 +195,16 @@ mod tests {
         // and 3 (deg 2). Column 2: to 0 (deg 1). Column 3: to 1, 2 (deg 2).
         let g = crate::EdgeList::from_pairs(
             4,
-            [(0, 1), (0, 2), (0, 3), (1, 0), (1, 3), (2, 0), (3, 1), (3, 2)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 0),
+                (1, 3),
+                (2, 0),
+                (3, 1),
+                (3, 2),
+            ],
         )
         .unwrap();
         let res = pagerank(

@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn rmat_is_more_concentrated_than_uniform() {
         let skewed = Rmat::new(512, 4096).seed(2).generate();
-        let uniform = Rmat::new(512, 4096).skew(0.25, 0.25, 0.25).seed(2).generate();
+        let uniform = Rmat::new(512, 4096)
+            .skew(0.25, 0.25, 0.25)
+            .seed(2)
+            .generate();
         let cs = edge_concentration(&skewed, 0.1);
         let cu = edge_concentration(&uniform, 0.1);
         assert!(cs > cu, "skewed {cs} should exceed uniform {cu}");

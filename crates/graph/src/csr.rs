@@ -211,10 +211,7 @@ mod tests {
         let g = EdgeList::from_pairs(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
         let csr = g.to_csr();
         let triples: Vec<_> = csr.edge_triples().collect();
-        assert_eq!(
-            triples,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]
-        );
+        assert_eq!(triples, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
     }
 
     proptest! {

@@ -14,6 +14,9 @@
 //! `GRAPHR_SCALE` environment variable (default 1/64) so the full grid runs
 //! in seconds.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::coo::EdgeList;
@@ -230,6 +233,13 @@ impl DatasetSpec {
         }
     }
 
+    /// The cache/registry name of this dataset at `scale` — tag and scale
+    /// together, so different scales never collide.
+    #[must_use]
+    pub fn scaled_name(&self, scale: f64) -> String {
+        format!("{}@{scale}", self.tag)
+    }
+
     /// The scaled user/item split for bipartite datasets, `None` otherwise.
     #[must_use]
     pub fn scaled_bipartite(&self, scale: f64) -> Option<(usize, usize)> {
@@ -240,6 +250,184 @@ impl DatasetSpec {
             )),
             DatasetKind::Directed => None,
         }
+    }
+}
+
+/// A stable graph identity: a human-readable name plus a content
+/// fingerprint. Hashable and cheap to clone, so service layers (the
+/// `graphr-runtime` session) can key preprocessed-graph caches on it
+/// without re-hashing edge lists on every lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphId {
+    name: String,
+    fingerprint: u64,
+}
+
+impl GraphId {
+    /// The human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The content fingerprint (FNV-1a over dimensions and edges).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+impl std::fmt::Display for GraphId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{:016x}", self.name, self.fingerprint)
+    }
+}
+
+/// A registered graph: shared edge list plus its [`GraphId`] and optional
+/// bipartite split. This is the unit the runtime's job API passes around —
+/// cloning is an `Arc` bump, and the id survives as a cache key after the
+/// graph itself is dropped.
+#[derive(Debug, Clone)]
+pub struct GraphHandle {
+    id: GraphId,
+    graph: Arc<EdgeList>,
+    bipartite: Option<(usize, usize)>,
+}
+
+impl GraphHandle {
+    /// Wraps a graph under `name`, fingerprinting its content.
+    #[must_use]
+    pub fn new(name: impl Into<String>, graph: EdgeList) -> Self {
+        Self::build(name.into(), graph, None)
+    }
+
+    /// Wraps a bipartite (rating) graph with its user/item split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users + items` does not match the vertex count.
+    #[must_use]
+    pub fn bipartite(name: impl Into<String>, graph: EdgeList, users: usize, items: usize) -> Self {
+        assert_eq!(
+            users + items,
+            graph.num_vertices(),
+            "bipartite split must cover all vertices"
+        );
+        Self::build(name.into(), graph, Some((users, items)))
+    }
+
+    /// Generates and wraps a Table 3 dataset clone at `scale`; the name
+    /// encodes tag and scale so different scales never collide in caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    #[must_use]
+    pub fn from_spec(spec: &DatasetSpec, scale: f64) -> Self {
+        let graph = spec.generate(scale);
+        Self::build(spec.scaled_name(scale), graph, spec.scaled_bipartite(scale))
+    }
+
+    fn build(name: String, graph: EdgeList, bipartite: Option<(usize, usize)>) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(graph.num_vertices() as u64);
+        mix(graph.num_edges() as u64);
+        for e in graph.iter() {
+            mix(u64::from(e.src) << 32 | u64::from(e.dst));
+            mix(u64::from(e.weight.to_bits()));
+        }
+        GraphHandle {
+            id: GraphId {
+                name,
+                fingerprint: h,
+            },
+            graph: Arc::new(graph),
+            bipartite,
+        }
+    }
+
+    /// The graph's stable identity.
+    #[must_use]
+    pub fn id(&self) -> &GraphId {
+        &self.id
+    }
+
+    /// The edge list.
+    #[must_use]
+    pub fn graph(&self) -> &EdgeList {
+        &self.graph
+    }
+
+    /// The shared edge list.
+    #[must_use]
+    pub fn shared(&self) -> Arc<EdgeList> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The `(users, items)` split for bipartite graphs.
+    #[must_use]
+    pub fn bipartite_dims(&self) -> Option<(usize, usize)> {
+        self.bipartite
+    }
+}
+
+/// A name-keyed collection of [`GraphHandle`]s — the dataset registry a
+/// long-lived service hangs its loaded graphs on.
+#[derive(Debug, Default)]
+pub struct GraphRegistry {
+    handles: HashMap<String, GraphHandle>,
+}
+
+impl GraphRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        GraphRegistry::default()
+    }
+
+    /// Registers a handle under its id name, returning the previous holder
+    /// of the name, if any.
+    pub fn insert(&mut self, handle: GraphHandle) -> Option<GraphHandle> {
+        self.handles.insert(handle.id().name().to_owned(), handle)
+    }
+
+    /// Looks a handle up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&GraphHandle> {
+        self.handles.get(name)
+    }
+
+    /// Generates, registers, and returns a Table 3 dataset clone (no-op if
+    /// the same name is already registered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn load_spec(&mut self, spec: &DatasetSpec, scale: f64) -> &GraphHandle {
+        self.handles
+            .entry(spec.scaled_name(scale))
+            .or_insert_with(|| GraphHandle::from_spec(spec, scale))
+    }
+
+    /// Number of registered graphs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Iterates over the registered handles in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &GraphHandle> {
+        self.handles.values()
     }
 }
 
@@ -268,7 +456,13 @@ mod tests {
         assert_eq!(wv.edges, 103_000);
         let nf = DatasetSpec::by_tag("NF").unwrap();
         assert_eq!(nf.edges, 99_000_000);
-        assert!(matches!(nf.kind, DatasetKind::Bipartite { users: 480_000, items: 17_800 }));
+        assert!(matches!(
+            nf.kind,
+            DatasetKind::Bipartite {
+                users: 480_000,
+                items: 17_800
+            }
+        ));
         assert!(DatasetSpec::by_tag("zz").is_none());
     }
 
@@ -330,5 +524,57 @@ mod tests {
     #[should_panic(expected = "scale")]
     fn rejects_zero_scale() {
         let _ = DatasetSpec::wiki_vote().scaled_dimensions(0.0);
+    }
+
+    #[test]
+    fn handles_fingerprint_content() {
+        let spec = DatasetSpec::wiki_vote();
+        let a = GraphHandle::from_spec(&spec, 0.01);
+        let b = GraphHandle::from_spec(&spec, 0.01);
+        // Same content → same id (usable as a cache key across loads).
+        assert_eq!(a.id(), b.id());
+        let c = GraphHandle::from_spec(&spec, 0.02);
+        assert_ne!(a.id(), c.id());
+        // Same dimensions but different content → different fingerprint.
+        let d1 = GraphHandle::new(
+            "x",
+            crate::generators::rmat::Rmat::new(64, 128)
+                .seed(1)
+                .generate(),
+        );
+        let d2 = GraphHandle::new(
+            "x",
+            crate::generators::rmat::Rmat::new(64, 128)
+                .seed(2)
+                .generate(),
+        );
+        assert_eq!(d1.id().name(), d2.id().name());
+        assert_ne!(d1.id().fingerprint(), d2.id().fingerprint());
+    }
+
+    #[test]
+    fn bipartite_handles_carry_the_split() {
+        let spec = DatasetSpec::netflix();
+        let h = GraphHandle::from_spec(&spec, 0.001);
+        let (users, items) = h.bipartite_dims().unwrap();
+        assert_eq!(users + items, h.graph().num_vertices());
+        assert!(GraphHandle::new("d", EdgeList::new(4))
+            .bipartite_dims()
+            .is_none());
+    }
+
+    #[test]
+    fn registry_loads_specs_once() {
+        let mut reg = GraphRegistry::new();
+        assert!(reg.is_empty());
+        let id = reg.load_spec(&DatasetSpec::wiki_vote(), 0.01).id().clone();
+        let again = reg.load_spec(&DatasetSpec::wiki_vote(), 0.01).id().clone();
+        assert_eq!(id, again);
+        assert_eq!(reg.len(), 1);
+        reg.load_spec(&DatasetSpec::slashdot(), 0.01);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("WV@0.01").is_some());
+        assert!(reg.get("nope").is_none());
+        assert_eq!(reg.iter().count(), 2);
     }
 }

@@ -146,11 +146,7 @@ impl RatingMatrix {
                 .sum();
             let noisy = dot + (rng.gen::<f64>() - 0.5) * 2.0 * self.noise;
             let rating = noisy.clamp(1.0, 5.0);
-            edges.push(Edge::new(
-                u as u32,
-                (self.users + i) as u32,
-                rating as f32,
-            ));
+            edges.push(Edge::new(u as u32, (self.users + i) as u32, rating as f32));
         }
         let graph = EdgeList::from_edges(self.users + self.items, edges)
             .expect("generator produced in-range vertices");
@@ -197,8 +193,7 @@ mod tests {
         // should correlate: the same (user, item) re-drawn gives the same
         // base dot product, so overall variance stays well below uniform.
         let m = RatingMatrix::new(30, 10, 2000).seed(6).generate();
-        let mean: f64 =
-            m.graph().iter().map(|e| f64::from(e.weight)).sum::<f64>() / 2000.0;
+        let mean: f64 = m.graph().iter().map(|e| f64::from(e.weight)).sum::<f64>() / 2000.0;
         assert!((1.0..=5.0).contains(&mean));
         let var: f64 = m
             .graph()

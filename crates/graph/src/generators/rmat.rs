@@ -154,7 +154,9 @@ mod tests {
         let g = Rmat::new(100, 500).seed(3).generate();
         assert_eq!(g.num_vertices(), 100);
         assert_eq!(g.num_edges(), 500);
-        assert!(g.iter().all(|e| (e.src as usize) < 100 && (e.dst as usize) < 100));
+        assert!(g
+            .iter()
+            .all(|e| (e.src as usize) < 100 && (e.dst as usize) < 100));
     }
 
     #[test]

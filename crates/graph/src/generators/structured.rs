@@ -13,8 +13,7 @@ use crate::coo::{Edge, EdgeList};
 #[must_use]
 pub fn path(n: usize) -> EdgeList {
     assert!(n > 0, "path needs at least one vertex");
-    EdgeList::from_pairs(n, (0..n as u32 - 1).map(|v| (v, v + 1)))
-        .expect("path edges are in range")
+    EdgeList::from_pairs(n, (0..n as u32 - 1).map(|v| (v, v + 1))).expect("path edges are in range")
 }
 
 /// A directed cycle `0 → 1 → … → n-1 → 0`.
@@ -53,8 +52,8 @@ pub fn star(n: usize) -> EdgeList {
 #[must_use]
 pub fn complete(n: usize) -> EdgeList {
     assert!(n > 0, "complete graph needs at least one vertex");
-    let pairs = (0..n as u32)
-        .flat_map(|s| (0..n as u32).filter(move |&d| d != s).map(move |d| (s, d)));
+    let pairs =
+        (0..n as u32).flat_map(|s| (0..n as u32).filter(move |&d| d != s).map(move |d| (s, d)));
     EdgeList::from_pairs(n, pairs).expect("complete-graph edges are in range")
 }
 

@@ -92,7 +92,11 @@ pub fn read_text<R: Read>(reader: R) -> Result<EdgeList, GraphError> {
         max_id = max_id.max(u64::from(src)).max(u64::from(dst));
         edges.push(Edge::new(src, dst, weight));
     }
-    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let inferred = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let num_vertices = declared_vertices.unwrap_or(inferred).max(inferred);
     EdgeList::from_edges(num_vertices, edges)
 }
@@ -244,10 +248,7 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let g = Rmat::new(32, 100).seed(9).max_weight(4).generate();
-        let path = std::env::temp_dir().join(format!(
-            "graphr-io-test-{}.txt",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("graphr-io-test-{}.txt", std::process::id()));
         write_text_file(&g, &path).unwrap();
         let back = read_text_file(&path).unwrap();
         std::fs::remove_file(&path).ok();

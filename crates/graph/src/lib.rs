@@ -44,7 +44,7 @@ pub mod partition;
 
 pub use coo::{Edge, EdgeList};
 pub use csr::Csr;
-pub use datasets::{DatasetKind, DatasetSpec};
+pub use datasets::{DatasetKind, DatasetSpec, GraphHandle, GraphId, GraphRegistry};
 pub use error::GraphError;
 pub use partition::GridPartition;
 

@@ -99,13 +99,19 @@ impl WorkloadStats {
     /// Total sequentially streamed bytes.
     #[must_use]
     pub fn total_sequential_bytes(&self) -> u64 {
-        self.iterations.iter().map(IterationStats::sequential_bytes).sum()
+        self.iterations
+            .iter()
+            .map(IterationStats::sequential_bytes)
+            .sum()
     }
 
     /// Total randomly accessed bytes.
     #[must_use]
     pub fn total_random_bytes(&self) -> u64 {
-        self.iterations.iter().map(IterationStats::random_bytes).sum()
+        self.iterations
+            .iter()
+            .map(IterationStats::random_bytes)
+            .sum()
     }
 
     /// Total update records materialised (X-Stream traffic).

@@ -72,13 +72,11 @@ impl PimModel {
         // frontier-serialisation weakness of vertex-partitioned PIM
         // (active_vertices == 0 means "no active list": all vaults busy).
         let edge_cost = self.tuning.cycles_per_edge
-            * (1.0
-                + self.spec.remote_fraction * (self.spec.remote_penalty - 1.0));
+            * (1.0 + self.spec.remote_fraction * (self.spec.remote_penalty - 1.0));
         // Source-side work is bound to the vaults owning active vertices;
         // scanning, update reception and auxiliary compute spread over all
         // vaults.
-        let src_cycles =
-            it.edges_processed as f64 * edge_cost * self.tuning.imbalance;
+        let src_cycles = it.edges_processed as f64 * edge_cost * self.tuning.imbalance;
         let wide_cycles = (it.updates_applied as f64 * edge_cost
             + it.edges_scanned as f64 * self.tuning.cycles_per_scanned_edge
             + it.extra_compute_cycles as f64)
@@ -95,8 +93,7 @@ impl PimModel {
         // Bandwidth term: HMC internal bandwidth is huge; random accesses
         // stay inside a vault (that is the whole point of PIM).
         let memory = Nanos::new(
-            (it.sequential_bytes() + it.random_bytes()) as f64
-                / self.spec.internal_bandwidth_gbps,
+            (it.sequential_bytes() + it.random_bytes()) as f64 / self.spec.internal_bandwidth_gbps,
         );
         self.tuning.per_iteration + compute.max(memory)
     }

@@ -58,8 +58,7 @@ impl CpuSpec {
     #[must_use]
     pub fn platform_power(&self) -> Watts {
         Watts::new(
-            self.tdp_per_socket.as_watts() * self.sockets as f64
-                + self.dram_power.as_watts(),
+            self.tdp_per_socket.as_watts() * self.sockets as f64 + self.dram_power.as_watts(),
         )
     }
 }

@@ -109,10 +109,9 @@ impl fmt::Display for ArrayError {
             ArrayError::ShapeMismatch { got, expected } => {
                 write!(f, "matrix has {got} entries, tile needs {expected}")
             }
-            ArrayError::NegativeValue { row, col } => write!(
-                f,
-                "negative value at ({row}, {col}) in an unsigned array"
-            ),
+            ArrayError::NegativeValue { row, col } => {
+                write!(f, "negative value at ({row}, {col}) in an unsigned array")
+            }
         }
     }
 }
@@ -203,7 +202,11 @@ impl MatrixArray {
                 });
             }
             let magnitude = q.unsigned_abs();
-            let target = if q >= 0 { &mut pos_levels } else { &mut neg_levels };
+            let target = if q >= 0 {
+                &mut pos_levels
+            } else {
+                &mut neg_levels
+            };
             for (s, level) in self.config.slicer.slice(magnitude).into_iter().enumerate() {
                 if level != 0 {
                     nonzero_cells += 1;
@@ -283,7 +286,11 @@ impl MatrixArray {
                 .sum()
         };
         let pos = gather(&self.pos);
-        let neg = if self.neg.is_empty() { 0.0 } else { gather(&self.neg) };
+        let neg = if self.neg.is_empty() {
+            0.0
+        } else {
+            gather(&self.neg)
+        };
         (pos - neg) * self.config.spec.resolution()
     }
 
@@ -438,7 +445,7 @@ mod tests {
         a.program_dense(&m).unwrap();
         let y = a.mvm(&[1.0, 1.0, 1.0, 1.0]);
         let exact = 1.0; // 4 rows × 0.25
-        // 4-bit ADC is coarse; result is off but bounded by the step sizes.
+                         // 4-bit ADC is coarse; result is off but bounded by the step sizes.
         assert!((y[0] - exact).abs() < 1.0);
     }
 

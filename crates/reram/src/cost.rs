@@ -76,8 +76,7 @@ impl CostModel {
     #[must_use]
     pub fn adc_latency(&self, conversions: u64, adcs: usize) -> Nanos {
         assert!(adcs > 0, "at least one ADC required");
-        self.periphery
-            .adc_time(conversions.div_ceil(adcs as u64))
+        self.periphery.adc_time(conversions.div_ceil(adcs as u64))
     }
 
     /// Latency of one sALU reduction pass over `ops` sequential operations.

@@ -121,7 +121,10 @@ impl Crossbar {
     /// Panics if out of range.
     #[must_use]
     pub fn level(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
         self.levels[row * self.cols + col]
     }
 

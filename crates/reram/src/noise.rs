@@ -60,7 +60,9 @@ impl NoiseModel {
     #[must_use]
     pub fn sampler(&self) -> NoiseSource {
         match *self {
-            NoiseModel::Ideal => NoiseSource { inner: Inner::Ideal },
+            NoiseModel::Ideal => NoiseSource {
+                inner: Inner::Ideal,
+            },
             NoiseModel::Gaussian { sigma_rel, seed } => NoiseSource {
                 inner: Inner::Gaussian(GaussianSource {
                     sigma_rel,
@@ -207,10 +209,13 @@ mod tests {
         let mut low = 0;
         let mut high = 0;
         for _ in 0..n {
-            match s.perturb(7.0, 15.0) {
-                v if v == 0.0 => low += 1,
-                v if v == 15.0 => high += 1,
-                v => assert_eq!(v, 7.0, "non-faulty cells keep their target"),
+            let v = s.perturb(7.0, 15.0);
+            if v == 0.0 {
+                low += 1;
+            } else if v == 15.0 {
+                high += 1;
+            } else {
+                assert_eq!(v, 7.0, "non-faulty cells keep their target");
             }
         }
         let (fl, fh) = (low as f64 / n as f64, high as f64 / n as f64);

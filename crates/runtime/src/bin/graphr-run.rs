@@ -1,0 +1,302 @@
+//! `graphr-run` — execute a job file against a GraphR runtime session and
+//! print a metrics report.
+//!
+//! Usage: `graphr-run <JOBFILE> [--threads N] [--serial]`
+//!
+//! Job files are line-oriented; `#` starts a comment. Directives:
+//!
+//! ```text
+//! dataset <name> rmat <vertices> <edges> <seed> [max_weight]
+//! dataset <name> bipartite <users> <items> <ratings> <seed>
+//! dataset <name> table3 <TAG> <scale>
+//! threads <n>
+//! mode serial|parallel
+//! job <app> <dataset> [key=value ...]
+//! ```
+//!
+//! Apps: `pagerank` (damping=, iterations=, tolerance=), `spmv`,
+//! `bfs`/`sssp` (source=), `wcc`, `cf` (features=, epochs=). An example
+//! lives at `examples/demo.jobs`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use graphr_core::sim::{CfOptions, PageRankOptions, SpmvOptions, TraversalOptions};
+use graphr_core::GraphRConfig;
+use graphr_graph::generators::bipartite::RatingMatrix;
+use graphr_graph::generators::rmat::Rmat;
+use graphr_graph::{DatasetSpec, GraphHandle};
+use graphr_runtime::{ExecMode, Job, JobSpec, Session};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("graphr-run: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut threads_override = None;
+    let mut force_serial = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads_override = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+            }
+            "--serial" => force_serial = true,
+            "--help" | "-h" => {
+                println!("usage: graphr-run <JOBFILE> [--threads N] [--serial]");
+                return Ok(());
+            }
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let path = path.ok_or("usage: graphr-run <JOBFILE> [--threads N] [--serial]")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let plan = parse_job_file(&text)?;
+
+    let mut session = Session::new(GraphRConfig::default());
+    let threads = threads_override.or(plan.threads);
+    if let Some(t) = threads {
+        session = session.with_threads(t);
+    }
+    let mode = if force_serial {
+        ExecMode::Serial
+    } else {
+        plan.mode
+    };
+
+    println!(
+        "session: {} worker threads, {} mode, {} datasets, {} jobs",
+        session.threads(),
+        match mode {
+            ExecMode::Serial => "serial",
+            ExecMode::Parallel => "parallel",
+        },
+        plan.datasets.len(),
+        plan.jobs.len()
+    );
+    let start = Instant::now();
+    let mut failures = 0usize;
+    for (index, job) in plan.jobs.iter().enumerate() {
+        let job = job.clone().with_mode(mode);
+        match session.submit(&job) {
+            Ok(report) => println!("\n[{}] {report}", index + 1),
+            Err(e) => {
+                failures += 1;
+                println!(
+                    "\n[{}] {} on {} FAILED: {e}",
+                    index + 1,
+                    job.spec.name(),
+                    job.graph.id()
+                );
+            }
+        }
+    }
+    let stats = session.cache_stats();
+    println!(
+        "\ntotal: {} jobs in {:.3} s; tiler cache {} hits / {} misses / {} entries",
+        plan.jobs.len(),
+        start.elapsed().as_secs_f64(),
+        stats.hits,
+        stats.misses,
+        stats.entries
+    );
+    if failures > 0 {
+        return Err(format!("{failures} job(s) failed"));
+    }
+    Ok(())
+}
+
+struct Plan {
+    datasets: HashMap<String, GraphHandle>,
+    jobs: Vec<Job>,
+    threads: Option<usize>,
+    mode: ExecMode,
+}
+
+fn parse_job_file(text: &str) -> Result<Plan, String> {
+    let mut plan = Plan {
+        datasets: HashMap::new(),
+        jobs: Vec::new(),
+        threads: None,
+        mode: ExecMode::Parallel,
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| format!("line {}: {message}", lineno + 1);
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "dataset" => {
+                let (name, handle) = parse_dataset(&fields).map_err(err)?;
+                plan.datasets.insert(name, handle);
+            }
+            "threads" => {
+                let v = fields
+                    .get(1)
+                    .ok_or_else(|| err("threads needs a value".into()))?;
+                plan.threads = Some(v.parse().map_err(|e| err(format!("{e}")))?);
+            }
+            "mode" => match fields.get(1).copied() {
+                Some("serial") => plan.mode = ExecMode::Serial,
+                Some("parallel") => plan.mode = ExecMode::Parallel,
+                other => return Err(err(format!("unknown mode {other:?}"))),
+            },
+            "job" => {
+                let job = parse_job(&fields, &plan.datasets).map_err(err)?;
+                plan.jobs.push(job);
+            }
+            other => return Err(err(format!("unknown directive '{other}'"))),
+        }
+    }
+    if plan.jobs.is_empty() {
+        return Err("job file declares no jobs".into());
+    }
+    Ok(plan)
+}
+
+fn parse_dataset(fields: &[&str]) -> Result<(String, GraphHandle), String> {
+    let name = fields.get(1).ok_or("dataset needs a name")?.to_string();
+    let kind = fields.get(2).copied().ok_or("dataset needs a kind")?;
+    let num = |i: usize, what: &str| -> Result<usize, String> {
+        fields
+            .get(i)
+            .ok_or(format!("dataset {name}: missing {what}"))?
+            .parse::<usize>()
+            .map_err(|e| format!("dataset {name}: bad {what}: {e}"))
+    };
+    let handle = match kind {
+        "rmat" => {
+            let (v, e, seed) = (num(3, "vertices")?, num(4, "edges")?, num(5, "seed")?);
+            let max_weight = if fields.len() > 6 {
+                num(6, "max_weight")?
+            } else {
+                16
+            };
+            let graph = Rmat::new(v, e)
+                .seed(seed as u64)
+                .max_weight(max_weight as u32)
+                .self_loops(false)
+                .generate();
+            GraphHandle::new(name.clone(), graph)
+        }
+        "bipartite" => {
+            let (users, items) = (num(3, "users")?, num(4, "items")?);
+            let (ratings, seed) = (num(5, "ratings")?, num(6, "seed")?);
+            let m = RatingMatrix::new(users, items, ratings)
+                .seed(seed as u64)
+                .generate();
+            GraphHandle::bipartite(name.clone(), m.graph().clone(), users, items)
+        }
+        "table3" => {
+            let tag = fields.get(3).ok_or("table3 needs a tag")?;
+            let scale: f64 = fields
+                .get(4)
+                .ok_or("table3 needs a scale")?
+                .parse()
+                .map_err(|e| format!("bad scale: {e}"))?;
+            let spec = DatasetSpec::by_tag(tag).ok_or(format!("unknown Table 3 tag '{tag}'"))?;
+            let graph = spec.generate(scale);
+            match spec.scaled_bipartite(scale) {
+                Some((users, items)) => GraphHandle::bipartite(name.clone(), graph, users, items),
+                None => GraphHandle::new(name.clone(), graph),
+            }
+        }
+        other => return Err(format!("unknown dataset kind '{other}'")),
+    };
+    Ok((name, handle))
+}
+
+fn parse_job(fields: &[&str], datasets: &HashMap<String, GraphHandle>) -> Result<Job, String> {
+    let app = fields.get(1).copied().ok_or("job needs an app")?;
+    let dataset = fields.get(2).copied().ok_or("job needs a dataset")?;
+    let handle = datasets
+        .get(dataset)
+        .ok_or(format!("dataset '{dataset}' not declared"))?
+        .clone();
+    let mut opts: HashMap<&str, &str> = HashMap::new();
+    for field in &fields[3..] {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or(format!("expected key=value, got '{field}'"))?;
+        opts.insert(key, value);
+    }
+    let f64_opt = |key: &str, default: f64| -> Result<f64, String> {
+        opts.get(key).map_or(Ok(default), |v| {
+            v.parse().map_err(|e| format!("{key}: {e}"))
+        })
+    };
+    let usize_opt = |key: &str, default: usize| -> Result<usize, String> {
+        opts.get(key).map_or(Ok(default), |v| {
+            v.parse().map_err(|e| format!("{key}: {e}"))
+        })
+    };
+    let spec = match app {
+        "pagerank" => {
+            let defaults = PageRankOptions::default();
+            JobSpec::PageRank(PageRankOptions {
+                damping: f64_opt("damping", defaults.damping)?,
+                max_iterations: usize_opt("iterations", defaults.max_iterations)?,
+                tolerance: f64_opt("tolerance", defaults.tolerance)?,
+                ..defaults
+            })
+        }
+        "spmv" => JobSpec::Spmv(SpmvOptions::default()),
+        "bfs" | "sssp" => {
+            let defaults = TraversalOptions::default();
+            let traversal = TraversalOptions {
+                source: usize_opt("source", defaults.source as usize)? as u32,
+                ..defaults
+            };
+            if app == "bfs" {
+                JobSpec::Bfs(traversal)
+            } else {
+                JobSpec::Sssp(traversal)
+            }
+        }
+        "wcc" => JobSpec::Wcc,
+        "cf" => {
+            let defaults = CfOptions::default();
+            JobSpec::Cf(CfOptions {
+                features: usize_opt("features", defaults.features)?,
+                epochs: usize_opt("epochs", defaults.epochs)?,
+                learning_rate: f64_opt("learning_rate", defaults.learning_rate)?,
+                ..defaults
+            })
+        }
+        other => return Err(format!("unknown app '{other}'")),
+    };
+    // A typo'd option must be an error, not a silent fall-back to the
+    // default value.
+    let allowed: &[&str] = match &spec {
+        JobSpec::PageRank(_) => &["damping", "iterations", "tolerance"],
+        JobSpec::Spmv(_) | JobSpec::Wcc => &[],
+        JobSpec::Bfs(_) | JobSpec::Sssp(_) => &["source"],
+        JobSpec::Cf(_) => &["features", "epochs", "learning_rate"],
+    };
+    for key in opts.keys() {
+        if !allowed.contains(key) {
+            return Err(format!(
+                "unknown option '{key}' for {app} (allowed: {})",
+                if allowed.is_empty() {
+                    "none".to_owned()
+                } else {
+                    allowed.join(", ")
+                }
+            ));
+        }
+    }
+    Ok(Job::new(handle, spec))
+}

@@ -1,0 +1,198 @@
+//! Job specifications and results for the runtime service layer.
+
+use std::fmt;
+use std::time::Duration;
+
+use graphr_core::sim::{
+    CfOptions, CfRun, PageRankOptions, ScalarRun, SpmvOptions, TraversalOptions, TraversalRun,
+    WccRun,
+};
+use graphr_core::{GraphRConfig, Metrics};
+use graphr_graph::GraphHandle;
+
+/// Serial or parallel scan execution for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The reference single-thread executor.
+    Serial,
+    /// The strip-sharded worker-pool executor (the default).
+    #[default]
+    Parallel,
+}
+
+/// What to run — one variant per evaluated application (plus the WCC
+/// extension).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// PageRank (parallel-MAC pattern, §4.1).
+    PageRank(PageRankOptions),
+    /// One SpMV pass (parallel-MAC pattern).
+    Spmv(SpmvOptions),
+    /// BFS from a source (parallel add-op, §4.2).
+    Bfs(TraversalOptions),
+    /// SSSP from a source (parallel add-op).
+    Sssp(TraversalOptions),
+    /// Weakly-connected components (label propagation extension).
+    Wcc,
+    /// Collaborative filtering; the graph handle must carry bipartite
+    /// dimensions.
+    Cf(CfOptions),
+}
+
+impl JobSpec {
+    /// Short application name (as used in job files and reports).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobSpec::PageRank(_) => "pagerank",
+            JobSpec::Spmv(_) => "spmv",
+            JobSpec::Bfs(_) => "bfs",
+            JobSpec::Sssp(_) => "sssp",
+            JobSpec::Wcc => "wcc",
+            JobSpec::Cf(_) => "cf",
+        }
+    }
+}
+
+/// One unit of work: a graph, an application, and how to run it.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The registered graph to run on.
+    pub graph: GraphHandle,
+    /// The application and its options.
+    pub spec: JobSpec,
+    /// Serial or parallel execution.
+    pub mode: ExecMode,
+    /// Per-job architectural override; `None` uses the session's
+    /// configuration.
+    pub config: Option<GraphRConfig>,
+}
+
+impl Job {
+    /// A parallel job under the session configuration.
+    #[must_use]
+    pub fn new(graph: GraphHandle, spec: JobSpec) -> Self {
+        Job {
+            graph,
+            spec,
+            mode: ExecMode::default(),
+            config: None,
+        }
+    }
+
+    /// Sets the execution mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the architectural configuration for this job.
+    #[must_use]
+    pub fn with_config(mut self, config: GraphRConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+}
+
+/// The application-specific result of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// PageRank / SpMV result.
+    Scalar(ScalarRun),
+    /// BFS / SSSP result.
+    Traversal(TraversalRun),
+    /// WCC result.
+    Wcc(WccRun),
+    /// CF result.
+    Cf(CfRun),
+}
+
+impl JobOutput {
+    /// The simulated-hardware accounting of the run.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        match self {
+            JobOutput::Scalar(r) => &r.metrics,
+            JobOutput::Traversal(r) => &r.metrics,
+            JobOutput::Wcc(r) => &r.metrics,
+            JobOutput::Cf(r) => &r.metrics,
+        }
+    }
+
+    /// One line summarising the functional result.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        match self {
+            JobOutput::Scalar(r) => format!(
+                "{} values, converged: {}, Σ = {:.6}",
+                r.values.len(),
+                r.converged,
+                r.values.iter().sum::<f64>()
+            ),
+            JobOutput::Traversal(r) => {
+                let reached = r.distances.iter().filter(|d| d.is_some()).count();
+                format!("{} of {} vertices reached", reached, r.distances.len())
+            }
+            JobOutput::Wcc(r) => format!(
+                "{} components over {} vertices",
+                r.num_components,
+                r.labels.len()
+            ),
+            JobOutput::Cf(r) => format!(
+                "rmse {:.4} → {:.4} over {} epochs",
+                r.rmse_history.first().copied().unwrap_or(f64::NAN),
+                r.rmse_history.last().copied().unwrap_or(f64::NAN),
+                r.rmse_history.len()
+            ),
+        }
+    }
+}
+
+/// A completed job: its output plus service-level accounting.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Application name.
+    pub app: &'static str,
+    /// Name of the graph the job ran on.
+    pub graph: String,
+    /// The functional result and simulated metrics.
+    pub output: JobOutput,
+    /// Host wall-clock spent executing the job.
+    pub wall: Duration,
+    /// Preprocessed-graph cache hits this job scored (nonzero means the
+    /// tiler was skipped).
+    pub cache_hits: u64,
+}
+
+impl JobReport {
+    /// Renders the standard multi-line report block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let m = self.output.metrics();
+        format!(
+            "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  host wall:  {:.3} ms ({})",
+            self.app,
+            self.graph,
+            self.output.summary(),
+            m.total_time(),
+            m.iterations,
+            m.total_energy(),
+            m.events.subgraphs_processed,
+            m.events.edges_loaded,
+            m.skip_fraction() * 100.0,
+            self.wall.as_secs_f64() * 1e3,
+            if self.cache_hits > 0 {
+                "tiler cache hit"
+            } else {
+                "tiler cold"
+            },
+        )
+    }
+}
+
+impl fmt::Display for JobReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}

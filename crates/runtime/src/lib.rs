@@ -1,0 +1,63 @@
+//! Parallel job runtime and analytics service layer over the GraphR
+//! simulator stack.
+//!
+//! The simulator in `graphr-core` is exact but single-threaded, and each
+//! `sim::run_*` call preprocesses its graph from scratch. This crate turns
+//! that stack into a service:
+//!
+//! * [`parallel::ParallelExecutor`] — a drop-in
+//!   [`ScanEngine`](graphr_core::exec::ScanEngine) that shards every scan
+//!   across global destination strips on a scoped worker pool, mirroring
+//!   the paper's inter-subgraph GE parallelism (§3.3, §5.2) on the host.
+//!   Per-worker scanner state plus a deterministic per-strip metrics merge
+//!   make its results and time/energy reports **bit-identical** to the
+//!   serial executor.
+//! * [`session::Session`] — a long-lived, thread-safe query session: a
+//!   preprocessed-graph cache keyed by *(graph id, tiling geometry,
+//!   streaming order)* with hit/miss counters, so repeated queries skip
+//!   the §3.4 tiler; serial/parallel engine selection per job; and batched
+//!   multi-job submission.
+//! * [`job`] — [`JobSpec`](job::JobSpec) covers all five evaluated
+//!   applications (PageRank, SpMV, BFS, SSSP, CF) plus the WCC extension;
+//!   [`JobReport`](job::JobReport) carries the functional result, the
+//!   simulated time/energy, and service-level accounting.
+//! * `graphr-run` (this crate's binary) — runs a job file end-to-end and
+//!   prints the metrics reports; see the repository README for the file
+//!   format.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphr_core::GraphRConfig;
+//! use graphr_core::sim::PageRankOptions;
+//! use graphr_graph::GraphHandle;
+//! use graphr_graph::generators::rmat::Rmat;
+//! use graphr_runtime::{Job, JobSpec, Session};
+//!
+//! let config = GraphRConfig::builder()
+//!     .crossbar_size(4)
+//!     .crossbars_per_ge(8)
+//!     .num_ges(2)
+//!     .build()?;
+//! let session = Session::new(config);
+//! let graph = GraphHandle::new("demo", Rmat::new(256, 1500).seed(7).generate());
+//! let job = Job::new(graph, JobSpec::PageRank(PageRankOptions::default()));
+//!
+//! let cold = session.submit(&job)?;
+//! let warm = session.submit(&job)?; // same tiling, served from cache
+//! assert_eq!(cold.output, warm.output);
+//! assert!(warm.cache_hits > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod parallel;
+pub mod pool;
+pub mod session;
+
+pub use job::{ExecMode, Job, JobOutput, JobReport, JobSpec};
+pub use parallel::ParallelExecutor;
+pub use session::{CacheStats, GraphVariant, RuntimeError, Session};

@@ -1,0 +1,297 @@
+//! The parallel scan executor: GraphR's inter-subgraph GE parallelism,
+//! mapped onto host threads.
+//!
+//! [`ParallelExecutor`] implements [`ScanEngine`] by sharding each scan
+//! across the [`StripUnit`]s of the preprocessed graph — one unit per
+//! global destination strip, exactly the decomposition the serial
+//! [`StreamingExecutor`] uses internally. Every worker owns a private
+//! [`StripScanner`] (crossbar scratch, sALU, staging buffers) and writes
+//! into unit-local output buffers, so there is no shared mutable state;
+//! per-unit [`Metrics`] are merged on the calling thread in unit-index
+//! order at the scan barrier.
+//!
+//! Because each floating-point reduction happens inside one unit in one
+//! deterministic order, and the merge order is fixed, results **and**
+//! time/energy reports are bit-identical to the serial executor —
+//! regardless of thread count or scheduling. The `serial_parallel`
+//! integration tests assert this for every application.
+//!
+//! [`StreamingExecutor`]: graphr_core::exec::StreamingExecutor
+
+use graphr_core::exec::strip::{mac_rego_capacity, strip_units, StripScanner, StripUnit};
+use graphr_core::exec::{EdgeValueFn, ScanEngine};
+use graphr_core::{GraphRConfig, Metrics, TiledGraph};
+use graphr_units::FixedSpec;
+
+use crate::pool;
+
+/// A [`ScanEngine`] that executes scans on a scoped worker pool, one
+/// destination strip at a time.
+pub struct ParallelExecutor<'a> {
+    tiled: &'a TiledGraph,
+    config: &'a GraphRConfig,
+    spec: FixedSpec,
+    units: Vec<StripUnit>,
+    threads: usize,
+    metrics: Metrics,
+}
+
+impl<'a> ParallelExecutor<'a> {
+    /// Creates an executor using all available host threads.
+    #[must_use]
+    pub fn new(tiled: &'a TiledGraph, config: &'a GraphRConfig, spec: FixedSpec) -> Self {
+        Self::with_threads(tiled, config, spec, pool::available_threads())
+    }
+
+    /// Creates an executor with an explicit worker count (`1` degrades to
+    /// the serial unit loop on the calling thread).
+    #[must_use]
+    pub fn with_threads(
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        spec: FixedSpec,
+        threads: usize,
+    ) -> Self {
+        ParallelExecutor {
+            tiled,
+            config,
+            spec,
+            units: strip_units(tiled),
+            threads: threads.max(1),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The worker count scans will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The scan units (one per global destination strip).
+    #[must_use]
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Consumes the executor, yielding its metrics.
+    #[must_use]
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+}
+
+impl ScanEngine for ParallelExecutor<'_> {
+    fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
+        let n = self.tiled.num_vertices();
+        let k = inputs.len();
+        assert!(k > 0, "at least one input vector required");
+        for x in inputs {
+            assert_eq!(x.len(), n, "input vectors must have one entry per vertex");
+        }
+        let width = self.config.strip_width();
+        let (tiled, config, spec, units) = (self.tiled, self.config, self.spec, &self.units);
+
+        // Fan out: one task per destination strip, private scanner per
+        // worker, unit-local outputs.
+        let per_unit = pool::run_indexed(
+            units.len(),
+            self.threads,
+            || StripScanner::new(tiled, config, spec),
+            |scanner, idx| {
+                let unit = &units[idx];
+                let mut local: Vec<Vec<f64>> = vec![vec![0.0; width]; k];
+                let mut metrics = Metrics::new();
+                scanner.scan_mac_unit(unit, value, inputs, &mut local, &mut metrics);
+                (local, metrics)
+            },
+        );
+
+        // Barrier: merge metrics in unit order (deterministic — identical
+        // to the serial executor), stitch disjoint output ranges.
+        let mut outputs = vec![vec![0.0; n]; k];
+        for (unit, (local, unit_metrics)) in self.units.iter().zip(&per_unit) {
+            self.metrics.merge(unit_metrics);
+            if unit.dst_len > 0 {
+                for (out, buf) in outputs.iter_mut().zip(local) {
+                    out[unit.dst_start..unit.dst_start + unit.dst_len]
+                        .copy_from_slice(&buf[..unit.dst_len]);
+                }
+            }
+        }
+        self.metrics.events.rego_capacity_required = self
+            .metrics
+            .events
+            .rego_capacity_required
+            .max(mac_rego_capacity(self.config, self.tiled));
+        outputs
+    }
+
+    fn scan_add_op(
+        &mut self,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addend: &[f64],
+        active: &[bool],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+    ) -> u64 {
+        let n = self.tiled.num_vertices();
+        assert_eq!(addend.len(), n, "addend must have one entry per vertex");
+        assert_eq!(
+            active.len(),
+            n,
+            "active mask must have one entry per vertex"
+        );
+        assert_eq!(frontier.len(), n, "frontier must have one entry per vertex");
+        assert_eq!(
+            updated.len(),
+            n,
+            "updated mask must have one entry per vertex"
+        );
+        let (tiled, config, spec, units) = (self.tiled, self.config, self.spec, &self.units);
+        let frontier_in: &[f64] = frontier;
+        let updated_in: &[bool] = updated;
+
+        let per_unit = pool::run_indexed(
+            units.len(),
+            self.threads,
+            || StripScanner::new(tiled, config, spec),
+            |scanner, idx| {
+                let unit = &units[idx];
+                let (ds, dl) = (unit.dst_start, unit.dst_len);
+                let mut frontier_local = frontier_in.get(ds..ds + dl).unwrap_or(&[]).to_vec();
+                frontier_local.resize(config.strip_width(), 0.0);
+                let mut updated_local = updated_in.get(ds..ds + dl).unwrap_or(&[]).to_vec();
+                updated_local.resize(config.strip_width(), false);
+                let mut metrics = Metrics::new();
+                let rows = scanner.scan_add_op_unit(
+                    unit,
+                    value,
+                    combine,
+                    addend,
+                    active,
+                    &mut frontier_local,
+                    &mut updated_local,
+                    &mut metrics,
+                );
+                (frontier_local, updated_local, metrics, rows)
+            },
+        );
+
+        let mut total_rows = 0u64;
+        for (unit, (frontier_local, updated_local, unit_metrics, rows)) in
+            self.units.iter().zip(&per_unit)
+        {
+            let (ds, dl) = (unit.dst_start, unit.dst_len);
+            self.metrics.merge(unit_metrics);
+            total_rows += rows;
+            if dl > 0 {
+                frontier[ds..ds + dl].copy_from_slice(&frontier_local[..dl]);
+                updated[ds..ds + dl].copy_from_slice(&updated_local[..dl]);
+            }
+        }
+        self.metrics.events.rego_capacity_required = self
+            .metrics
+            .events
+            .rego_capacity_required
+            .max(self.config.strip_width() as u64);
+        total_rows
+    }
+
+    fn end_iteration(&mut self) {
+        self.metrics.charge_iteration(self.config.ge_cycle());
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphr_core::exec::StreamingExecutor;
+    use graphr_graph::generators::rmat::Rmat;
+
+    fn small_config() -> GraphRConfig {
+        GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_mac_is_bit_identical_to_serial() {
+        let g = Rmat::new(300, 2000).seed(3).max_weight(7).generate();
+        let cfg = small_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let spec = FixedSpec::new(16, 8).unwrap();
+        let x: Vec<f64> = (0..300).map(|i| (i % 11) as f64 * 0.125).collect();
+        let value = |w: f32, _: u32, _: u32| f64::from(w);
+
+        let mut serial = StreamingExecutor::new(&tiled, &cfg, spec);
+        let ys = serial.scan_mac(&value, &[&x]);
+        let ms = serial.into_metrics();
+
+        for threads in [1, 2, 7] {
+            let mut par = ParallelExecutor::with_threads(&tiled, &cfg, spec, threads);
+            let yp = ScanEngine::scan_mac(&mut par, &value, &[&x]);
+            let mp = par.into_metrics();
+            assert_eq!(ys, yp, "results must be bit-identical ({threads} threads)");
+            assert_eq!(ms, mp, "metrics must be identical ({threads} threads)");
+        }
+    }
+
+    #[test]
+    fn parallel_add_op_is_bit_identical_to_serial() {
+        let g = Rmat::new(200, 1200).seed(5).max_weight(9).generate();
+        let cfg = small_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let spec = FixedSpec::new(16, 0).unwrap();
+        let inf = spec.max_value();
+        let value = |w: f32, _: u32, _: u32| f64::from(w);
+        let combine = |du: f64, w: f64| du + w;
+
+        let run = |exec: &mut dyn ScanEngine| {
+            let mut dist = vec![inf; 200];
+            dist[0] = 0.0;
+            let mut active = vec![false; 200];
+            active[0] = true;
+            let mut rows_history = Vec::new();
+            for _ in 0..200 {
+                let mut frontier = dist.clone();
+                let mut updated = vec![false; 200];
+                rows_history.push(exec.scan_add_op(
+                    &value,
+                    &combine,
+                    &dist,
+                    &active,
+                    &mut frontier,
+                    &mut updated,
+                ));
+                exec.end_iteration();
+                dist = frontier;
+                active = updated;
+                if !active.iter().any(|&a| a) {
+                    break;
+                }
+            }
+            (dist, rows_history, exec.take_metrics())
+        };
+
+        let mut serial = StreamingExecutor::new(&tiled, &cfg, spec);
+        let (ds, rs, ms) = run(&mut serial);
+        let mut par = ParallelExecutor::with_threads(&tiled, &cfg, spec, 4);
+        let (dp, rp, mp) = run(&mut par);
+        assert_eq!(ds, dp);
+        assert_eq!(rs, rp);
+        assert_eq!(ms, mp);
+    }
+}

@@ -1,0 +1,457 @@
+//! The session: a reusable, cacheable, multi-query service over the
+//! simulator stack.
+//!
+//! A [`Session`] owns an architectural configuration, a worker budget, and
+//! a **preprocessed-graph cache**: tiling a graph (§3.4's edge-list
+//! ordering) is the expensive once-per-graph software step, so the session
+//! keys each [`TiledGraph`] by *(graph id, tiling geometry, streaming
+//! order, graph variant)* and shares it across every job that needs it —
+//! repeated queries skip the tiler entirely. Hits and misses are counted,
+//! and the cache is safe to use from concurrent batch jobs.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use graphr_core::config::StreamingOrder;
+use graphr_core::exec::{ScanEngine, StreamingExecutor};
+use graphr_core::sim::{
+    self, cf_config_for, run_bfs_with, run_cf_with, run_pagerank_with, run_spmv_with,
+    run_sssp_with, run_wcc_with, CfMatrix, SimError,
+};
+use graphr_core::{GraphRConfig, TiledGraph};
+use graphr_graph::{EdgeList, GraphHandle, GraphId};
+use graphr_units::FixedSpec;
+use parking_lot::Mutex;
+
+use crate::job::{ExecMode, Job, JobOutput, JobReport, JobSpec};
+use crate::parallel::ParallelExecutor;
+use crate::pool;
+
+/// Errors from the runtime service layer.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// A CF job was submitted on a graph without bipartite dimensions.
+    NotBipartite {
+        /// Name of the offending graph.
+        graph: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Sim(e) => write!(f, "{e}"),
+            RuntimeError::NotBipartite { graph } => {
+                write!(f, "graph '{graph}' carries no user/item split for CF")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Sim(e) => Some(e),
+            RuntimeError::NotBipartite { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for RuntimeError {
+    fn from(e: SimError) -> Self {
+        RuntimeError::Sim(e)
+    }
+}
+
+/// Which derived edge list of a handle a tiling covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphVariant {
+    /// The graph as registered.
+    Forward,
+    /// The transposed graph (CF's `Rᵀ` scans).
+    Transposed,
+    /// The symmetrised graph (WCC's label propagation).
+    Symmetrised,
+}
+
+/// Preprocessed-graph cache key: graph identity plus everything the tiler
+/// output depends on, plus the streaming order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TileKey {
+    graph: GraphId,
+    variant: GraphVariant,
+    crossbar_size: usize,
+    strip_width: usize,
+    tiles_per_ge: usize,
+    num_ges: usize,
+    block_vertices: Option<usize>,
+    row_major: bool,
+}
+
+impl TileKey {
+    fn new(graph: GraphId, variant: GraphVariant, config: &GraphRConfig) -> Self {
+        TileKey {
+            graph,
+            variant,
+            crossbar_size: config.crossbar_size,
+            strip_width: config.strip_width(),
+            tiles_per_ge: config.tiles_per_ge(),
+            num_ges: config.num_ges,
+            block_vertices: config.block_vertices,
+            row_major: config.order == StreamingOrder::RowMajor,
+        }
+    }
+}
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran the tiler.
+    pub misses: u64,
+    /// Preprocessed graphs currently held.
+    pub entries: usize,
+}
+
+/// A long-lived, thread-safe query session over the simulator stack.
+pub struct Session {
+    config: GraphRConfig,
+    threads: usize,
+    tilings: Mutex<HashMap<TileKey, Arc<TiledGraph>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Session {
+    /// A session at `config` using all available host threads.
+    #[must_use]
+    pub fn new(config: GraphRConfig) -> Self {
+        Session {
+            config,
+            threads: pool::available_threads(),
+            tilings: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Caps the worker threads parallel jobs may use.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The session's architectural configuration.
+    #[must_use]
+    pub fn config(&self) -> &GraphRConfig {
+        &self.config
+    }
+
+    /// The session's worker budget.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Current cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.tilings.lock().len(),
+        }
+    }
+
+    /// Drops all cached preprocessings.
+    pub fn clear_cache(&self) {
+        self.tilings.lock().clear();
+    }
+
+    /// The preprocessed form of a graph variant under `config`, served
+    /// from the cache when warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when the configuration's geometry is
+    /// inconsistent.
+    pub fn tiled(
+        &self,
+        handle: &GraphHandle,
+        variant: GraphVariant,
+        config: &GraphRConfig,
+    ) -> Result<Arc<TiledGraph>, SimError> {
+        self.tiled_counted(handle, variant, config, &mut 0)
+    }
+
+    /// [`Session::tiled`] with a per-caller hit counter, so concurrent
+    /// batch jobs attribute cache hits to themselves rather than to
+    /// whichever job happens to read the global counter.
+    fn tiled_counted(
+        &self,
+        handle: &GraphHandle,
+        variant: GraphVariant,
+        config: &GraphRConfig,
+        local_hits: &mut u64,
+    ) -> Result<Arc<TiledGraph>, SimError> {
+        let key = TileKey::new(handle.id().clone(), variant, config);
+        if let Some(hit) = self.tilings.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            *local_hits += 1;
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Preprocess outside the lock: concurrent first-touch jobs may
+        // race to tile the same graph, but both produce identical results
+        // and the cache stays consistent.
+        let derived: EdgeList;
+        let graph = match variant {
+            GraphVariant::Forward => handle.graph(),
+            GraphVariant::Transposed => {
+                derived = handle.graph().transposed();
+                &derived
+            }
+            GraphVariant::Symmetrised => {
+                derived = sim::symmetrised(handle.graph());
+                &derived
+            }
+        };
+        let tiled = Arc::new(TiledGraph::preprocess(graph, config)?);
+        self.tilings.lock().insert(key, Arc::clone(&tiled));
+        Ok(tiled)
+    }
+
+    fn engine<'a>(
+        &self,
+        mode: ExecMode,
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        spec: FixedSpec,
+        scan_threads: usize,
+    ) -> Box<dyn ScanEngine + 'a> {
+        match mode {
+            ExecMode::Serial => Box::new(StreamingExecutor::new(tiled, config, spec)),
+            ExecMode::Parallel => Box::new(ParallelExecutor::with_threads(
+                tiled,
+                config,
+                spec,
+                scan_threads,
+            )),
+        }
+    }
+
+    /// Executes one job to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NotBipartite`] for CF on a non-bipartite
+    /// handle and [`RuntimeError::Sim`] for simulation-level failures.
+    pub fn submit(&self, job: &Job) -> Result<JobReport, RuntimeError> {
+        self.submit_with_budget(job, self.threads)
+    }
+
+    /// [`Session::submit`] with an explicit scan-thread budget (batch
+    /// submission splits the session budget across concurrent jobs).
+    fn submit_with_budget(
+        &self,
+        job: &Job,
+        scan_threads: usize,
+    ) -> Result<JobReport, RuntimeError> {
+        let start = Instant::now();
+        let mut cache_hits = 0u64;
+        let config = job.config.as_ref().unwrap_or(&self.config);
+        let graph = job.graph.graph();
+        let output = match &job.spec {
+            JobSpec::PageRank(opts) => {
+                let tiled =
+                    self.tiled_counted(&job.graph, GraphVariant::Forward, config, &mut cache_hits)?;
+                let mut exec =
+                    self.engine(job.mode, &tiled, config, opts.matrix_spec, scan_threads);
+                JobOutput::Scalar(run_pagerank_with(graph, exec.as_mut(), opts)?)
+            }
+            JobSpec::Spmv(opts) => {
+                let tiled =
+                    self.tiled_counted(&job.graph, GraphVariant::Forward, config, &mut cache_hits)?;
+                let mut exec =
+                    self.engine(job.mode, &tiled, config, opts.matrix_spec, scan_threads);
+                JobOutput::Scalar(run_spmv_with(graph, exec.as_mut(), opts)?)
+            }
+            JobSpec::Bfs(opts) => {
+                let tiled =
+                    self.tiled_counted(&job.graph, GraphVariant::Forward, config, &mut cache_hits)?;
+                let mut exec = self.engine(job.mode, &tiled, config, opts.spec, scan_threads);
+                JobOutput::Traversal(run_bfs_with(graph, exec.as_mut(), opts)?)
+            }
+            JobSpec::Sssp(opts) => {
+                let tiled =
+                    self.tiled_counted(&job.graph, GraphVariant::Forward, config, &mut cache_hits)?;
+                let mut exec = self.engine(job.mode, &tiled, config, opts.spec, scan_threads);
+                JobOutput::Traversal(run_sssp_with(graph, exec.as_mut(), opts)?)
+            }
+            JobSpec::Wcc => {
+                let tiled = self.tiled_counted(
+                    &job.graph,
+                    GraphVariant::Symmetrised,
+                    config,
+                    &mut cache_hits,
+                )?;
+                let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+                let mut exec = self.engine(job.mode, &tiled, config, spec, scan_threads);
+                JobOutput::Wcc(run_wcc_with(graph, exec.as_mut())?)
+            }
+            JobSpec::Cf(opts) => {
+                let (users, items) =
+                    job.graph
+                        .bipartite_dims()
+                        .ok_or_else(|| RuntimeError::NotBipartite {
+                            graph: job.graph.id().name().to_owned(),
+                        })?;
+                let cf_config = cf_config_for(config)?;
+                let tiled_r = self.tiled_counted(
+                    &job.graph,
+                    GraphVariant::Forward,
+                    &cf_config,
+                    &mut cache_hits,
+                )?;
+                let tiled_t = self.tiled_counted(
+                    &job.graph,
+                    GraphVariant::Transposed,
+                    &cf_config,
+                    &mut cache_hits,
+                )?;
+                let run = run_cf_with(graph, users, items, &cf_config, opts, &mut |matrix| {
+                    let tiled = match matrix {
+                        CfMatrix::Ratings => &tiled_r,
+                        CfMatrix::Transposed => &tiled_t,
+                    };
+                    self.engine(job.mode, tiled, &cf_config, opts.spec, scan_threads)
+                })?;
+                JobOutput::Cf(run)
+            }
+        };
+        Ok(JobReport {
+            app: job.spec.name(),
+            graph: job.graph.id().name().to_owned(),
+            output,
+            wall: start.elapsed(),
+            cache_hits,
+        })
+    }
+
+    /// Executes a batch of jobs, fanning independent jobs out across the
+    /// worker budget; results come back in submission order. The scan
+    /// budget is split across concurrent jobs so a batch of parallel jobs
+    /// does not oversubscribe the host.
+    pub fn submit_batch(&self, jobs: &[Job]) -> Vec<Result<JobReport, RuntimeError>> {
+        let workers = self.threads.min(jobs.len()).max(1);
+        let scan_threads = (self.threads / workers).max(1);
+        pool::run_indexed(
+            jobs.len(),
+            workers,
+            || (),
+            |(), idx| self.submit_with_budget(&jobs[idx], scan_threads),
+        )
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.cache_stats();
+        f.debug_struct("Session")
+            .field("threads", &self.threads)
+            .field("cache", &stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphr_core::sim::{PageRankOptions, TraversalOptions};
+    use graphr_graph::generators::rmat::Rmat;
+
+    fn small_config() -> GraphRConfig {
+        GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .build()
+            .unwrap()
+    }
+
+    fn handle() -> GraphHandle {
+        GraphHandle::new("test-rmat", Rmat::new(120, 700).seed(4).generate())
+    }
+
+    #[test]
+    fn warm_session_skips_the_tiler() {
+        let session = Session::new(small_config());
+        let job = Job::new(handle(), JobSpec::PageRank(PageRankOptions::default()));
+        let first = session.submit(&job).unwrap();
+        assert_eq!(first.cache_hits, 0, "cold submit must miss");
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+
+        let second = session.submit(&job).unwrap();
+        assert!(second.cache_hits > 0, "warm submit must hit the cache");
+        assert_eq!(session.cache_stats().misses, 1, "no second tiling");
+        // Identical results either way.
+        assert_eq!(
+            format!("{:?}", first.output),
+            format!("{:?}", second.output)
+        );
+    }
+
+    #[test]
+    fn distinct_geometries_do_not_collide() {
+        let session = Session::new(small_config());
+        let h = handle();
+        let job = Job::new(h.clone(), JobSpec::PageRank(PageRankOptions::default()));
+        session.submit(&job).unwrap();
+        let other = GraphRConfig::builder()
+            .crossbar_size(8)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .build()
+            .unwrap();
+        let job2 = Job::new(h, JobSpec::PageRank(PageRankOptions::default())).with_config(other);
+        session.submit(&job2).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 2, "different geometry → different tiling");
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn batch_returns_in_submission_order() {
+        let session = Session::new(small_config()).with_threads(4);
+        let h = handle();
+        let jobs = vec![
+            Job::new(h.clone(), JobSpec::PageRank(PageRankOptions::default())),
+            Job::new(h.clone(), JobSpec::Sssp(TraversalOptions::default())),
+            Job::new(h, JobSpec::Wcc),
+        ];
+        let reports = session.submit_batch(&jobs);
+        assert_eq!(reports.len(), 3);
+        let apps: Vec<_> = reports.iter().map(|r| r.as_ref().unwrap().app).collect();
+        assert_eq!(apps, vec!["pagerank", "sssp", "wcc"]);
+    }
+
+    #[test]
+    fn cf_on_directed_graph_is_rejected() {
+        let session = Session::new(small_config());
+        let job = Job::new(
+            handle(),
+            JobSpec::Cf(graphr_core::sim::CfOptions::default()),
+        );
+        let err = session.submit(&job).unwrap_err();
+        assert!(matches!(err, RuntimeError::NotBipartite { .. }));
+    }
+}

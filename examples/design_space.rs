@@ -36,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .build()?;
             let run = run_pagerank(&graph, &config, &opts)?;
             let m = &run.metrics;
-            let occupancy =
-                m.events.edges_loaded as f64 / m.events.tiles_loaded.max(1) as f64;
+            let occupancy = m.events.edges_loaded as f64 / m.events.tiles_loaded.max(1) as f64;
             println!(
                 "{:<10} {:<6} {:>14} {:>14} {:>16.2}",
                 format!("{crossbar}x{crossbar}"),

@@ -15,6 +15,7 @@
 //! | [`core`] | the GraphR node: preprocessing, graph engines, streaming-apply, algorithm mappings |
 //! | [`gridgraph`] | the CPU software substrate (dual sliding windows, X-Stream) |
 //! | [`platforms`] | analytical CPU/GPU/PIM cost models |
+//! | [`runtime`] | parallel job runtime: strip-sharded scans, cached sessions, batched jobs, `graphr-run` |
 //!
 //! # Quickstart
 //!
@@ -45,16 +46,18 @@ pub use graphr_graph as graph;
 pub use graphr_gridgraph as gridgraph;
 pub use graphr_platforms as platforms;
 pub use graphr_reram as reram;
+pub use graphr_runtime as runtime;
 pub use graphr_units as units;
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use graphr_core::sim::{
-        run_bfs, run_cf, run_pagerank, run_spmv, run_sssp, CfOptions, PageRankOptions,
-        SpmvOptions, TraversalOptions,
+        run_bfs, run_cf, run_pagerank, run_spmv, run_sssp, CfOptions, PageRankOptions, SpmvOptions,
+        TraversalOptions,
     };
     pub use graphr_core::{GraphRConfig, Metrics, TiledGraph};
-    pub use graphr_graph::{DatasetSpec, Edge, EdgeList};
+    pub use graphr_graph::{DatasetSpec, Edge, EdgeList, GraphHandle};
+    pub use graphr_runtime::{Job, JobSpec, Session};
     pub use graphr_units::{Joules, Nanos};
 }
 

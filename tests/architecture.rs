@@ -12,7 +12,11 @@ use graphr_repro::graph::EdgeList;
 use graphr_repro::reram::NoiseModel;
 
 fn graph() -> EdgeList {
-    Rmat::new(400, 2400).seed(17).max_weight(16).self_loops(false).generate()
+    Rmat::new(400, 2400)
+        .seed(17)
+        .max_weight(16)
+        .self_loops(false)
+        .generate()
 }
 
 fn pr_opts(iters: usize) -> PageRankOptions {
@@ -52,10 +56,7 @@ fn column_major_beats_row_major() {
     let rr = run_pagerank(&g, &row, &pr_opts(3)).expect("run");
     assert_eq!(rc.values, rr.values, "order must not change results");
     assert!(rr.metrics.events.register_writes > rc.metrics.events.register_writes);
-    assert!(
-        rr.metrics.events.rego_capacity_required
-            >= rc.metrics.events.rego_capacity_required
-    );
+    assert!(rr.metrics.events.rego_capacity_required >= rc.metrics.events.rego_capacity_required);
     assert!(rr.metrics.total_time() > rc.metrics.total_time());
 }
 
@@ -63,7 +64,10 @@ fn column_major_beats_row_major() {
 fn skipping_empty_windows_pays_off() {
     let g = graph();
     let skip = GraphRConfig::default();
-    let noskip = GraphRConfig::builder().skip_empty(false).build().expect("valid");
+    let noskip = GraphRConfig::builder()
+        .skip_empty(false)
+        .build()
+        .expect("valid");
     let rs = run_pagerank(&g, &skip, &pr_opts(3)).expect("run");
     let rn = run_pagerank(&g, &noskip, &pr_opts(3)).expect("run");
     assert_eq!(rs.values, rn.values);
@@ -79,7 +83,10 @@ fn skipping_empty_windows_pays_off() {
 fn pipelining_hides_programming() {
     let g = graph();
     let piped = GraphRConfig::default();
-    let serial = GraphRConfig::builder().pipelined(false).build().expect("valid");
+    let serial = GraphRConfig::builder()
+        .pipelined(false)
+        .build()
+        .expect("valid");
     let rp = run_pagerank(&g, &piped, &pr_opts(3)).expect("run");
     let rs = run_pagerank(&g, &serial, &pr_opts(3)).expect("run");
     assert_eq!(rp.values, rs.values);
@@ -133,7 +140,10 @@ fn one_percent_noise_preserves_ranking_quality() {
     let gold_top = top(&gold.ranks);
     let sim_top = top(&run.values);
     let overlap = gold_top.iter().filter(|v| sim_top.contains(v)).count();
-    assert!(overlap >= 7, "only {overlap}/10 of the top ranking survived 1% noise");
+    assert!(
+        overlap >= 7,
+        "only {overlap}/10 of the top ranking survived 1% noise"
+    );
 }
 
 #[test]
@@ -141,7 +151,11 @@ fn sssp_stays_exact_under_moderate_noise() {
     // Integer distance labels re-quantise every round, so small analog
     // perturbations are absorbed — BFS/SSSP are the paper's "resilient
     // integer algorithms".
-    let g = Rmat::new(100, 500).seed(8).max_weight(8).self_loops(false).generate();
+    let g = Rmat::new(100, 500)
+        .seed(8)
+        .max_weight(8)
+        .self_loops(false)
+        .generate();
     let gold = dijkstra(&g.to_csr(), 0);
     let config = GraphRConfig::builder()
         .crossbar_size(8)

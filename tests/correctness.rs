@@ -21,11 +21,19 @@ fn test_graphs() -> Vec<(&'static str, EdgeList)> {
     vec![
         (
             "rmat-small",
-            Rmat::new(120, 700).seed(11).max_weight(16).self_loops(false).generate(),
+            Rmat::new(120, 700)
+                .seed(11)
+                .max_weight(16)
+                .self_loops(false)
+                .generate(),
         ),
         (
             "rmat-skewed",
-            Rmat::new(300, 1500).seed(23).max_weight(32).self_loops(false).generate(),
+            Rmat::new(300, 1500)
+                .seed(23)
+                .max_weight(32)
+                .self_loops(false)
+                .generate(),
         ),
         (
             "uniform",
@@ -52,17 +60,20 @@ fn config(fidelity: Fidelity) -> GraphRConfig {
 fn bfs_exact_across_all_stacks() {
     for (name, g) in test_graphs() {
         let csr = g.to_csr();
-        let gold: Vec<Option<f64>> = bfs(&csr, 0).levels.iter().map(|l| l.map(f64::from)).collect();
+        let gold: Vec<Option<f64>> = bfs(&csr, 0)
+            .levels
+            .iter()
+            .map(|l| l.map(f64::from))
+            .collect();
         let sw = GridEngine::new(&g, 4).bfs(0);
         assert_eq!(sw.distances, gold, "gridgraph BFS diverged on {name}");
         for fidelity in [Fidelity::Fast, Fidelity::Analog] {
-            let hw = run_bfs(
-                &g,
-                &config(fidelity),
-                &TraversalOptions::default(),
-            )
-            .expect("valid run");
-            assert_eq!(hw.distances, gold, "GraphR {fidelity:?} BFS diverged on {name}");
+            let hw =
+                run_bfs(&g, &config(fidelity), &TraversalOptions::default()).expect("valid run");
+            assert_eq!(
+                hw.distances, gold,
+                "GraphR {fidelity:?} BFS diverged on {name}"
+            );
         }
     }
 }
@@ -75,14 +86,13 @@ fn sssp_exact_across_all_stacks() {
         let also_gold = bellman_ford(&csr, 0);
         assert_eq!(gold.distances, also_gold.distances, "gold oracles disagree");
         let sw = GridEngine::new(&g, 3).sssp(0);
-        assert_eq!(sw.distances, gold.distances, "gridgraph SSSP diverged on {name}");
+        assert_eq!(
+            sw.distances, gold.distances,
+            "gridgraph SSSP diverged on {name}"
+        );
         for fidelity in [Fidelity::Fast, Fidelity::Analog] {
-            let hw = run_sssp(
-                &g,
-                &config(fidelity),
-                &TraversalOptions::default(),
-            )
-            .expect("valid run");
+            let hw =
+                run_sssp(&g, &config(fidelity), &TraversalOptions::default()).expect("valid run");
             assert_eq!(
                 hw.distances, gold.distances,
                 "GraphR {fidelity:?} SSSP diverged on {name}"
@@ -192,7 +202,11 @@ fn cf_reduces_rmse_on_both_engines() {
 
 #[test]
 fn analog_and_fast_fidelities_agree_end_to_end() {
-    let g = Rmat::new(150, 800).seed(3).max_weight(8).self_loops(false).generate();
+    let g = Rmat::new(150, 800)
+        .seed(3)
+        .max_weight(8)
+        .self_loops(false)
+        .generate();
     let opts = PageRankOptions {
         max_iterations: 10,
         tolerance: 0.0,
@@ -217,14 +231,14 @@ fn multigraph_parallel_edges_handled_consistently() {
         g.add_edge(graphr_repro::graph::Edge::new(s, d, w)).unwrap();
     }
     let gold = dijkstra(&g.to_csr(), 0);
-    let hw = run_sssp(&g, &config(Fidelity::Fast), &TraversalOptions::default())
-        .expect("valid run");
+    let hw =
+        run_sssp(&g, &config(Fidelity::Fast), &TraversalOptions::default()).expect("valid run");
     assert_eq!(hw.distances, gold.distances);
     assert_eq!(hw.distances[1], Some(2.0), "min parallel edge must win");
 
     let gold_spmv = spmv_vertex_program(&g.to_csr(), &[1.0; 4]);
-    let hw_spmv = run_spmv(&g, &config(Fidelity::Fast), &SpmvOptions::default())
-        .expect("valid run");
+    let hw_spmv =
+        run_spmv(&g, &config(Fidelity::Fast), &SpmvOptions::default()).expect("valid run");
     for (a, b) in hw_spmv.values.iter().zip(&gold_spmv) {
         assert!((a - b).abs() < 0.05, "{a} vs {b}");
     }
@@ -235,7 +249,11 @@ fn multi_block_out_of_core_execution_is_correct() {
     // Force the out-of-core path: a block size far below the vertex count
     // splits the matrix into a grid of blocks processed in the §3.4
     // column-major disk order. Results must be identical to single-block.
-    let g = Rmat::new(700, 4000).seed(31).max_weight(8).self_loops(false).generate();
+    let g = Rmat::new(700, 4000)
+        .seed(31)
+        .max_weight(8)
+        .self_loops(false)
+        .generate();
     let small_node = GraphRConfig::builder()
         .crossbar_size(4)
         .crossbars_per_ge(8)

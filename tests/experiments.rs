@@ -85,7 +85,10 @@ fn figure20_graphr_beats_pim() {
     let ctx = ctx();
     let (runs, _) = figures::figure20(&ctx);
     assert_eq!(runs.len(), 6);
-    let gm: GeoMean = runs.iter().map(|r| r.pim.time.ratio(r.graphr.time)).collect();
+    let gm: GeoMean = runs
+        .iter()
+        .map(|r| r.pim.time.ratio(r.graphr.time))
+        .collect();
     assert!(
         gm.value().unwrap() > 1.0,
         "GraphR must beat Tesseract on the geomean"

@@ -112,6 +112,86 @@ fn ordering_is_disk_sequential() {
     }
 }
 
+#[test]
+fn empty_graph_tiles_and_scans() {
+    // No edges at all: the tiler must produce a consistent (all-empty)
+    // structure whose strip units still cover the destination axis, and a
+    // scan over it must return zeros without charging any subgraph work.
+    let g = graphr_repro::graph::EdgeList::new(10);
+    let config = figure12_config();
+    let tiled = TiledGraph::preprocess(&g, &config).expect("empty graph tiles");
+    assert_eq!(tiled.total_edges(), 0);
+    assert_eq!(tiled.nonempty_subgraphs(), 0);
+    let units = graphr_repro::core::exec::strip_units(&tiled);
+    assert_eq!(units.iter().map(|u| u.dst_len).sum::<usize>(), 10);
+    let mut exec = graphr_repro::core::exec::StreamingExecutor::new(
+        &tiled,
+        &config,
+        FixedSpec::new(16, 8).expect("valid spec"),
+    );
+    let x = vec![1.0; 10];
+    let y = exec.scan_mac(&|w, _, _| f64::from(w), &[&x]);
+    assert_eq!(y[0], vec![0.0; 10]);
+    assert_eq!(exec.metrics().events.subgraphs_processed, 0);
+}
+
+#[test]
+fn single_vertex_graph_tiles_and_scans() {
+    // One vertex, optionally a self-loop: the smallest possible strip.
+    let mut g = graphr_repro::graph::EdgeList::new(1);
+    g.add_edge(graphr_repro::graph::Edge::new(0, 0, 3.0))
+        .expect("in range");
+    let config = figure12_config();
+    let tiled = TiledGraph::preprocess(&g, &config).expect("single vertex tiles");
+    assert_eq!(tiled.total_edges(), 1);
+    assert_eq!(tiled.nonempty_subgraphs(), 1);
+    let units = graphr_repro::core::exec::strip_units(&tiled);
+    // Only the first unit covers a real vertex; padding units carry none.
+    assert_eq!(units[0].dst_len, 1);
+    assert!(units[1..].iter().all(|u| u.dst_len == 0));
+    let mut exec = graphr_repro::core::exec::StreamingExecutor::new(
+        &tiled,
+        &config,
+        FixedSpec::new(16, 8).expect("valid spec"),
+    );
+    let y = exec.scan_mac(&|w, _, _| f64::from(w), &[&[2.0][..]]);
+    assert_eq!(y[0], vec![6.0]);
+}
+
+#[test]
+fn non_multiple_strip_width_boundaries_hold() {
+    // Vertex counts straddling the strip width (16 here): the final
+    // partial strip is exactly where the runtime's sharding boundaries
+    // sit, so the scan must stay lossless there.
+    let config = figure12_config();
+    for n in [15usize, 17, 31, 33, 47] {
+        let g = Rmat::new(n, 6 * n).seed(n as u64).max_weight(5).generate();
+        let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
+        let units = graphr_repro::core::exec::strip_units(&tiled);
+        // Units partition [0, n): disjoint, ordered, complete.
+        let mut next = 0usize;
+        for u in &units {
+            if u.dst_len > 0 {
+                assert_eq!(u.dst_start, next, "gap before unit at n={n}");
+                next = u.dst_start + u.dst_len;
+            }
+        }
+        assert_eq!(next, n, "units must cover all {n} vertices");
+        // A MAC scan equals the gold SpMV despite the partial strip.
+        let mut exec = graphr_repro::core::exec::StreamingExecutor::new(
+            &tiled,
+            &config,
+            FixedSpec::new(16, 8).expect("valid spec"),
+        );
+        let x: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
+        let y = exec.scan_mac(&|w, _, _| f64::from(w), &[&x]);
+        let gold = graphr_repro::graph::algorithms::spmv::spmv(&g.to_csr(), &x);
+        for (a, b) in y[0].iter().zip(&gold) {
+            assert!((a - b).abs() < 1e-6, "n={n}: {a} vs {b}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

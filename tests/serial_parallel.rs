@@ -1,0 +1,195 @@
+//! Integration tests of the `graphr-runtime` service layer: the parallel
+//! executor must be observationally indistinguishable from the serial
+//! reference — bit-identical results and identical `Metrics` totals — for
+//! every application, and a warm session must skip preprocessing.
+
+use graphr_repro::core::sim::{
+    run_bfs, run_cf, run_pagerank, run_spmv, run_sssp, run_wcc, CfOptions, PageRankOptions,
+    SpmvOptions, TraversalOptions,
+};
+use graphr_repro::core::GraphRConfig;
+use graphr_repro::graph::generators::bipartite::RatingMatrix;
+use graphr_repro::graph::generators::rmat::Rmat;
+use graphr_repro::graph::GraphHandle;
+use graphr_runtime::{ExecMode, Job, JobOutput, JobSpec, Session};
+
+fn test_config() -> GraphRConfig {
+    GraphRConfig::builder()
+        .crossbar_size(4)
+        .crossbars_per_ge(8)
+        .num_ges(2)
+        .build()
+        .expect("valid test geometry")
+}
+
+fn rmat_handle() -> GraphHandle {
+    // Weights ≥ 1 so the same graph drives SSSP too.
+    GraphHandle::new(
+        "rmat-250",
+        Rmat::new(250, 1500).seed(42).max_weight(9).generate(),
+    )
+}
+
+/// Submits the same spec serially and in parallel (4 workers) against
+/// fresh sessions and asserts bit-identical outputs (results **and**
+/// metrics — `JobOutput`'s `PartialEq` covers both).
+fn assert_modes_agree(handle: &GraphHandle, spec: JobSpec) -> JobOutput {
+    let serial = Session::new(test_config())
+        .with_threads(1)
+        .submit(&Job::new(handle.clone(), spec.clone()).with_mode(ExecMode::Serial))
+        .expect("serial run");
+    let parallel = Session::new(test_config())
+        .with_threads(4)
+        .submit(&Job::new(handle.clone(), spec.clone()).with_mode(ExecMode::Parallel))
+        .expect("parallel run");
+    assert_eq!(
+        serial.output,
+        parallel.output,
+        "{}: serial and parallel runs must be bit-identical",
+        spec.name()
+    );
+    parallel.output
+}
+
+#[test]
+fn pagerank_serial_parallel_identical_with_gold_metrics() {
+    let handle = rmat_handle();
+    let opts = PageRankOptions::default();
+    let output = assert_modes_agree(&handle, JobSpec::PageRank(opts));
+    // Also identical to calling the plain sim driver directly.
+    let gold = run_pagerank(handle.graph(), &test_config(), &opts).expect("gold run");
+    match output {
+        JobOutput::Scalar(run) => {
+            assert_eq!(run.values, gold.values);
+            assert_eq!(run.metrics, gold.metrics);
+        }
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+#[test]
+fn sssp_serial_parallel_identical_with_gold_metrics() {
+    let handle = rmat_handle();
+    let opts = TraversalOptions::default();
+    let output = assert_modes_agree(&handle, JobSpec::Sssp(opts));
+    let gold = run_sssp(handle.graph(), &test_config(), &opts).expect("gold run");
+    match output {
+        JobOutput::Traversal(run) => {
+            assert_eq!(run.distances, gold.distances);
+            assert_eq!(run.metrics, gold.metrics);
+        }
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+#[test]
+fn spmv_serial_parallel_identical() {
+    let handle = rmat_handle();
+    let output = assert_modes_agree(&handle, JobSpec::Spmv(SpmvOptions::default()));
+    let gold = run_spmv(handle.graph(), &test_config(), &SpmvOptions::default()).expect("gold");
+    match output {
+        JobOutput::Scalar(run) => assert_eq!(run, gold),
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+#[test]
+fn bfs_serial_parallel_identical() {
+    let handle = rmat_handle();
+    let opts = TraversalOptions {
+        source: 3,
+        ..TraversalOptions::default()
+    };
+    let output = assert_modes_agree(&handle, JobSpec::Bfs(opts));
+    let gold = run_bfs(handle.graph(), &test_config(), &opts).expect("gold");
+    match output {
+        JobOutput::Traversal(run) => assert_eq!(run, gold),
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+#[test]
+fn wcc_serial_parallel_identical() {
+    let handle = rmat_handle();
+    let output = assert_modes_agree(&handle, JobSpec::Wcc);
+    let gold = run_wcc(handle.graph(), &test_config()).expect("gold");
+    match output {
+        JobOutput::Wcc(run) => assert_eq!(run, gold),
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+#[test]
+fn cf_serial_parallel_identical() {
+    let m = RatingMatrix::new(60, 20, 900).seed(5).generate();
+    let handle = GraphHandle::bipartite("ratings", m.graph().clone(), 60, 20);
+    let opts = CfOptions {
+        features: 8,
+        epochs: 3,
+        ..CfOptions::default()
+    };
+    let output = assert_modes_agree(&handle, JobSpec::Cf(opts));
+    let gold = run_cf(handle.graph(), 60, 20, &test_config(), &opts).expect("gold");
+    match output {
+        JobOutput::Cf(run) => assert_eq!(run, gold),
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+#[test]
+fn warm_session_reuses_preprocessing_across_applications() {
+    let session = Session::new(test_config()).with_threads(2);
+    let handle = rmat_handle();
+    // PageRank tiles the forward graph cold...
+    let pr = session
+        .submit(&Job::new(
+            handle.clone(),
+            JobSpec::PageRank(PageRankOptions::default()),
+        ))
+        .expect("pagerank");
+    assert_eq!(pr.cache_hits, 0);
+    // ...SSSP reuses the very same tiling (both scan the forward graph)...
+    let sssp = session
+        .submit(&Job::new(
+            handle.clone(),
+            JobSpec::Sssp(TraversalOptions::default()),
+        ))
+        .expect("sssp");
+    assert!(sssp.cache_hits > 0, "sssp must reuse the cached tiling");
+    // ...and a resubmission is a pure cache hit.
+    let again = session
+        .submit(&Job::new(
+            handle,
+            JobSpec::PageRank(PageRankOptions::default()),
+        ))
+        .expect("pagerank again");
+    assert!(again.cache_hits > 0);
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 1, "the tiler must have run exactly once");
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn batch_submission_matches_individual_submission() {
+    let handle = rmat_handle();
+    let jobs: Vec<Job> = vec![
+        Job::new(
+            handle.clone(),
+            JobSpec::PageRank(PageRankOptions::default()),
+        ),
+        Job::new(handle.clone(), JobSpec::Sssp(TraversalOptions::default())),
+        Job::new(handle.clone(), JobSpec::Spmv(SpmvOptions::default())),
+        Job::new(handle.clone(), JobSpec::Bfs(TraversalOptions::default())),
+    ];
+    let batch_session = Session::new(test_config()).with_threads(4);
+    let batch: Vec<JobOutput> = batch_session
+        .submit_batch(&jobs)
+        .into_iter()
+        .map(|r| r.expect("batch job").output)
+        .collect();
+    let solo_session = Session::new(test_config()).with_threads(4);
+    for (job, batch_output) in jobs.iter().zip(&batch) {
+        let solo = solo_session.submit(job).expect("solo job");
+        assert_eq!(&solo.output, batch_output, "{} diverged", job.spec.name());
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for the subset of `bytes` 1.x this workspace uses:
+//! `Bytes`, `BytesMut`, and the little-endian `Buf`/`BufMut` accessors
+//! needed by the binary edge-list codec.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Immutable byte buffer (here: an owned `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Byte length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Byte length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read cursor over a byte source, mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Advances past `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies out the next `dst.len()` bytes.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write sink for bytes, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_f32_le(1.5);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.remaining(), 8);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_f32_le(), 1.5);
+        assert_eq!(cursor.remaining(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! Supplies the `Serialize`/`Deserialize` trait names and the matching
+//! no-op derive macros so the workspace compiles without crates.io access.
+//! No actual (de)serialisation is performed anywhere in the workspace, so
+//! the traits carry no methods. Swapping in the real `serde` is a
+//! one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Owned deserialisation marker.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate accepts `#[derive(Serialize, Deserialize)]` (including `#[serde]`
+//! helper attributes) and expands to nothing. The workspace never
+//! serialises through serde at runtime — the derives exist so the public
+//! types advertise serialisability once the real dependency is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
