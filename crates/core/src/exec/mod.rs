@@ -6,10 +6,17 @@
 //! parallel add-op (§4.2) — reduces on the fly through the sALU into RegO,
 //! and charges every event to the [`Metrics`].
 //!
+//! [`plan`] is the plan/execute split: a [`plan::ScanPlan`] names the
+//! [`strip::StripUnit`]s — and, within each, the block rows and subgraphs —
+//! one scan will visit. The dense scan is the trivial full plan; sparse
+//! iterations build a plan pruned by the frontier's active mask through the
+//! tiler's source-range index, so work (and every [`Metrics`] charge) is
+//! proportional to planned, not total, edges.
+//!
 //! [`strip`] exposes the scan's parallel-safe decomposition: one
 //! [`strip::StripUnit`] per global destination strip, executed by a
 //! per-worker [`strip::StripScanner`]. The serial executor and any
-//! parallel driver built on the units (such as `graphr-runtime`'s)
+//! parallel driver consuming the same plan (such as `graphr-runtime`'s)
 //! produce bit-identical results and metrics by construction.
 //!
 //! [`ScanEngine`] abstracts over executors so the `sim` drivers can run
@@ -18,25 +25,65 @@
 //! [`TiledGraph`]: crate::preprocess::tiler::TiledGraph
 //! [`Metrics`]: crate::metrics::Metrics
 
+pub mod plan;
 pub mod streaming;
 pub mod strip;
 
+pub use plan::{PlanRow, PlanSkeleton, PlanStats, PlanUnit, ScanPlan};
 pub use streaming::{EdgeValueFn, StreamingExecutor};
 pub use strip::{mac_rego_capacity, strip_units, StripScanner, StripUnit};
+
+use std::sync::Arc;
 
 use crate::metrics::Metrics;
 
 /// An executor capable of running the two streaming-apply scan
-/// primitives. Implemented by the serial [`StreamingExecutor`] and by
-/// `graphr-runtime`'s parallel executor; the `sim` drivers are generic
-/// over it.
+/// primitives over [`ScanPlan`]s. Implemented by the serial
+/// [`StreamingExecutor`] and by `graphr-runtime`'s parallel executor; the
+/// `sim` drivers are generic over it.
+///
+/// The planned methods are the primitives; the plain [`ScanEngine::scan_mac`]
+/// and [`ScanEngine::scan_add_op`] are provided conveniences that execute
+/// the dense full plan.
 pub trait ScanEngine {
-    /// One parallel-MAC pass (§4.1) over the whole graph; see
-    /// [`StreamingExecutor::scan_mac`].
-    fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>>;
+    /// Builds a scan plan for this engine's preprocessed graph: the dense
+    /// full plan for `None`, or one pruned to the subgraphs holding at
+    /// least one vertex active under the mask (see
+    /// [`plan::PlanSkeleton::pruned_plan`]).
+    fn plan(&self, active: Option<&[bool]>) -> Arc<ScanPlan>;
 
-    /// One parallel-add-op pass (§4.2) over the whole graph; see
-    /// [`StreamingExecutor::scan_add_op`].
+    /// One parallel-MAC pass (§4.1) over a plan; see
+    /// [`StreamingExecutor::scan_mac_planned`].
+    fn scan_mac_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        inputs: &[&[f64]],
+    ) -> Vec<Vec<f64>>;
+
+    /// One parallel-add-op pass (§4.2) over a plan; see
+    /// [`StreamingExecutor::scan_add_op_planned`].
+    #[allow(clippy::too_many_arguments)]
+    fn scan_add_op_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addend: &[f64],
+        active: &[bool],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+    ) -> u64;
+
+    /// One parallel-MAC pass over the whole graph (the dense full plan).
+    fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
+        let plan = self.plan(None);
+        self.scan_mac_planned(&plan, value, inputs)
+    }
+
+    /// One parallel-add-op pass over the whole graph (the dense full
+    /// plan); subgraphs without active sources are still streamed, only
+    /// their GE work is skipped.
     fn scan_add_op(
         &mut self,
         value: &EdgeValueFn<'_>,
@@ -45,7 +92,10 @@ pub trait ScanEngine {
         active: &[bool],
         frontier: &mut [f64],
         updated: &mut [bool],
-    ) -> u64;
+    ) -> u64 {
+        let plan = self.plan(None);
+        self.scan_add_op_planned(&plan, value, combine, addend, active, frontier, updated)
+    }
 
     /// Marks the end of one algorithm iteration.
     fn end_iteration(&mut self);

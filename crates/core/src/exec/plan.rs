@@ -1,0 +1,386 @@
+//! Scan plans: the plan/execute split of the streaming-apply scan.
+//!
+//! GraphR's sparse-workload optimisation (§4.2) is skipping subgraphs with
+//! no active source. Executing that skip *after* streaming a subgraph past
+//! the scanner still costs a full pass over the §3.4-ordered edge list per
+//! iteration. A [`ScanPlan`] moves the decision in front of execution: the
+//! per-block-row
+//! [`SourceRangeIndex`](crate::preprocess::tiler::SourceRangeIndex)
+//! built at tiling time is intersected
+//! with the frontier's active mask once per scan, yielding the ordered list
+//! of [`StripUnit`]s — restricted to the block rows and subgraphs holding
+//! at least one active source — that the executors then walk. Pruned
+//! subgraphs are never streamed, never charged, and are reported through
+//! the `subgraphs_pruned` / `edges_pruned` counters of
+//! [`Metrics`](crate::metrics::Metrics); the dense scan is simply the
+//! trivial full plan. This is the selective scheduling GridGraph-style
+//! out-of-core engines apply to blocks, lowered to GraphR's subgraph
+//! granularity.
+//!
+//! The split also names a cacheable unit: a [`PlanSkeleton`] (the unit
+//! table plus the precomputed full plan) depends only on the preprocessed
+//! graph, so a session can cache it alongside the [`TiledGraph`] and stamp
+//! out pruned plans per iteration at mask-intersection cost.
+//!
+//! Determinism: a plan lists its units in merge (`index`) order and, within
+//! a unit, block rows in streamed order. Serial and parallel executors
+//! consume the *same* plan through the same per-unit scanner entry points
+//! and merge per-unit metrics in plan order, so results and accounting stay
+//! bit-identical regardless of thread count — the same contract
+//! [`strip`](crate::exec::strip) established for dense scans.
+
+use std::sync::Arc;
+
+use crate::exec::strip::{strip_units, StripUnit};
+use crate::preprocess::tiler::TiledGraph;
+
+/// One planned visit of a block row within a unit: which block to enter
+/// and which of its strip's subgraphs to stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRow {
+    /// Column-major block index (position in [`TiledGraph::blocks`]).
+    pub block: u32,
+    /// Planned positions within the strip's `subgraphs` vector, ascending.
+    pub subgraphs: Vec<u32>,
+}
+
+/// One planned scan unit: a [`StripUnit`] plus the block rows (and
+/// subgraphs within them) the scan will actually visit, in streamed order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanUnit {
+    /// The destination strip being scanned.
+    pub unit: StripUnit,
+    /// Planned block-row visits, ascending by block row.
+    pub rows: Vec<PlanRow>,
+}
+
+impl PlanUnit {
+    /// Total planned subgraph visits in this unit.
+    #[must_use]
+    pub fn num_subgraphs(&self) -> usize {
+        self.rows.iter().map(|r| r.subgraphs.len()).sum()
+    }
+}
+
+/// What a plan kept and what it pruned, relative to the full scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Units with at least one planned visit.
+    pub units_planned: usize,
+    /// Units dropped entirely (no active source reaches their strip).
+    pub units_pruned: usize,
+    /// Nonempty subgraphs the plan will stream.
+    pub subgraphs_planned: u64,
+    /// Nonempty subgraphs excluded before streaming.
+    pub subgraphs_pruned: u64,
+    /// Edges inside planned subgraphs.
+    pub edges_planned: u64,
+    /// Edges inside pruned subgraphs.
+    pub edges_pruned: u64,
+}
+
+/// An executable description of one scan: which units to run and, within
+/// each, which subgraphs to stream. Built from a [`PlanSkeleton`] — dense
+/// (the full plan) or pruned by an active-vertex mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanPlan {
+    units: Vec<PlanUnit>,
+    stats: PlanStats,
+}
+
+impl ScanPlan {
+    /// The planned units in merge order.
+    #[must_use]
+    pub fn units(&self) -> &[PlanUnit] {
+        &self.units
+    }
+
+    /// Pruning statistics of this plan.
+    #[must_use]
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
+    }
+
+    /// Whether this plan prunes nothing (a dense scan).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.stats.subgraphs_pruned == 0 && self.stats.units_pruned == 0
+    }
+}
+
+/// The reusable part of planning: the unit table of a preprocessed graph
+/// plus its precomputed full plan. Depends only on the [`TiledGraph`], so
+/// it can be built once and cached alongside it; pruned plans are stamped
+/// out from the skeleton per scan.
+#[derive(Debug, Clone)]
+pub struct PlanSkeleton {
+    /// The dense plan; its `PlanUnit`s *are* the unit table.
+    full: Arc<ScanPlan>,
+}
+
+impl PlanSkeleton {
+    /// Builds the skeleton for a preprocessed graph: enumerates the unit
+    /// table and materialises the dense plan over it.
+    #[must_use]
+    pub fn build(tiled: &TiledGraph) -> Self {
+        let units = strip_units(tiled);
+        let per_side = tiled.order().blocks_per_side();
+        let mut plan_units = Vec::with_capacity(units.len());
+        for unit in &units {
+            // Every block row is visited, every subgraph streamed — the
+            // §3.4 disk-order walk, exactly as a plan.
+            let rows = (0..per_side)
+                .map(|bi| {
+                    let block = unit.bj as usize * per_side + bi;
+                    let strip = &tiled.blocks()[block].strips[unit.strip as usize];
+                    PlanRow {
+                        block: block as u32,
+                        subgraphs: (0..strip.subgraphs.len() as u32).collect(),
+                    }
+                })
+                .collect();
+            plan_units.push(PlanUnit { unit: *unit, rows });
+        }
+        let full = Arc::new(ScanPlan {
+            stats: PlanStats {
+                units_planned: plan_units.len(),
+                units_pruned: 0,
+                subgraphs_planned: tiled.nonempty_subgraphs() as u64,
+                subgraphs_pruned: 0,
+                edges_planned: tiled.total_edges() as u64,
+                edges_pruned: 0,
+            },
+            units: plan_units,
+        });
+        PlanSkeleton { full }
+    }
+
+    /// Size of the unit table (one [`StripUnit`] per global destination
+    /// strip).
+    #[must_use]
+    pub fn num_units(&self) -> usize {
+        self.full.units.len()
+    }
+
+    /// The dense plan: every unit, every block row, every subgraph.
+    #[must_use]
+    pub fn full_plan(&self) -> Arc<ScanPlan> {
+        Arc::clone(&self.full)
+    }
+
+    /// The plan an engine under `config` should execute for an optional
+    /// active mask: pruned when a mask is given and the controller is
+    /// sparsity-aware, dense otherwise — `skip_empty = false` (the §3.3
+    /// sparsity ablation) models a controller with no index to seek by,
+    /// which therefore cannot prune. This is the single policy point both
+    /// the serial and the parallel executor route their
+    /// [`ScanEngine::plan`](crate::exec::ScanEngine::plan) through, so
+    /// they cannot drift apart.
+    #[must_use]
+    pub fn plan_for(
+        &self,
+        tiled: &TiledGraph,
+        config: &crate::config::GraphRConfig,
+        active: Option<&[bool]>,
+    ) -> Arc<ScanPlan> {
+        match active {
+            Some(mask) if config.skip_empty => Arc::new(self.pruned_plan(tiled, mask)),
+            _ => self.full_plan(),
+        }
+    }
+
+    /// Builds a plan restricted to the subgraphs whose source range holds
+    /// at least one vertex active under `mask` — and therefore to the block
+    /// rows and units containing such a subgraph. Everything else is
+    /// pruned: not visited, not streamed, not charged.
+    ///
+    /// Functionally this is exact for the add-op pattern (a subgraph with
+    /// no active source contributes nothing); for the MAC pattern it is
+    /// exact only when the input vectors are zero outside `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` does not have one entry per (unpadded) vertex.
+    #[must_use]
+    pub fn pruned_plan(&self, tiled: &TiledGraph, mask: &[bool]) -> ScanPlan {
+        assert_eq!(
+            mask.len(),
+            tiled.num_vertices(),
+            "active mask must have one entry per vertex"
+        );
+        let per_side = tiled.order().blocks_per_side();
+        let strips_per_block = tiled.order().strips_per_block();
+        let mut rows_by_unit: Vec<Vec<PlanRow>> = vec![Vec::new(); self.num_units()];
+        let mut subgraphs = 0u64;
+        let mut edges = 0u64;
+        // Block rows ascending, spans within a row in streamed order, so
+        // each unit accumulates its rows already sorted.
+        for row_spans in tiled.source_index().rows() {
+            for span in row_spans {
+                if !span.intersects(mask) {
+                    continue;
+                }
+                let bj = span.block as usize / per_side;
+                let unit_rows = &mut rows_by_unit[bj * strips_per_block + span.strip as usize];
+                if unit_rows.last().map(|r| r.block) != Some(span.block) {
+                    unit_rows.push(PlanRow {
+                        block: span.block,
+                        subgraphs: Vec::new(),
+                    });
+                }
+                unit_rows
+                    .last_mut()
+                    .expect("row just ensured")
+                    .subgraphs
+                    .push(span.position);
+                subgraphs += 1;
+                edges += u64::from(span.edges);
+            }
+        }
+        let mut units = Vec::new();
+        for (punit, rows) in self.full.units.iter().zip(rows_by_unit) {
+            if !rows.is_empty() {
+                units.push(PlanUnit {
+                    unit: punit.unit,
+                    rows,
+                });
+            }
+        }
+        let stats = PlanStats {
+            units_planned: units.len(),
+            units_pruned: self.num_units() - units.len(),
+            subgraphs_planned: subgraphs,
+            subgraphs_pruned: tiled.nonempty_subgraphs() as u64 - subgraphs,
+            edges_planned: edges,
+            edges_pruned: tiled.total_edges() as u64 - edges,
+        };
+        ScanPlan { units, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphRConfig;
+    use graphr_graph::generators::rmat::Rmat;
+
+    fn small_config() -> GraphRConfig {
+        GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(2)
+            .num_ges(2)
+            .spec(graphr_units::FixedSpec::new(5, 0).unwrap())
+            .slicer(graphr_units::BitSlicer::new(4, 1).unwrap())
+            .block_vertices(32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_plan_covers_every_nonempty_subgraph() {
+        let g = Rmat::new(100, 500).seed(3).generate();
+        let tiled = TiledGraph::preprocess(&g, &small_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let full = skeleton.full_plan();
+        assert!(full.is_full());
+        assert_eq!(
+            full.stats().subgraphs_planned,
+            tiled.nonempty_subgraphs() as u64
+        );
+        assert_eq!(full.stats().edges_planned, tiled.total_edges() as u64);
+        let visits: usize = full.units().iter().map(PlanUnit::num_subgraphs).sum();
+        assert_eq!(visits, tiled.nonempty_subgraphs());
+        // Every block row appears in every unit of the dense plan.
+        let per_side = tiled.order().blocks_per_side();
+        for pu in full.units() {
+            assert_eq!(pu.rows.len(), per_side);
+        }
+    }
+
+    #[test]
+    fn all_active_mask_plans_all_subgraphs() {
+        let g = Rmat::new(90, 400).seed(8).generate();
+        let tiled = TiledGraph::preprocess(&g, &small_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let plan = skeleton.pruned_plan(&tiled, &[true; 90]);
+        assert_eq!(plan.stats().subgraphs_pruned, 0);
+        assert_eq!(plan.stats().edges_pruned, 0);
+        assert_eq!(
+            plan.stats().subgraphs_planned,
+            tiled.nonempty_subgraphs() as u64
+        );
+    }
+
+    #[test]
+    fn all_inactive_mask_prunes_everything() {
+        let g = Rmat::new(90, 400).seed(8).generate();
+        let tiled = TiledGraph::preprocess(&g, &small_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let plan = skeleton.pruned_plan(&tiled, &[false; 90]);
+        assert!(plan.units().is_empty());
+        assert_eq!(
+            plan.stats().subgraphs_pruned,
+            tiled.nonempty_subgraphs() as u64
+        );
+        assert_eq!(plan.stats().edges_pruned, tiled.total_edges() as u64);
+        assert_eq!(plan.stats().units_pruned, skeleton.num_units());
+    }
+
+    #[test]
+    fn pruned_plan_keeps_exactly_intersecting_spans() {
+        let g = Rmat::new(120, 700).seed(5).generate();
+        let tiled = TiledGraph::preprocess(&g, &small_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let mut mask = vec![false; 120];
+        for v in (0..120).step_by(17) {
+            mask[v] = true;
+        }
+        let plan = skeleton.pruned_plan(&tiled, &mask);
+        // Reconstruct the planned set and compare with a direct filter of
+        // the source index.
+        let mut expected = 0u64;
+        for row in tiled.source_index().rows() {
+            expected += row.iter().filter(|s| s.intersects(&mask)).count() as u64;
+        }
+        assert_eq!(plan.stats().subgraphs_planned, expected);
+        assert_eq!(
+            plan.stats().subgraphs_planned + plan.stats().subgraphs_pruned,
+            tiled.nonempty_subgraphs() as u64
+        );
+        // Planned rows are sorted and nonempty; units in merge order.
+        let mut last_index = None;
+        for pu in plan.units() {
+            assert!(last_index < Some(pu.unit.index));
+            last_index = Some(pu.unit.index);
+            assert!(!pu.rows.is_empty());
+            let mut last_block = None;
+            for row in &pu.rows {
+                assert!(last_block < Some(row.block));
+                last_block = Some(row.block);
+                assert!(!row.subgraphs.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn edge_offsets_partition_the_streamed_order() {
+        let g = Rmat::new(80, 600).seed(11).generate();
+        let tiled = TiledGraph::preprocess(&g, &small_config()).unwrap();
+        // Spans across all rows, sorted by edge offset, must tile
+        // [0, total_edges) exactly.
+        let mut spans: Vec<_> = tiled
+            .source_index()
+            .rows()
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        spans.sort_by_key(|s| s.edge_offset);
+        let mut next = 0u64;
+        for s in &spans {
+            assert_eq!(s.edge_offset, next, "gap in streamed order");
+            next += u64::from(s.edges);
+        }
+        assert_eq!(next, tiled.total_edges() as u64);
+    }
+}

@@ -13,12 +13,14 @@
 //!   into RegO by the sALU, and lowered destinations become active for the
 //!   next iteration.
 //!
-//! Both primitives execute as a sequence of [`StripUnit`] scans — one per
-//! global destination strip, in merge order — through a private
-//! [`StripScanner`]. That decomposition is the contract parallel drivers
-//! build on: executing the same units on worker threads and merging
-//! per-unit [`Metrics`] in the same order reproduces this executor's
-//! results and accounting bit for bit (see [`crate::exec::strip`]).
+//! Both primitives execute a [`ScanPlan`] — the ordered
+//! [`PlanUnit`](crate::exec::plan::PlanUnit)s of
+//! either the dense full plan or a frontier-pruned plan (see
+//! [`crate::exec::plan`]) — through a private [`StripScanner`]. That
+//! decomposition is the contract parallel drivers build on: executing the
+//! same plan's units on worker threads and merging per-unit [`Metrics`] in
+//! plan order reproduces this executor's results and accounting bit for
+//! bit (see [`crate::exec::strip`]).
 //!
 //! # Timing: dense tile packing within a strip
 //!
@@ -38,8 +40,11 @@
 //! aligned `C × strip_width` window — one step per source chunk, empty or
 //! not — which is the ablation quantifying what sparsity-awareness buys.
 
+use std::sync::Arc;
+
 use crate::config::{Fidelity, GraphRConfig};
-use crate::exec::strip::{mac_rego_capacity, strip_units, StripScanner, StripUnit};
+use crate::exec::plan::{PlanSkeleton, ScanPlan};
+use crate::exec::strip::{mac_rego_capacity, StripScanner};
 use crate::exec::ScanEngine;
 use crate::metrics::Metrics;
 use crate::preprocess::tiler::TiledGraph;
@@ -57,7 +62,7 @@ pub struct StreamingExecutor<'a> {
     tiled: &'a TiledGraph,
     config: &'a GraphRConfig,
     scanner: StripScanner<'a>,
-    units: Vec<StripUnit>,
+    skeleton: Arc<PlanSkeleton>,
     metrics: Metrics,
 }
 
@@ -70,11 +75,23 @@ impl<'a> StreamingExecutor<'a> {
         config: &'a GraphRConfig,
         spec: graphr_units::FixedSpec,
     ) -> Self {
+        Self::with_skeleton(tiled, config, spec, Arc::new(PlanSkeleton::build(tiled)))
+    }
+
+    /// Creates an executor reusing an already-built plan skeleton (a
+    /// session's cached one; it must have been built from this `tiled`).
+    #[must_use]
+    pub fn with_skeleton(
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        spec: graphr_units::FixedSpec,
+        skeleton: Arc<PlanSkeleton>,
+    ) -> Self {
         StreamingExecutor {
             tiled,
             config,
             scanner: StripScanner::new(tiled, config, spec),
-            units: strip_units(tiled),
+            skeleton,
             metrics: Metrics::new(),
         }
     }
@@ -100,8 +117,23 @@ impl<'a> StreamingExecutor<'a> {
     /// One parallel-MAC pass over the whole graph: for each input vector
     /// `x` in `inputs`, computes `y[dst] = Σ_{src→dst} value(w, src, dst) ·
     /// x[src]`, returning one output vector per input. All inputs share a
-    /// single tile-programming pass (K MVM evaluations per tile).
+    /// single tile-programming pass (K MVM evaluations per tile). Executes
+    /// the dense full plan.
     pub fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
+        let plan = self.skeleton.full_plan();
+        self.scan_mac_planned(&plan, value, inputs)
+    }
+
+    /// [`StreamingExecutor::scan_mac`] over an explicit [`ScanPlan`]. A
+    /// pruned plan is functionally exact only when the inputs are zero on
+    /// pruned source rows (see
+    /// [`PlanSkeleton::pruned_plan`](crate::exec::plan::PlanSkeleton::pruned_plan)).
+    pub fn scan_mac_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        inputs: &[&[f64]],
+    ) -> Vec<Vec<f64>> {
         let n = self.tiled.num_vertices();
         let k = inputs.len();
         assert!(k > 0, "at least one input vector required");
@@ -111,15 +143,15 @@ impl<'a> StreamingExecutor<'a> {
         let mut outputs = vec![vec![0.0; n]; k];
         let width = self.config.strip_width();
         let mut local: Vec<Vec<f64>> = vec![vec![0.0; width]; k];
-        let units = std::mem::take(&mut self.units);
-        for unit in &units {
+        for punit in plan.units() {
             for buf in &mut local {
                 buf.fill(0.0);
             }
             let mut unit_metrics = Metrics::new();
             self.scanner
-                .scan_mac_unit(unit, value, inputs, &mut local, &mut unit_metrics);
+                .scan_mac_unit(punit, value, inputs, &mut local, &mut unit_metrics);
             self.metrics.merge(&unit_metrics);
+            let unit = &punit.unit;
             if unit.dst_len > 0 {
                 for (out, buf) in outputs.iter_mut().zip(&local) {
                     out[unit.dst_start..unit.dst_start + unit.dst_len]
@@ -127,7 +159,7 @@ impl<'a> StreamingExecutor<'a> {
                 }
             }
         }
-        self.units = units;
+        self.metrics.charge_plan(plan.stats());
         self.metrics.events.rego_capacity_required = self
             .metrics
             .events
@@ -156,6 +188,24 @@ impl<'a> StreamingExecutor<'a> {
         frontier: &mut [f64],
         updated: &mut [bool],
     ) -> u64 {
+        let plan = self.skeleton.full_plan();
+        self.scan_add_op_planned(&plan, value, combine, addend, active, frontier, updated)
+    }
+
+    /// [`StreamingExecutor::scan_add_op`] over an explicit [`ScanPlan`] —
+    /// typically one pruned by the current frontier, making the iteration
+    /// cost proportional to active work instead of `O(|E|)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_add_op_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addend: &[f64],
+        active: &[bool],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+    ) -> u64 {
         let n = self.tiled.num_vertices();
         assert_eq!(addend.len(), n, "addend must have one entry per vertex");
         assert_eq!(
@@ -173,16 +223,15 @@ impl<'a> StreamingExecutor<'a> {
         let mut frontier_local = vec![0.0; width];
         let mut updated_local = vec![false; width];
         let mut total_rows = 0u64;
-        let units = std::mem::take(&mut self.units);
-        for unit in &units {
-            let (ds, dl) = (unit.dst_start, unit.dst_len);
+        for punit in plan.units() {
+            let (ds, dl) = (punit.unit.dst_start, punit.unit.dst_len);
             if dl > 0 {
                 frontier_local[..dl].copy_from_slice(&frontier[ds..ds + dl]);
                 updated_local[..dl].copy_from_slice(&updated[ds..ds + dl]);
             }
             let mut unit_metrics = Metrics::new();
             total_rows += self.scanner.scan_add_op_unit(
-                unit,
+                punit,
                 value,
                 combine,
                 addend,
@@ -197,7 +246,7 @@ impl<'a> StreamingExecutor<'a> {
                 updated[ds..ds + dl].copy_from_slice(&updated_local[..dl]);
             }
         }
-        self.units = units;
+        self.metrics.charge_plan(plan.stats());
         self.metrics.events.rego_capacity_required = self
             .metrics
             .events
@@ -214,12 +263,22 @@ impl<'a> StreamingExecutor<'a> {
 }
 
 impl ScanEngine for StreamingExecutor<'_> {
-    fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
-        StreamingExecutor::scan_mac(self, value, inputs)
+    fn plan(&self, active: Option<&[bool]>) -> Arc<ScanPlan> {
+        self.skeleton.plan_for(self.tiled, self.config, active)
     }
 
-    fn scan_add_op(
+    fn scan_mac_planned(
         &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        inputs: &[&[f64]],
+    ) -> Vec<Vec<f64>> {
+        StreamingExecutor::scan_mac_planned(self, plan, value, inputs)
+    }
+
+    fn scan_add_op_planned(
+        &mut self,
+        plan: &ScanPlan,
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
@@ -227,7 +286,9 @@ impl ScanEngine for StreamingExecutor<'_> {
         frontier: &mut [f64],
         updated: &mut [bool],
     ) -> u64 {
-        StreamingExecutor::scan_add_op(self, value, combine, addend, active, frontier, updated)
+        StreamingExecutor::scan_add_op_planned(
+            self, plan, value, combine, addend, active, frontier, updated,
+        )
     }
 
     fn end_iteration(&mut self) {

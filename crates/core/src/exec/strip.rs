@@ -12,11 +12,12 @@
 //! results into unit-local buffers and charging time/energy into a
 //! unit-local [`Metrics`].
 //!
-//! Determinism contract: a full scan is the units of [`strip_units`]
-//! executed in `index` order with their metrics [`Metrics::merge`]d in that
-//! same order. The serial [`StreamingExecutor`] does exactly this, and any
-//! parallel driver that executes units on worker threads but merges in
-//! `index` order produces **bit-identical** results and metrics — every
+//! Determinism contract: a scan is the [`PlanUnit`]s of a
+//! [`ScanPlan`](crate::exec::plan::ScanPlan) executed in plan order with
+//! their metrics [`Metrics::merge`]d in that same order. The serial
+//! [`StreamingExecutor`] does exactly this, and any parallel driver that
+//! executes the same plan's units on worker threads but merges in plan
+//! order produces **bit-identical** results and metrics — every
 //! floating-point reduction happens inside one unit, in one deterministic
 //! order, regardless of which thread ran it.
 //!
@@ -25,13 +26,14 @@
 use crate::config::{GraphRConfig, StreamingOrder};
 use crate::engine::salu::{ReduceOp, SAlu};
 use crate::engine::tile::{MergeRule, TileCompute};
+use crate::exec::plan::PlanUnit;
 use crate::exec::streaming::EdgeValueFn;
 use crate::metrics::Metrics;
 use crate::preprocess::tiler::TiledGraph;
 
-/// Bytes per COO edge record streamed from memory ReRAM (two 32-bit vertex
-/// ids + a 32-bit weight, matching `graphr_graph::io`'s binary format).
-pub(crate) const BYTES_PER_EDGE: u64 = 12;
+/// Bytes per COO edge record streamed from memory ReRAM — the binary
+/// record format is owned by the graph crate.
+pub(crate) use graphr_graph::BYTES_PER_EDGE;
 
 /// One global destination strip: the parallel work unit of a scan.
 ///
@@ -136,14 +138,15 @@ impl<'a> StripScanner<'a> {
         self.config.num_ges * self.config.tiles_per_ge()
     }
 
-    /// One parallel-MAC pass over a single unit: for each input vector in
-    /// `inputs`, accumulates `y[dst - unit.dst_start] += value(w, src, dst)
-    /// · x[src]` into the unit-local `outputs` (one buffer of at least
+    /// One parallel-MAC pass over a single planned unit: for each input
+    /// vector in `inputs`, accumulates `y[dst - dst_start] += value(w, src,
+    /// dst) · x[src]` into the unit-local `outputs` (one buffer of at least
     /// `strip_width` entries per input, pre-zeroed by the caller), charging
-    /// the unit's share of time and energy into `metrics`.
+    /// the planned work's share of time and energy into `metrics`. Only the
+    /// block rows and subgraphs the plan lists are visited.
     pub fn scan_mac_unit(
         &mut self,
-        unit: &StripUnit,
+        punit: &PlanUnit,
         value: &EdgeValueFn<'_>,
         inputs: &[&[f64]],
         outputs: &mut [Vec<f64>],
@@ -152,29 +155,30 @@ impl<'a> StripScanner<'a> {
         let tiled = self.tiled;
         let n = tiled.num_vertices();
         let k = inputs.len();
-        let per_side = tiled.order().blocks_per_side();
+        let unit = &punit.unit;
+        let sidx = unit.strip as usize;
         let mut salu = SAlu::new(ReduceOp::Add);
 
-        for bi in 0..per_side {
-            let bidx = unit.bj as usize * per_side + bi;
-            let block = &tiled.blocks()[bidx];
-            let sidx = unit.strip as usize;
-            let strip = &block.strips[sidx];
+        for row in &punit.rows {
+            let bidx = row.block as usize;
+            let strip = &tiled.blocks()[bidx].strips[sidx];
             match self.config.order {
                 StreamingOrder::ColumnMajor => {
-                    // Dense tile packing: the whole strip's nonempty tiles
+                    // Dense tile packing: the whole strip's planned tiles
                     // feed the GE slots back to back.
                     let mut strip_tiles = 0u64;
                     let mut strip_edges = 0u64;
-                    for g in 0..strip.subgraphs.len() {
-                        let sg = &strip.subgraphs[g];
+                    for &g in &row.subgraphs {
+                        let sg = &strip.subgraphs[g as usize];
                         strip_tiles += sg.tiles.len() as u64;
                         strip_edges += u64::from(sg.edges);
                         self.mac_subgraph(
-                            bidx, sidx, g, unit, value, inputs, outputs, &mut salu, metrics,
+                            bidx, sidx, g as usize, unit, value, inputs, outputs, &mut salu,
+                            metrics,
                         );
                     }
-                    self.charge_strip_time(strip_tiles, strip_edges, k, metrics);
+                    let pruned = (strip.subgraphs.len() - row.subgraphs.len()) as u64;
+                    self.charge_strip_time(strip_tiles, strip_edges, pruned, k, metrics);
                     // Strip write-back: RegO → memory, once per strip.
                     self.charge_strip_writeback(self.config.strip_width().min(n), metrics);
                 }
@@ -185,15 +189,18 @@ impl<'a> StripScanner<'a> {
                     // Subgraphs are stored in ascending chunk order, which
                     // is exactly the source-major visit order within one
                     // strip.
-                    for g in 0..strip.subgraphs.len() {
-                        let sg = &strip.subgraphs[g];
+                    let pruned = (strip.subgraphs.len() - row.subgraphs.len()) as u64;
+                    for &g in &row.subgraphs {
+                        let sg = &strip.subgraphs[g as usize];
                         let (tiles, edges) = (sg.tiles.len() as u64, u64::from(sg.edges));
                         self.mac_subgraph(
-                            bidx, sidx, g, unit, value, inputs, outputs, &mut salu, metrics,
+                            bidx, sidx, g as usize, unit, value, inputs, outputs, &mut salu,
+                            metrics,
                         );
                         self.charge_strip_time(
                             tiles.min(self.tile_slots() as u64),
                             edges,
+                            pruned,
                             k,
                             metrics,
                         );
@@ -207,8 +214,18 @@ impl<'a> StripScanner<'a> {
 
     /// Charges the time for one strip's worth of `tiles` nonempty tiles
     /// (MAC pattern): `⌈tiles/slots⌉` packed GE steps, or one step per
-    /// source chunk when skipping is disabled.
-    fn charge_strip_time(&mut self, tiles: u64, edges: u64, k: usize, metrics: &mut Metrics) {
+    /// source chunk when skipping is disabled. `pruned` is the number of
+    /// nonempty subgraphs the plan excluded from this strip visit — those
+    /// windows belong to the `subgraphs_pruned` counter (charged once per
+    /// scan), not to the empty-window skip statistics here.
+    fn charge_strip_time(
+        &mut self,
+        tiles: u64,
+        edges: u64,
+        pruned: u64,
+        k: usize,
+        metrics: &mut Metrics,
+    ) {
         let slots = self.tile_slots() as u64;
         let steps = if self.config.skip_empty {
             tiles.div_ceil(slots)
@@ -235,8 +252,9 @@ impl<'a> StripScanner<'a> {
             program + compute + stream
         };
         if self.config.skip_empty {
-            // Count fully-empty windows avoided, for the skip statistics.
-            let windows = self.tiled.order().chunks_per_block() as u64;
+            // Count fully-empty windows avoided, for the skip statistics —
+            // excluding plan-pruned windows, which are not empty.
+            let windows = (self.tiled.order().chunks_per_block() as u64).saturating_sub(pruned);
             let used = tiles.div_ceil(slots);
             metrics.events.subgraphs_skipped_empty += windows.saturating_sub(used);
         }
@@ -333,16 +351,23 @@ impl<'a> StripScanner<'a> {
         ev.bytes_streamed += edges * BYTES_PER_EDGE;
     }
 
-    /// One parallel-add-op pass over a single unit (Figure 16 c3): active
-    /// rows are driven serially; candidates are min-reduced into the
+    /// One parallel-add-op pass over a single planned unit (Figure 16 c3):
+    /// active rows are driven serially; candidates are min-reduced into the
     /// unit-local `frontier` (at least `strip_width` entries, pre-seeded
     /// with the strip's current labels by the caller), with `updated`
     /// marking lowered destinations. Returns the source-row activations
     /// executed.
+    ///
+    /// Every subgraph the plan lists is *streamed* (edge bytes flow past
+    /// the scanner and are charged), but only those with an active source
+    /// row cost GE work; a subgraph with none counts as
+    /// `subgraphs_skipped_inactive`. Subgraphs a pruned plan excluded are
+    /// never streamed at all — the source-range index lets the controller
+    /// seek past them.
     #[allow(clippy::too_many_arguments)]
     pub fn scan_add_op_unit(
         &mut self,
-        unit: &StripUnit,
+        punit: &PlanUnit,
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
@@ -354,22 +379,28 @@ impl<'a> StripScanner<'a> {
         let tiled = self.tiled;
         let n = tiled.num_vertices();
         let c = self.config.crossbar_size;
-        let per_side = tiled.order().blocks_per_side();
+        let unit = &punit.unit;
+        let sidx = unit.strip as usize;
         let spec = self.tile.spec();
         let mut salu = SAlu::new(ReduceOp::Min);
         let mut total_rows: u64 = 0;
 
-        for bi in 0..per_side {
-            let bidx = unit.bj as usize * per_side + bi;
+        for row in &punit.rows {
+            let bidx = row.block as usize;
             let block = &tiled.blocks()[bidx];
-            let sidx = unit.strip as usize;
             let strip = &block.strips[sidx];
             // Per-tile active-row counts drive the packed timing.
             let mut tile_rows: Vec<u64> = Vec::new();
             let mut strip_edges = 0u64;
-            for g in 0..strip.subgraphs.len() {
-                let sg = &strip.subgraphs[g];
+            for &g in &row.subgraphs {
+                let sg = &strip.subgraphs[g as usize];
                 let src0 = tiled.subgraph_src_start(block, sg);
+                // Planned means streamed: the edge data passes the scanner
+                // whether or not any of its rows end up driven.
+                strip_edges += u64::from(sg.edges);
+                let stream_bytes = u64::from(sg.edges) * BYTES_PER_EDGE;
+                metrics.energy.memory += self.config.cost.memory_stream_energy(stream_bytes);
+                metrics.events.bytes_streamed += stream_bytes;
                 let active_rows: Vec<usize> = (0..c)
                     .filter(|&r| src0 + r < n && active[src0 + r])
                     .collect();
@@ -378,11 +409,10 @@ impl<'a> StripScanner<'a> {
                     continue;
                 }
                 total_rows += active_rows.len() as u64;
-                strip_edges += u64::from(sg.edges);
                 self.addop_subgraph(
                     bidx,
                     sidx,
-                    g,
+                    g as usize,
                     unit,
                     value,
                     combine,
@@ -413,13 +443,25 @@ impl<'a> StripScanner<'a> {
         metrics: &mut Metrics,
     ) {
         if tile_rows.is_empty() {
+            // No GE work, but planned (visited) edge data still streams
+            // past the scanner, and disabled skipping forces programming
+            // of every window even with nothing active.
+            let mut program = graphr_units::Nanos::new(0.0);
             if !self.config.skip_empty {
-                // Forced scan of all windows even with nothing active.
                 let steps = self.tiled.order().chunks_per_block() as u64;
-                let t = self.config.program_latency() * steps as f64;
-                metrics.time_breakdown.program += t;
-                metrics.elapsed += t;
+                program = self.config.program_latency() * steps as f64;
+                metrics.time_breakdown.program += program;
             }
+            let stream = self
+                .config
+                .cost
+                .memory_stream_latency(edges * BYTES_PER_EDGE);
+            metrics.time_breakdown.memory += stream;
+            metrics.elapsed += if self.config.pipelined {
+                program.max(stream)
+            } else {
+                program + stream
+            };
             return;
         }
         tile_rows.sort_unstable_by(|a, b| b.cmp(a));
@@ -538,7 +580,8 @@ impl<'a> StripScanner<'a> {
         let reg_reads = rows_driven; // dist(u) per activation
         let reg_writes = c as u64 * rows_driven; // RegO min-merge
         metrics.energy.registers += cost.register_energy(reg_reads + reg_writes);
-        metrics.energy.memory += cost.memory_stream_energy(edges * BYTES_PER_EDGE);
+        // Memory streaming is charged by the caller for every *planned*
+        // subgraph, driven or not.
 
         let ev = &mut metrics.events;
         ev.subgraphs_processed += 1;
@@ -549,7 +592,6 @@ impl<'a> StripScanner<'a> {
         ev.adc_conversions += conversions;
         ev.register_reads += reg_reads;
         ev.register_writes += reg_writes;
-        ev.bytes_streamed += edges * BYTES_PER_EDGE;
     }
 
     /// Charges the once-per-strip RegO write-back of `entries` values.
@@ -608,17 +650,19 @@ mod tests {
         let whole = exec.scan_mac(&|w, _, _| f64::from(w), &[&x]);
         let whole_metrics = exec.into_metrics();
 
-        // Hand-rolled unit loop: same results, same merged metrics.
-        let units = strip_units(&tiled);
+        // Hand-rolled plan-unit loop: same results, same merged metrics.
+        let skeleton = crate::exec::plan::PlanSkeleton::build(&tiled);
+        let plan = skeleton.full_plan();
         let mut scanner = StripScanner::new(&tiled, &cfg, spec);
         let mut merged = Metrics::new();
         let mut out = vec![0.0; 120];
         let w = cfg.strip_width();
-        for unit in &units {
+        for punit in plan.units() {
             let mut local = vec![vec![0.0; w]];
             let mut m = Metrics::new();
-            scanner.scan_mac_unit(unit, &|w, _, _| f64::from(w), &[&x], &mut local, &mut m);
+            scanner.scan_mac_unit(punit, &|w, _, _| f64::from(w), &[&x], &mut local, &mut m);
             merged.merge(&m);
+            let unit = &punit.unit;
             out[unit.dst_start..unit.dst_start + unit.dst_len]
                 .copy_from_slice(&local[0][..unit.dst_len]);
         }

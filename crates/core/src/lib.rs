@@ -20,6 +20,9 @@
 //!   (parallel MAC, §4.1; parallel add-op, §4.2),
 //! * [`exec`] — the streaming-apply execution model (§3.3, column- or
 //!   row-major) with empty-subgraph skipping and active-vertex tracking,
+//!   built around a plan/execute split: [`exec::plan::ScanPlan`]s —
+//!   frontier-pruned through the tiler's source-range index — describe
+//!   exactly which strips, block rows and subgraphs a scan streams,
 //! * [`sim`] — the top-level façade: run an algorithm on a graph, get the
 //!   algorithm result plus a full time/energy [`metrics::Metrics`] report.
 //!

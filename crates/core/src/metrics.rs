@@ -22,6 +22,14 @@ pub struct EventCounters {
     pub subgraphs_skipped_empty: u64,
     /// Subgraph slots with edges but no active source (add-op only).
     pub subgraphs_skipped_inactive: u64,
+    /// Nonempty subgraphs a pruned [`ScanPlan`] excluded before any
+    /// streaming happened — the source-range index let the controller seek
+    /// past them entirely (§4.2 taken to its logical end).
+    ///
+    /// [`ScanPlan`]: crate::exec::plan::ScanPlan
+    pub subgraphs_pruned: u64,
+    /// Edges inside pruned subgraphs: never streamed, never charged.
+    pub edges_pruned: u64,
     /// Logical tiles programmed.
     pub tiles_loaded: u64,
     /// Edge values programmed into tiles (one per edge per programming
@@ -113,11 +121,13 @@ impl Metrics {
         self.total_energy().averaged_over(self.elapsed)
     }
 
-    /// Fraction of subgraph slots skipped (empty + inactive) out of all
-    /// slots considered.
+    /// Fraction of subgraph slots skipped (empty + inactive + plan-pruned)
+    /// out of all slots considered.
     #[must_use]
     pub fn skip_fraction(&self) -> f64 {
-        let skipped = self.events.subgraphs_skipped_empty + self.events.subgraphs_skipped_inactive;
+        let skipped = self.events.subgraphs_skipped_empty
+            + self.events.subgraphs_skipped_inactive
+            + self.events.subgraphs_pruned;
         let total = skipped + self.events.subgraphs_processed;
         if total == 0 {
             0.0
@@ -132,6 +142,15 @@ impl Metrics {
     pub fn charge_iteration(&mut self, ge_cycle: Nanos) {
         self.iterations += 1;
         self.elapsed += ge_cycle;
+    }
+
+    /// Charges one executed plan's pruning outcome: the subgraphs and
+    /// edges the plan excluded before any streaming happened. Called once
+    /// per scan by every executor, so serial and parallel accounting
+    /// cannot drift.
+    pub fn charge_plan(&mut self, stats: &crate::exec::plan::PlanStats) {
+        self.events.subgraphs_pruned += stats.subgraphs_pruned;
+        self.events.edges_pruned += stats.edges_pruned;
     }
 
     /// Merges another run's metrics into this one (used by multi-scan
@@ -149,6 +168,8 @@ impl Metrics {
         a.subgraphs_processed += b.subgraphs_processed;
         a.subgraphs_skipped_empty += b.subgraphs_skipped_empty;
         a.subgraphs_skipped_inactive += b.subgraphs_skipped_inactive;
+        a.subgraphs_pruned += b.subgraphs_pruned;
+        a.edges_pruned += b.edges_pruned;
         a.tiles_loaded += b.tiles_loaded;
         a.edges_loaded += b.edges_loaded;
         a.mvm_scans += b.mvm_scans;

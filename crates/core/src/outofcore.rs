@@ -11,14 +11,12 @@
 //! *disk*, not the accelerator, becomes the bottleneck of an out-of-core
 //! deployment.
 
+use graphr_graph::BYTES_PER_EDGE;
 use graphr_units::Nanos;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::Metrics;
 use crate::preprocess::tiler::TiledGraph;
-
-/// Bytes per COO edge record on disk.
-const BYTES_PER_EDGE: u64 = 12;
 
 /// Sequential-load characteristics of the backing store.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -10,4 +10,4 @@ pub mod order;
 pub mod tiler;
 
 pub use order::TileOrder;
-pub use tiler::{Subgraph, Tile, TileEntry, TiledGraph};
+pub use tiler::{SourceRangeIndex, Subgraph, SubgraphSpan, Tile, TileEntry, TiledGraph};

@@ -65,6 +65,74 @@ pub struct Strip {
     pub subgraphs: Vec<Subgraph>,
 }
 
+/// One nonempty subgraph's place in the §3.4 streamed order, seen from the
+/// source side: which source vertices it covers and where its edges sit in
+/// the ordered edge list.
+///
+/// Spans are the entries of the [`SourceRangeIndex`]; the plan layer
+/// intersects their source ranges with an active-vertex mask to decide
+/// which subgraphs a scan must stream at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubgraphSpan {
+    /// Column-major block index (position in [`TiledGraph::blocks`]).
+    pub block: u32,
+    /// Strip index within the block.
+    pub strip: u32,
+    /// Position within the strip's `subgraphs` vector.
+    pub position: u32,
+    /// First source vertex the subgraph covers.
+    pub src_start: u32,
+    /// Real (unpadded) source vertices covered — the crossbar row count,
+    /// clamped at the graph's vertex count.
+    pub src_len: u32,
+    /// Offset of the subgraph's first edge in the §3.4 streamed order.
+    pub edge_offset: u64,
+    /// Edges in the subgraph.
+    pub edges: u32,
+}
+
+impl SubgraphSpan {
+    /// Whether any covered source vertex is active under `mask`.
+    #[must_use]
+    pub fn intersects(&self, mask: &[bool]) -> bool {
+        let lo = self.src_start as usize;
+        let hi = lo + self.src_len as usize;
+        mask[lo..hi.min(mask.len())].iter().any(|&a| a)
+    }
+}
+
+/// Per-block-row index of which source ranges hold edges — built once at
+/// tiling time, alongside the blocks themselves.
+///
+/// `rows()[bi]` lists block row `bi`'s nonempty subgraphs as
+/// [`SubgraphSpan`]s in streamed order, each carrying its source-vertex
+/// range and its edge offset into the ordered edge list. This is what lets
+/// a scan plan restrict the walk to block rows that contain at least one
+/// active source *before* streaming anything: the controller seeks straight
+/// to the planned spans' offsets instead of scanning edges past the GEs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceRangeIndex {
+    rows: Vec<Vec<SubgraphSpan>>,
+}
+
+impl SourceRangeIndex {
+    /// The spans of each block row, outer-indexed by `bi`.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<SubgraphSpan>] {
+        &self.rows
+    }
+
+    /// Spans of one block row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bi` is not a valid block-row index.
+    #[must_use]
+    pub fn row(&self, bi: usize) -> &[SubgraphSpan] {
+        &self.rows[bi]
+    }
+}
+
 /// One out-of-core block of the adjacency matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Block {
@@ -105,6 +173,8 @@ pub struct TiledGraph {
     /// Blocks in column-major order; empty blocks keep their slot so the
     /// executor's disk-order walk stays trivial.
     blocks: Vec<Block>,
+    /// Source-side index over the blocks, built once here.
+    source_index: SourceRangeIndex,
     total_edges: usize,
     nonempty_subgraphs: usize,
     nonempty_tiles: usize,
@@ -198,6 +268,7 @@ impl TiledGraph {
                 }
             }
         }
+        let source_index = build_source_index(&blocks, &order, c, per_side, graph.num_vertices());
         Ok(TiledGraph {
             order,
             num_vertices: graph.num_vertices(),
@@ -205,6 +276,7 @@ impl TiledGraph {
             tiles_per_ge,
             num_ges: config.num_ges,
             blocks,
+            source_index,
             total_edges: graph.num_edges(),
             nonempty_subgraphs,
             nonempty_tiles,
@@ -215,6 +287,12 @@ impl TiledGraph {
     #[must_use]
     pub fn order(&self) -> &TileOrder {
         &self.order
+    }
+
+    /// The per-block-row source-range index (built at tiling time).
+    #[must_use]
+    pub fn source_index(&self) -> &SourceRangeIndex {
+        &self.source_index
     }
 
     /// Original (unpadded) vertex count.
@@ -274,6 +352,39 @@ impl TiledGraph {
             + (tile.ge as usize * self.tiles_per_ge + tile.slot as usize) * self.crossbar_size
             + col as usize
     }
+}
+
+/// Walks the blocks in streamed (disk) order, recording every nonempty
+/// subgraph's source range and edge offset under its block row.
+fn build_source_index(
+    blocks: &[Block],
+    order: &TileOrder,
+    crossbar_size: usize,
+    per_side: usize,
+    num_vertices: usize,
+) -> SourceRangeIndex {
+    let mut rows: Vec<Vec<SubgraphSpan>> = vec![Vec::new(); per_side];
+    let mut edge_offset = 0u64;
+    for (bidx, block) in blocks.iter().enumerate() {
+        let row_origin = block.bi as usize * order.block_size();
+        for strip in &block.strips {
+            for (position, sg) in strip.subgraphs.iter().enumerate() {
+                let src_start = sg.src_start(row_origin, crossbar_size);
+                let src_len = crossbar_size.min(num_vertices.saturating_sub(src_start));
+                rows[block.bi as usize].push(SubgraphSpan {
+                    block: bidx as u32,
+                    strip: strip.strip,
+                    position: position as u32,
+                    src_start: src_start as u32,
+                    src_len: src_len as u32,
+                    edge_offset,
+                    edges: sg.edges,
+                });
+                edge_offset += u64::from(sg.edges);
+            }
+        }
+    }
+    SourceRangeIndex { rows }
 }
 
 #[cfg(test)]

@@ -479,9 +479,21 @@ fn run_add_op_with(
     let cap = opts.max_iterations.unwrap_or(n.max(1));
 
     for _round in 0..cap {
+        // Re-plan from the frontier: only subgraphs holding an active
+        // source are streamed this round, so sparse iterations cost
+        // active work, not O(|E|).
+        let plan = exec.plan(Some(&active));
         let mut frontier = dist.clone();
         let mut updated = vec![false; n];
-        exec.scan_add_op(value, combine, &dist, &active, &mut frontier, &mut updated);
+        exec.scan_add_op_planned(
+            &plan,
+            value,
+            combine,
+            &dist,
+            &active,
+            &mut frontier,
+            &mut updated,
+        );
         exec.end_iteration();
         dist = frontier;
         active = updated;
@@ -566,9 +578,14 @@ pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRu
     let mut labels: Vec<f64> = (0..n).map(|v| v as f64).collect();
     let mut active = vec![true; n];
     for _round in 0..n.max(1) {
+        // Label propagation converges region by region: later rounds have
+        // sparse frontiers, which the per-round pruned plan turns into
+        // proportionally small scans.
+        let plan = exec.plan(Some(&active));
         let mut frontier = labels.clone();
         let mut updated = vec![false; n];
-        exec.scan_add_op(
+        exec.scan_add_op_planned(
+            &plan,
             &value,
             &combine,
             &labels,
@@ -1005,16 +1022,44 @@ mod tests {
     }
 
     #[test]
-    fn mac_apps_process_all_subgraphs_addop_skips() {
+    fn disabled_skip_forces_dense_traversal_plans() {
+        // `skip_empty = false` models a controller with no index to seek
+        // by (the §3.3 sparsity ablation): traversal drivers must fall
+        // back to dense plans — same labels, strictly more streamed work.
+        let g = Rmat::new(100, 500).seed(6).generate();
+        let noskip_cfg = GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .skip_empty(false)
+            .build()
+            .unwrap();
+        let dense = run_sssp(&g, &noskip_cfg, &TraversalOptions::default()).unwrap();
+        assert_eq!(dense.metrics.events.subgraphs_pruned, 0);
+        assert_eq!(dense.metrics.events.edges_pruned, 0);
+        let pruned = run_sssp(&g, &test_config(), &TraversalOptions::default()).unwrap();
+        assert_eq!(dense.distances, pruned.distances);
+        assert!(dense.metrics.events.bytes_streamed > pruned.metrics.events.bytes_streamed);
+        assert!(dense.metrics.elapsed > pruned.metrics.elapsed);
+    }
+
+    #[test]
+    fn mac_apps_process_all_subgraphs_addop_prunes() {
         let g = Rmat::new(100, 500).seed(6).generate();
         let cfg = test_config();
         let pr = run_pagerank(&g, &cfg, &PageRankOptions::default()).unwrap();
         assert_eq!(pr.metrics.events.subgraphs_skipped_inactive, 0);
+        assert_eq!(pr.metrics.events.subgraphs_pruned, 0);
         let ss = run_sssp(&g, &cfg, &TraversalOptions::default()).unwrap();
         assert!(
-            ss.metrics.events.subgraphs_skipped_inactive > 0,
-            "SSSP should skip inactive subgraphs"
+            ss.metrics.events.subgraphs_pruned > 0,
+            "SSSP should prune inactive subgraphs from its plans"
         );
+        assert_eq!(
+            ss.metrics.events.subgraphs_skipped_inactive, 0,
+            "pruned plans never stream a subgraph without active sources"
+        );
+        assert!(ss.metrics.events.edges_pruned > 0);
     }
 
     use graphr_graph::EdgeList;

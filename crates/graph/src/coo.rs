@@ -7,6 +7,13 @@ use crate::csr::Csr;
 use crate::error::GraphError;
 use crate::VertexId;
 
+/// Bytes one COO edge record occupies in the binary on-disk / memory-ReRAM
+/// layout: two 32-bit vertex ids plus a 32-bit weight (see [`crate::io`]).
+/// Every consumer that prices streamed edge data (the executor's memory
+/// charges, the out-of-core disk model) derives byte counts from this one
+/// constant.
+pub const BYTES_PER_EDGE: u64 = 12;
+
 /// One directed, weighted edge: a `(source, destination, weight)` tuple —
 /// exactly a COO entry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -115,7 +115,7 @@ fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<u32, Grap
 /// Encodes a graph into the compact binary format.
 #[must_use]
 pub fn to_binary(graph: &EdgeList) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + graph.num_edges() * 12);
+    let mut buf = BytesMut::with_capacity(16 + graph.num_edges() * crate::BYTES_PER_EDGE as usize);
     buf.put_u32_le(BINARY_MAGIC);
     buf.put_u32_le(1); // format version
     buf.put_u32_le(graph.num_vertices() as u32);
@@ -150,7 +150,7 @@ pub fn from_binary(mut data: &[u8]) -> Result<EdgeList, GraphError> {
     }
     let num_vertices = data.get_u32_le() as usize;
     let num_edges = data.get_u32_le() as usize;
-    if data.len() != num_edges * 12 {
+    if data.len() != num_edges * crate::BYTES_PER_EDGE as usize {
         return Err(parse_err("edge payload length mismatch"));
     }
     let mut edges = Vec::with_capacity(num_edges);

@@ -42,7 +42,7 @@ pub mod generators;
 pub mod io;
 pub mod partition;
 
-pub use coo::{Edge, EdgeList};
+pub use coo::{Edge, EdgeList, BYTES_PER_EDGE};
 pub use csr::Csr;
 pub use datasets::{DatasetKind, DatasetSpec, GraphHandle, GraphId, GraphRegistry};
 pub use error::GraphError;

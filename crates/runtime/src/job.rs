@@ -161,32 +161,47 @@ pub struct JobReport {
     /// Host wall-clock spent executing the job.
     pub wall: Duration,
     /// Preprocessed-graph cache hits this job scored (nonzero means the
-    /// tiler was skipped).
+    /// tiler was skipped at least once).
     pub cache_hits: u64,
+    /// Preprocessed-graph cache misses this job caused (each one ran the
+    /// tiler and built a plan skeleton).
+    pub cache_misses: u64,
 }
 
 impl JobReport {
+    /// Edges the job's scans streamed from memory ReRAM (cumulative across
+    /// iterations), derived from the byte counter.
+    #[must_use]
+    pub fn edges_streamed(&self) -> u64 {
+        self.output.metrics().events.bytes_streamed / graphr_graph::BYTES_PER_EDGE
+    }
+
     /// Renders the standard multi-line report block.
     #[must_use]
     pub fn render(&self) -> String {
         let m = self.output.metrics();
+        let ev = &m.events;
+        let subgraphs_planned = ev.subgraphs_processed + ev.subgraphs_skipped_inactive;
+        let streamed = self.edges_streamed();
         format!(
-            "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  host wall:  {:.3} ms ({})",
+            "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  plan:       {} subgraphs planned / {} pruned; {} edges streamed / {} pruned\n  host wall:  {:.3} ms (cache: {} hits / {} misses, tiler {})",
             self.app,
             self.graph,
             self.output.summary(),
             m.total_time(),
             m.iterations,
             m.total_energy(),
-            m.events.subgraphs_processed,
-            m.events.edges_loaded,
+            ev.subgraphs_processed,
+            ev.edges_loaded,
             m.skip_fraction() * 100.0,
+            subgraphs_planned,
+            ev.subgraphs_pruned,
+            streamed,
+            ev.edges_pruned,
             self.wall.as_secs_f64() * 1e3,
-            if self.cache_hits > 0 {
-                "tiler cache hit"
-            } else {
-                "tiler cold"
-            },
+            self.cache_hits,
+            self.cache_misses,
+            if self.cache_hits > 0 { "warm" } else { "cold" },
         )
     }
 }

@@ -6,21 +6,23 @@
 //! that stack into a service:
 //!
 //! * [`parallel::ParallelExecutor`] — a drop-in
-//!   [`ScanEngine`](graphr_core::exec::ScanEngine) that shards every scan
-//!   across global destination strips on a scoped worker pool, mirroring
-//!   the paper's inter-subgraph GE parallelism (§3.3, §5.2) on the host.
-//!   Per-worker scanner state plus a deterministic per-strip metrics merge
-//!   make its results and time/energy reports **bit-identical** to the
-//!   serial executor.
+//!   [`ScanEngine`](graphr_core::exec::ScanEngine) that shards every
+//!   [`ScanPlan`](graphr_core::exec::ScanPlan) — dense or frontier-pruned —
+//!   across its planned destination strips on a scoped worker pool,
+//!   mirroring the paper's inter-subgraph GE parallelism (§3.3, §5.2) on
+//!   the host. Per-worker scanner state plus a deterministic plan-order
+//!   metrics merge make its results and time/energy reports
+//!   **bit-identical** to the serial executor consuming the same plan.
 //! * [`session::Session`] — a long-lived, thread-safe query session: a
 //!   preprocessed-graph cache keyed by *(graph id, tiling geometry,
 //!   streaming order)* with hit/miss counters, so repeated queries skip
-//!   the §3.4 tiler; serial/parallel engine selection per job; and batched
-//!   multi-job submission.
-//! * [`job`] — [`JobSpec`](job::JobSpec) covers all five evaluated
+//!   the §3.4 tiler and reuse the cached plan skeleton; serial/parallel
+//!   engine selection per job; and batched multi-job submission.
+//! * [`job`] — [`JobSpec`] covers all five evaluated
 //!   applications (PageRank, SpMV, BFS, SSSP, CF) plus the WCC extension;
-//!   [`JobReport`](job::JobReport) carries the functional result, the
-//!   simulated time/energy, and service-level accounting.
+//!   [`JobReport`] carries the functional result, the
+//!   simulated time/energy, and service-level accounting (including
+//!   plan-pruning and cache statistics).
 //! * `graphr-run` (this crate's binary) — runs a job file end-to-end and
 //!   prints the metrics reports; see the repository README for the file
 //!   format.

@@ -1,37 +1,40 @@
 //! The parallel scan executor: GraphR's inter-subgraph GE parallelism,
 //! mapped onto host threads.
 //!
-//! [`ParallelExecutor`] implements [`ScanEngine`] by sharding each scan
-//! across the [`StripUnit`]s of the preprocessed graph — one unit per
-//! global destination strip, exactly the decomposition the serial
-//! [`StreamingExecutor`] uses internally. Every worker owns a private
-//! [`StripScanner`] (crossbar scratch, sALU, staging buffers) and writes
-//! into unit-local output buffers, so there is no shared mutable state;
-//! per-unit [`Metrics`] are merged on the calling thread in unit-index
-//! order at the scan barrier.
+//! [`ParallelExecutor`] implements [`ScanEngine`] by sharding each
+//! [`ScanPlan`]'s [`PlanUnit`]s — one per planned global destination strip,
+//! exactly the decomposition the serial [`StreamingExecutor`] walks — across
+//! a scoped worker pool. Every worker owns a private [`StripScanner`]
+//! (crossbar scratch, sALU, staging buffers) and writes into unit-local
+//! output buffers, so there is no shared mutable state; per-unit [`Metrics`]
+//! are merged on the calling thread in plan order at the scan barrier.
 //!
 //! Because each floating-point reduction happens inside one unit in one
-//! deterministic order, and the merge order is fixed, results **and**
-//! time/energy reports are bit-identical to the serial executor —
-//! regardless of thread count or scheduling. The `serial_parallel`
-//! integration tests assert this for every application.
+//! deterministic order, and the merge order is fixed by the plan, results
+//! **and** time/energy reports are bit-identical to the serial executor
+//! consuming the same plan — regardless of thread count or scheduling. The
+//! `serial_parallel` integration tests assert this for every application,
+//! full and pruned plans alike.
 //!
 //! [`StreamingExecutor`]: graphr_core::exec::StreamingExecutor
 
-use graphr_core::exec::strip::{mac_rego_capacity, strip_units, StripScanner, StripUnit};
+use std::sync::Arc;
+
+use graphr_core::exec::plan::{PlanSkeleton, PlanUnit, ScanPlan};
+use graphr_core::exec::strip::{mac_rego_capacity, StripScanner};
 use graphr_core::exec::{EdgeValueFn, ScanEngine};
 use graphr_core::{GraphRConfig, Metrics, TiledGraph};
 use graphr_units::FixedSpec;
 
 use crate::pool;
 
-/// A [`ScanEngine`] that executes scans on a scoped worker pool, one
-/// destination strip at a time.
+/// A [`ScanEngine`] that executes scan plans on a scoped worker pool, one
+/// planned destination strip at a time.
 pub struct ParallelExecutor<'a> {
     tiled: &'a TiledGraph,
     config: &'a GraphRConfig,
     spec: FixedSpec,
-    units: Vec<StripUnit>,
+    skeleton: Arc<PlanSkeleton>,
     threads: usize,
     metrics: Metrics,
 }
@@ -52,11 +55,30 @@ impl<'a> ParallelExecutor<'a> {
         spec: FixedSpec,
         threads: usize,
     ) -> Self {
+        Self::with_skeleton(
+            tiled,
+            config,
+            spec,
+            Arc::new(PlanSkeleton::build(tiled)),
+            threads,
+        )
+    }
+
+    /// Creates an executor reusing an already-built plan skeleton (a
+    /// session's cached one; it must have been built from this `tiled`).
+    #[must_use]
+    pub fn with_skeleton(
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        spec: FixedSpec,
+        skeleton: Arc<PlanSkeleton>,
+        threads: usize,
+    ) -> Self {
         ParallelExecutor {
             tiled,
             config,
             spec,
-            units: strip_units(tiled),
+            skeleton,
             threads: threads.max(1),
             metrics: Metrics::new(),
         }
@@ -68,10 +90,10 @@ impl<'a> ParallelExecutor<'a> {
         self.threads
     }
 
-    /// The scan units (one per global destination strip).
+    /// The scan units of the full plan (one per global destination strip).
     #[must_use]
     pub fn num_units(&self) -> usize {
-        self.units.len()
+        self.skeleton.num_units()
     }
 
     /// Consumes the executor, yielding its metrics.
@@ -82,7 +104,16 @@ impl<'a> ParallelExecutor<'a> {
 }
 
 impl ScanEngine for ParallelExecutor<'_> {
-    fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
+    fn plan(&self, active: Option<&[bool]>) -> Arc<ScanPlan> {
+        self.skeleton.plan_for(self.tiled, self.config, active)
+    }
+
+    fn scan_mac_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        inputs: &[&[f64]],
+    ) -> Vec<Vec<f64>> {
         let n = self.tiled.num_vertices();
         let k = inputs.len();
         assert!(k > 0, "at least one input vector required");
@@ -90,28 +121,29 @@ impl ScanEngine for ParallelExecutor<'_> {
             assert_eq!(x.len(), n, "input vectors must have one entry per vertex");
         }
         let width = self.config.strip_width();
-        let (tiled, config, spec, units) = (self.tiled, self.config, self.spec, &self.units);
+        let (tiled, config, spec) = (self.tiled, self.config, self.spec);
+        let punits: &[PlanUnit] = plan.units();
 
-        // Fan out: one task per destination strip, private scanner per
-        // worker, unit-local outputs.
+        // Fan out: one task per planned destination strip, private scanner
+        // per worker, unit-local outputs.
         let per_unit = pool::run_indexed(
-            units.len(),
+            punits.len(),
             self.threads,
             || StripScanner::new(tiled, config, spec),
             |scanner, idx| {
-                let unit = &units[idx];
                 let mut local: Vec<Vec<f64>> = vec![vec![0.0; width]; k];
                 let mut metrics = Metrics::new();
-                scanner.scan_mac_unit(unit, value, inputs, &mut local, &mut metrics);
+                scanner.scan_mac_unit(&punits[idx], value, inputs, &mut local, &mut metrics);
                 (local, metrics)
             },
         );
 
-        // Barrier: merge metrics in unit order (deterministic — identical
+        // Barrier: merge metrics in plan order (deterministic — identical
         // to the serial executor), stitch disjoint output ranges.
         let mut outputs = vec![vec![0.0; n]; k];
-        for (unit, (local, unit_metrics)) in self.units.iter().zip(&per_unit) {
+        for (punit, (local, unit_metrics)) in punits.iter().zip(&per_unit) {
             self.metrics.merge(unit_metrics);
+            let unit = &punit.unit;
             if unit.dst_len > 0 {
                 for (out, buf) in outputs.iter_mut().zip(local) {
                     out[unit.dst_start..unit.dst_start + unit.dst_len]
@@ -119,6 +151,7 @@ impl ScanEngine for ParallelExecutor<'_> {
                 }
             }
         }
+        self.metrics.charge_plan(plan.stats());
         self.metrics.events.rego_capacity_required = self
             .metrics
             .events
@@ -127,8 +160,9 @@ impl ScanEngine for ParallelExecutor<'_> {
         outputs
     }
 
-    fn scan_add_op(
+    fn scan_add_op_planned(
         &mut self,
+        plan: &ScanPlan,
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
@@ -149,24 +183,25 @@ impl ScanEngine for ParallelExecutor<'_> {
             n,
             "updated mask must have one entry per vertex"
         );
-        let (tiled, config, spec, units) = (self.tiled, self.config, self.spec, &self.units);
+        let (tiled, config, spec) = (self.tiled, self.config, self.spec);
+        let punits: &[PlanUnit] = plan.units();
         let frontier_in: &[f64] = frontier;
         let updated_in: &[bool] = updated;
 
         let per_unit = pool::run_indexed(
-            units.len(),
+            punits.len(),
             self.threads,
             || StripScanner::new(tiled, config, spec),
             |scanner, idx| {
-                let unit = &units[idx];
-                let (ds, dl) = (unit.dst_start, unit.dst_len);
+                let punit = &punits[idx];
+                let (ds, dl) = (punit.unit.dst_start, punit.unit.dst_len);
                 let mut frontier_local = frontier_in.get(ds..ds + dl).unwrap_or(&[]).to_vec();
                 frontier_local.resize(config.strip_width(), 0.0);
                 let mut updated_local = updated_in.get(ds..ds + dl).unwrap_or(&[]).to_vec();
                 updated_local.resize(config.strip_width(), false);
                 let mut metrics = Metrics::new();
                 let rows = scanner.scan_add_op_unit(
-                    unit,
+                    punit,
                     value,
                     combine,
                     addend,
@@ -180,10 +215,10 @@ impl ScanEngine for ParallelExecutor<'_> {
         );
 
         let mut total_rows = 0u64;
-        for (unit, (frontier_local, updated_local, unit_metrics, rows)) in
-            self.units.iter().zip(&per_unit)
+        for (punit, (frontier_local, updated_local, unit_metrics, rows)) in
+            punits.iter().zip(&per_unit)
         {
-            let (ds, dl) = (unit.dst_start, unit.dst_len);
+            let (ds, dl) = (punit.unit.dst_start, punit.unit.dst_len);
             self.metrics.merge(unit_metrics);
             total_rows += rows;
             if dl > 0 {
@@ -191,6 +226,7 @@ impl ScanEngine for ParallelExecutor<'_> {
                 updated[ds..ds + dl].copy_from_slice(&updated_local[..dl]);
             }
         }
+        self.metrics.charge_plan(plan.stats());
         self.metrics.events.rego_capacity_required = self
             .metrics
             .events

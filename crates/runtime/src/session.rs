@@ -6,8 +6,12 @@
 //! ordering) is the expensive once-per-graph software step, so the session
 //! keys each [`TiledGraph`] by *(graph id, tiling geometry, streaming
 //! order, graph variant)* and shares it across every job that needs it —
-//! repeated queries skip the tiler entirely. Hits and misses are counted,
-//! and the cache is safe to use from concurrent batch jobs.
+//! repeated queries skip the tiler entirely. The cache entry also carries
+//! the graph's [`PlanSkeleton`] (unit table + dense plan over the tiler's
+//! source-range index), so warm jobs stamp out per-iteration pruned
+//! [`ScanPlan`](graphr_core::exec::ScanPlan)s without re-enumerating
+//! units. Hits and misses are counted, and the cache is safe to use from
+//! concurrent batch jobs.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -16,6 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use graphr_core::config::StreamingOrder;
+use graphr_core::exec::plan::PlanSkeleton;
 use graphr_core::exec::{ScanEngine, StreamingExecutor};
 use graphr_core::sim::{
     self, cf_config_for, run_bfs_with, run_cf_with, run_pagerank_with, run_spmv_with,
@@ -119,11 +124,19 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// A cached preprocessing: the tiled graph plus the plan skeleton built
+/// over it, shared by every job on the same (graph, geometry) key.
+#[derive(Clone)]
+struct CachedTiling {
+    tiled: Arc<TiledGraph>,
+    skeleton: Arc<PlanSkeleton>,
+}
+
 /// A long-lived, thread-safe query session over the simulator stack.
 pub struct Session {
     config: GraphRConfig,
     threads: usize,
-    tilings: Mutex<HashMap<TileKey, Arc<TiledGraph>>>,
+    tilings: Mutex<HashMap<TileKey, CachedTiling>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -188,26 +201,48 @@ impl Session {
         variant: GraphVariant,
         config: &GraphRConfig,
     ) -> Result<Arc<TiledGraph>, SimError> {
-        self.tiled_counted(handle, variant, config, &mut 0)
+        Ok(self
+            .tiling_counted(handle, variant, config, &mut 0, &mut 0)?
+            .tiled)
     }
 
-    /// [`Session::tiled`] with a per-caller hit counter, so concurrent
-    /// batch jobs attribute cache hits to themselves rather than to
-    /// whichever job happens to read the global counter.
-    fn tiled_counted(
+    /// The plan skeleton cached for a graph variant under `config` (built
+    /// on first touch, alongside the tiling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when the configuration's geometry is
+    /// inconsistent.
+    pub fn plan_skeleton(
+        &self,
+        handle: &GraphHandle,
+        variant: GraphVariant,
+        config: &GraphRConfig,
+    ) -> Result<Arc<PlanSkeleton>, SimError> {
+        Ok(self
+            .tiling_counted(handle, variant, config, &mut 0, &mut 0)?
+            .skeleton)
+    }
+
+    /// [`Session::tiled`] with per-caller hit/miss counters, so concurrent
+    /// batch jobs attribute cache traffic to themselves rather than to
+    /// whichever job happens to read the global counters.
+    fn tiling_counted(
         &self,
         handle: &GraphHandle,
         variant: GraphVariant,
         config: &GraphRConfig,
         local_hits: &mut u64,
-    ) -> Result<Arc<TiledGraph>, SimError> {
+        local_misses: &mut u64,
+    ) -> Result<CachedTiling, SimError> {
         let key = TileKey::new(handle.id().clone(), variant, config);
         if let Some(hit) = self.tilings.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             *local_hits += 1;
-            return Ok(Arc::clone(hit));
+            return Ok(hit.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        *local_misses += 1;
         // Preprocess outside the lock: concurrent first-touch jobs may
         // race to tile the same graph, but both produce identical results
         // and the cache stays consistent.
@@ -224,24 +259,33 @@ impl Session {
             }
         };
         let tiled = Arc::new(TiledGraph::preprocess(graph, config)?);
-        self.tilings.lock().insert(key, Arc::clone(&tiled));
-        Ok(tiled)
+        let skeleton = Arc::new(PlanSkeleton::build(&tiled));
+        let entry = CachedTiling { tiled, skeleton };
+        self.tilings.lock().insert(key, entry.clone());
+        Ok(entry)
     }
 
     fn engine<'a>(
         &self,
         mode: ExecMode,
-        tiled: &'a TiledGraph,
+        tiling: &'a CachedTiling,
         config: &'a GraphRConfig,
         spec: FixedSpec,
         scan_threads: usize,
     ) -> Box<dyn ScanEngine + 'a> {
+        let skeleton = Arc::clone(&tiling.skeleton);
         match mode {
-            ExecMode::Serial => Box::new(StreamingExecutor::new(tiled, config, spec)),
-            ExecMode::Parallel => Box::new(ParallelExecutor::with_threads(
-                tiled,
+            ExecMode::Serial => Box::new(StreamingExecutor::with_skeleton(
+                &tiling.tiled,
                 config,
                 spec,
+                skeleton,
+            )),
+            ExecMode::Parallel => Box::new(ParallelExecutor::with_skeleton(
+                &tiling.tiled,
+                config,
+                spec,
+                skeleton,
                 scan_threads,
             )),
         }
@@ -266,44 +310,66 @@ impl Session {
     ) -> Result<JobReport, RuntimeError> {
         let start = Instant::now();
         let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
         let config = job.config.as_ref().unwrap_or(&self.config);
         let graph = job.graph.graph();
         let output = match &job.spec {
             JobSpec::PageRank(opts) => {
-                let tiled =
-                    self.tiled_counted(&job.graph, GraphVariant::Forward, config, &mut cache_hits)?;
+                let tiling = self.tiling_counted(
+                    &job.graph,
+                    GraphVariant::Forward,
+                    config,
+                    &mut cache_hits,
+                    &mut cache_misses,
+                )?;
                 let mut exec =
-                    self.engine(job.mode, &tiled, config, opts.matrix_spec, scan_threads);
+                    self.engine(job.mode, &tiling, config, opts.matrix_spec, scan_threads);
                 JobOutput::Scalar(run_pagerank_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Spmv(opts) => {
-                let tiled =
-                    self.tiled_counted(&job.graph, GraphVariant::Forward, config, &mut cache_hits)?;
+                let tiling = self.tiling_counted(
+                    &job.graph,
+                    GraphVariant::Forward,
+                    config,
+                    &mut cache_hits,
+                    &mut cache_misses,
+                )?;
                 let mut exec =
-                    self.engine(job.mode, &tiled, config, opts.matrix_spec, scan_threads);
+                    self.engine(job.mode, &tiling, config, opts.matrix_spec, scan_threads);
                 JobOutput::Scalar(run_spmv_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Bfs(opts) => {
-                let tiled =
-                    self.tiled_counted(&job.graph, GraphVariant::Forward, config, &mut cache_hits)?;
-                let mut exec = self.engine(job.mode, &tiled, config, opts.spec, scan_threads);
+                let tiling = self.tiling_counted(
+                    &job.graph,
+                    GraphVariant::Forward,
+                    config,
+                    &mut cache_hits,
+                    &mut cache_misses,
+                )?;
+                let mut exec = self.engine(job.mode, &tiling, config, opts.spec, scan_threads);
                 JobOutput::Traversal(run_bfs_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Sssp(opts) => {
-                let tiled =
-                    self.tiled_counted(&job.graph, GraphVariant::Forward, config, &mut cache_hits)?;
-                let mut exec = self.engine(job.mode, &tiled, config, opts.spec, scan_threads);
+                let tiling = self.tiling_counted(
+                    &job.graph,
+                    GraphVariant::Forward,
+                    config,
+                    &mut cache_hits,
+                    &mut cache_misses,
+                )?;
+                let mut exec = self.engine(job.mode, &tiling, config, opts.spec, scan_threads);
                 JobOutput::Traversal(run_sssp_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Wcc => {
-                let tiled = self.tiled_counted(
+                let tiling = self.tiling_counted(
                     &job.graph,
                     GraphVariant::Symmetrised,
                     config,
                     &mut cache_hits,
+                    &mut cache_misses,
                 )?;
                 let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
-                let mut exec = self.engine(job.mode, &tiled, config, spec, scan_threads);
+                let mut exec = self.engine(job.mode, &tiling, config, spec, scan_threads);
                 JobOutput::Wcc(run_wcc_with(graph, exec.as_mut())?)
             }
             JobSpec::Cf(opts) => {
@@ -314,24 +380,26 @@ impl Session {
                             graph: job.graph.id().name().to_owned(),
                         })?;
                 let cf_config = cf_config_for(config)?;
-                let tiled_r = self.tiled_counted(
+                let tiling_r = self.tiling_counted(
                     &job.graph,
                     GraphVariant::Forward,
                     &cf_config,
                     &mut cache_hits,
+                    &mut cache_misses,
                 )?;
-                let tiled_t = self.tiled_counted(
+                let tiling_t = self.tiling_counted(
                     &job.graph,
                     GraphVariant::Transposed,
                     &cf_config,
                     &mut cache_hits,
+                    &mut cache_misses,
                 )?;
                 let run = run_cf_with(graph, users, items, &cf_config, opts, &mut |matrix| {
-                    let tiled = match matrix {
-                        CfMatrix::Ratings => &tiled_r,
-                        CfMatrix::Transposed => &tiled_t,
+                    let tiling = match matrix {
+                        CfMatrix::Ratings => &tiling_r,
+                        CfMatrix::Transposed => &tiling_t,
                     };
-                    self.engine(job.mode, tiled, &cf_config, opts.spec, scan_threads)
+                    self.engine(job.mode, tiling, &cf_config, opts.spec, scan_threads)
                 })?;
                 JobOutput::Cf(run)
             }
@@ -342,6 +410,7 @@ impl Session {
             output,
             wall: start.elapsed(),
             cache_hits,
+            cache_misses,
         })
     }
 

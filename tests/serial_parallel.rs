@@ -137,6 +137,71 @@ fn cf_serial_parallel_identical() {
 }
 
 #[test]
+fn pruned_plans_are_bit_identical_under_the_parallel_executor() {
+    use graphr_repro::core::exec::{ScanEngine, StreamingExecutor};
+    use graphr_repro::core::TiledGraph;
+    use graphr_repro::units::FixedSpec;
+    use graphr_runtime::ParallelExecutor;
+
+    let g = Rmat::new(260, 1600).seed(17).max_weight(9).generate();
+    let cfg = test_config();
+    let tiled = TiledGraph::preprocess(&g, &cfg).expect("valid geometry");
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    let inf = spec.max_value();
+
+    // A full SSSP run where every iteration executes the frontier-pruned
+    // plan, on the serial reference and on 1/2/5-thread parallel
+    // executors: distances, per-round activations and Metrics must all be
+    // bit-identical.
+    let run = |exec: &mut dyn ScanEngine| {
+        let n = 260;
+        let mut dist = vec![inf; n];
+        dist[0] = 0.0;
+        let mut active = vec![false; n];
+        active[0] = true;
+        let mut rows_history = Vec::new();
+        for _ in 0..n {
+            let plan = exec.plan(Some(&active));
+            let mut frontier = dist.clone();
+            let mut updated = vec![false; n];
+            rows_history.push(exec.scan_add_op_planned(
+                &plan,
+                &|w, _, _| f64::from(w),
+                &|du, w| du + w,
+                &dist,
+                &active,
+                &mut frontier,
+                &mut updated,
+            ));
+            exec.end_iteration();
+            dist = frontier;
+            active = updated;
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+        }
+        (dist, rows_history, exec.take_metrics())
+    };
+
+    let mut serial = StreamingExecutor::new(&tiled, &cfg, spec);
+    let (ds, rs, ms) = run(&mut serial);
+    assert!(
+        ms.events.subgraphs_pruned > 0,
+        "the sparse frontier must actually prune"
+    );
+    for threads in [1, 2, 5] {
+        let mut par = ParallelExecutor::with_threads(&tiled, &cfg, spec, threads);
+        let (dp, rp, mp) = run(&mut par);
+        assert_eq!(
+            ds, dp,
+            "distances must be bit-identical ({threads} threads)"
+        );
+        assert_eq!(rs, rp, "activations must match ({threads} threads)");
+        assert_eq!(ms, mp, "metrics must be identical ({threads} threads)");
+    }
+}
+
+#[test]
 fn warm_session_reuses_preprocessing_across_applications() {
     let session = Session::new(test_config()).with_threads(2);
     let handle = rmat_handle();
