@@ -1,8 +1,15 @@
 //! Extension: the out-of-core deployment regime (Figure 9's workflow) —
 //! GraphR as a drop-in accelerator with blocks streaming from disk.
+//!
+//! Two views: the legacy aggregate estimate (every iteration re-streams
+//! the whole ordered edge list — exact for dense PageRank), and the
+//! plan-aware per-iteration accounting, where a traversal's frontier-pruned
+//! `ScanPlan`s skip disk blocks and can hand the bottleneck back to the
+//! accelerator.
 
+use graphr_core::exec::StreamingExecutor;
 use graphr_core::outofcore::{estimate_out_of_core, DiskModel};
-use graphr_core::sim::{run_pagerank, PageRankOptions};
+use graphr_core::sim::{run_bfs_with, run_pagerank, PageRankOptions, TraversalOptions};
 use graphr_core::TiledGraph;
 use graphr_graph::DatasetSpec;
 
@@ -57,6 +64,59 @@ fn main() {
     println!(
         "With the preprocessed sequential layout the loads double-buffer against\n\
          compute; the accelerator is fast enough that storage becomes the\n\
-         bottleneck of an out-of-core deployment."
+         bottleneck of an out-of-core deployment. PageRank's plans are dense, so\n\
+         the aggregate estimate above is exact for it.\n"
+    );
+
+    // Plan-aware accounting on a traversal: BFS's frontier-pruned plans
+    // load only the spans holding active sources, so the disk side shrinks
+    // with the frontier instead of restreaming |E| every round.
+    let spec = TraversalOptions::default().spec;
+    let mut rows = Vec::new();
+    for (name, disk) in [
+        ("SATA SSD", DiskModel::sata_ssd()),
+        ("NVMe", DiskModel::nvme()),
+    ] {
+        let mut exec = StreamingExecutor::new(&tiled, config, spec).with_disk(disk);
+        let bfs =
+            run_bfs_with(&graph, &mut exec, &TraversalOptions::default()).expect("valid traversal");
+        let m = &bfs.metrics;
+        let legacy = estimate_out_of_core(&tiled, m, &disk);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", legacy.overlapped_time),
+            format!("{}", m.disk.overlapped),
+            format!(
+                "{:.1}x",
+                legacy.bytes_per_iteration as f64 * m.iterations as f64
+                    / m.disk.bytes_loaded.max(1) as f64
+            ),
+            if m.disk.is_disk_bound(m.total_time()) {
+                "disk"
+            } else {
+                "compute"
+            }
+            .to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        graphr_bench::report::render_table(
+            "Plan-aware out-of-core (BFS on WG, frontier-pruned loads)",
+            &[
+                "disk",
+                "legacy estimate",
+                "plan-aware total",
+                "bytes saved",
+                "bound by"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "The per-iteration model overlaps each round's loads against that round's\n\
+         compute (a pruned plan is only known once the previous frontier settles,\n\
+         so prefetch cannot reach across rounds); sparse rounds seek past pruned\n\
+         blocks and load almost nothing."
     );
 }

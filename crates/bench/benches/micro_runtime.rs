@@ -12,12 +12,13 @@
 use std::time::Instant;
 
 use graphr_core::exec::{ScanEngine, StreamingExecutor};
+use graphr_core::outofcore::{estimate_out_of_core, DiskModel};
 use graphr_core::sim::{PageRankOptions, TraversalOptions};
 use graphr_core::{GraphRConfig, TiledGraph};
 use graphr_graph::generators::rmat::Rmat;
 use graphr_graph::generators::structured::grid;
-use graphr_graph::GraphHandle;
-use graphr_runtime::{pool, ExecMode, Job, JobSpec, Session};
+use graphr_graph::{GraphHandle, BYTES_PER_EDGE};
+use graphr_runtime::{pool, ExecMode, Job, JobSpec, ParallelExecutor, Session};
 use graphr_units::FixedSpec;
 
 fn best_of<F: FnMut() -> std::time::Duration>(reps: usize, mut run: F) -> f64 {
@@ -103,6 +104,7 @@ fn main() {
     );
 
     sparse_frontier_case();
+    out_of_core_sparse_frontier_case(threads);
 }
 
 /// BFS over a dense-plan scan loop runs every iteration in O(|E|); the
@@ -113,10 +115,21 @@ fn bfs_rounds(
     config: &GraphRConfig,
     pruned: bool,
 ) -> (Vec<f64>, graphr_core::Metrics) {
-    let n = tiled.num_vertices();
     let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
-    let inf = spec.max_value();
     let mut exec = StreamingExecutor::new(tiled, config, spec);
+    bfs_rounds_on(&mut exec, spec, tiled.num_vertices(), pruned)
+}
+
+/// The BFS iteration loop over any engine (serial or parallel, with or
+/// without a disk model attached). `spec` must be the label format the
+/// engine was built with (its maximum is the "unreached" sentinel).
+fn bfs_rounds_on(
+    exec: &mut dyn ScanEngine,
+    spec: FixedSpec,
+    n: usize,
+    pruned: bool,
+) -> (Vec<f64>, graphr_core::Metrics) {
+    let inf = spec.max_value();
     let mut dist = vec![inf; n];
     dist[0] = 0.0;
     let mut active = vec![false; n];
@@ -145,7 +158,7 @@ fn bfs_rounds(
             break;
         }
     }
-    (dist, exec.into_metrics())
+    (dist, exec.take_metrics())
 }
 
 fn sparse_frontier_case() {
@@ -193,5 +206,81 @@ fn sparse_frontier_case() {
         m_pruned.total_time(),
         m_full.total_time().as_nanos() / m_pruned.total_time().as_nanos(),
         m_full.events.bytes_streamed as f64 / m_pruned.events.bytes_streamed.max(1) as f64,
+    );
+}
+
+/// The same sparse-frontier BFS in the out-of-core regime: every round's
+/// plan becomes an `IoPlan`, so pruned rounds load only the frontier's
+/// spans from disk instead of restreaming the whole ordered edge list —
+/// enough to flip a disk-bound deployment back to compute-bound.
+fn out_of_core_sparse_frontier_case(threads: usize) {
+    // A 240×240 grid on an NVMe drive: the legacy model restreams ~1.3 MiB
+    // per round and is hopelessly disk-bound; the pruned plan loads only
+    // the wavefront's spans, whose transfer (plus the block request) costs
+    // less than the round's compute.
+    let g = grid(240, 240);
+    let config = GraphRConfig::builder()
+        .crossbar_size(8)
+        .crossbars_per_ge(32)
+        .num_ges(4)
+        .build()
+        .expect("valid bench geometry");
+    let tiled = TiledGraph::preprocess(&g, &config).expect("grid tiles");
+    let n = tiled.num_vertices();
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    let disk = DiskModel::nvme();
+
+    let mut serial = StreamingExecutor::new(&tiled, &config, spec).with_disk(disk);
+    let (d_serial, m_serial) = bfs_rounds_on(&mut serial, spec, n, true);
+    let mut parallel =
+        ParallelExecutor::with_threads(&tiled, &config, spec, threads).with_disk(disk);
+    let (d_parallel, m_parallel) = bfs_rounds_on(&mut parallel, spec, n, true);
+    assert_eq!(d_serial, d_parallel, "disk model must not change labels");
+    assert_eq!(
+        m_serial, m_parallel,
+        "serial and parallel disk metrics must be bit-identical"
+    );
+
+    // Pruned iterations must load strictly fewer bytes than restreaming
+    // the whole ordered edge list every round...
+    let restream_bytes = tiled.total_edges() as u64 * BYTES_PER_EDGE * m_serial.iterations as u64;
+    assert!(
+        m_serial.disk.bytes_loaded < restream_bytes,
+        "pruned rounds must beat the full restream: {} vs {} bytes",
+        m_serial.disk.bytes_loaded,
+        restream_bytes
+    );
+    // ...and the per-iteration overlapped total must beat the legacy
+    // aggregate estimate, which assumes exactly that restream...
+    let legacy = estimate_out_of_core(&tiled, &m_serial, &disk);
+    assert!(
+        m_serial.disk.overlapped < legacy.overlapped_time,
+        "plan-aware overlap must beat the aggregate estimate: {} vs {}",
+        m_serial.disk.overlapped,
+        legacy.overlapped_time
+    );
+    // ...flipping the deployment's regime: legacy says the drive bounds
+    // it, the plan-aware accounting says the accelerator does.
+    assert!(legacy.is_disk_bound(), "full restream should swamp an NVMe");
+    assert!(
+        !m_serial.disk.is_disk_bound(m_serial.total_time()),
+        "pruned rounds should flip the deployment back to compute-bound: disk {} vs compute {}",
+        m_serial.disk.time,
+        m_serial.total_time()
+    );
+    println!(
+        "  out-of-core bfs (240x240 grid, NVMe, {} rounds): {:.1} MiB loaded vs {:.1} MiB restreamed ({:.1}x less), plan-aware total {} vs legacy estimate {} → {}-bound instead of {}-bound",
+        m_serial.iterations,
+        m_serial.disk.bytes_loaded as f64 / (1024.0 * 1024.0),
+        restream_bytes as f64 / (1024.0 * 1024.0),
+        restream_bytes as f64 / m_serial.disk.bytes_loaded.max(1) as f64,
+        m_serial.disk.overlapped,
+        legacy.overlapped_time,
+        if m_serial.disk.is_disk_bound(m_serial.total_time()) {
+            "disk"
+        } else {
+            "compute"
+        },
+        if legacy.is_disk_bound() { "disk" } else { "compute" },
     );
 }

@@ -20,7 +20,12 @@
 //! produce bit-identical results and metrics by construction.
 //!
 //! [`ScanEngine`] abstracts over executors so the `sim` drivers can run
-//! the same algorithm loops on the serial executor or a parallel one.
+//! the same algorithm loops on the serial executor or a parallel one. An
+//! engine may additionally carry an out-of-core
+//! [`DiskModel`] (see
+//! [`ScanEngine::set_disk`]): each executed plan then also charges the
+//! disk side of the iteration — planned spans loaded sequentially, pruned
+//! blocks seeked past — into [`Metrics::disk`](crate::metrics::DiskCounters).
 //!
 //! [`TiledGraph`]: crate::preprocess::tiler::TiledGraph
 //! [`Metrics`]: crate::metrics::Metrics
@@ -36,6 +41,7 @@ pub use strip::{mac_rego_capacity, strip_units, StripScanner, StripUnit};
 use std::sync::Arc;
 
 use crate::metrics::Metrics;
+use crate::outofcore::DiskModel;
 
 /// An executor capable of running the two streaming-apply scan
 /// primitives over [`ScanPlan`]s. Implemented by the serial
@@ -96,6 +102,16 @@ pub trait ScanEngine {
         let plan = self.plan(None);
         self.scan_add_op_planned(&plan, value, combine, addend, active, frontier, updated)
     }
+
+    /// Attaches (or detaches, with `None`) an out-of-core disk model.
+    /// While attached, every executed plan charges its
+    /// [`IoPlan`](crate::outofcore::IoPlan) into
+    /// [`Metrics::disk`](crate::metrics::DiskCounters), and each
+    /// [`ScanEngine::end_iteration`] overlaps that iteration's loads
+    /// against its compute. Attach before the first scan; both executors
+    /// route through the same [`DiskAccountant`](crate::outofcore::DiskAccountant),
+    /// so serial and parallel disk accounting stay bit-identical.
+    fn set_disk(&mut self, disk: Option<DiskModel>);
 
     /// Marks the end of one algorithm iteration.
     fn end_iteration(&mut self);

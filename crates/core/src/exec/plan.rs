@@ -28,6 +28,51 @@
 //! and merge per-unit metrics in plan order, so results and accounting stay
 //! bit-identical regardless of thread count — the same contract
 //! [`strip`](crate::exec::strip) established for dense scans.
+//!
+//! A plan also prices the *disk* side of an out-of-core iteration: because
+//! the tiler's source-range index records each subgraph's byte offset into
+//! the §3.4 streamed order, a `ScanPlan` translates directly into an
+//! [`IoPlan`](crate::outofcore::IoPlan) — contiguous planned spans become
+//! sequential reads, pruned subgraphs become seeks (see
+//! [`crate::outofcore`]).
+//!
+//! # Examples
+//!
+//! Build a skeleton once, stamp out a frontier-pruned plan, and derive the
+//! iteration's disk plan from it:
+//!
+//! ```
+//! use graphr_core::exec::plan::PlanSkeleton;
+//! use graphr_core::outofcore::IoPlan;
+//! use graphr_core::{GraphRConfig, TiledGraph};
+//! use graphr_graph::generators::rmat::Rmat;
+//!
+//! let graph = Rmat::new(200, 1200).seed(7).generate();
+//! let config = GraphRConfig::builder()
+//!     .crossbar_size(4)
+//!     .crossbars_per_ge(8)
+//!     .num_ges(2)
+//!     .build()?;
+//! let tiled = TiledGraph::preprocess(&graph, &config)?;
+//! let skeleton = PlanSkeleton::build(&tiled);
+//!
+//! // A sparse frontier: only vertex 3 is active.
+//! let mut active = vec![false; 200];
+//! active[3] = true;
+//! let plan = skeleton.pruned_plan(&tiled, &active);
+//! let stats = plan.stats();
+//! assert!(stats.subgraphs_pruned > 0, "most subgraphs hold no active source");
+//! assert_eq!(
+//!     stats.edges_planned + stats.edges_pruned,
+//!     tiled.total_edges() as u64
+//! );
+//!
+//! // The same plan, seen from the disk: planned spans load, pruned
+//! // subgraphs are seeked past.
+//! let io = IoPlan::from_scan_plan(&tiled, &plan);
+//! assert_eq!(io.bytes_loaded, stats.edges_planned * graphr_graph::BYTES_PER_EDGE);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use std::sync::Arc;
 

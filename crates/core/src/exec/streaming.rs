@@ -47,6 +47,7 @@ use crate::exec::plan::{PlanSkeleton, ScanPlan};
 use crate::exec::strip::{mac_rego_capacity, StripScanner};
 use crate::exec::ScanEngine;
 use crate::metrics::Metrics;
+use crate::outofcore::{DiskAccountant, DiskModel};
 use crate::preprocess::tiler::TiledGraph;
 
 /// Computes the value programmed into a crossbar cell for an edge:
@@ -64,6 +65,7 @@ pub struct StreamingExecutor<'a> {
     scanner: StripScanner<'a>,
     skeleton: Arc<PlanSkeleton>,
     metrics: Metrics,
+    disk: Option<DiskAccountant>,
 }
 
 impl<'a> StreamingExecutor<'a> {
@@ -93,7 +95,16 @@ impl<'a> StreamingExecutor<'a> {
             scanner: StripScanner::new(tiled, config, spec),
             skeleton,
             metrics: Metrics::new(),
+            disk: None,
         }
+    }
+
+    /// Builder form of [`ScanEngine::set_disk`]: prices every scan's disk
+    /// loading under `disk` (see [`crate::outofcore`]).
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskModel) -> Self {
+        ScanEngine::set_disk(&mut self, Some(disk));
+        self
     }
 
     /// The metrics accumulated so far.
@@ -102,16 +113,25 @@ impl<'a> StreamingExecutor<'a> {
         &self.metrics
     }
 
-    /// Consumes the executor, yielding its metrics.
+    /// Consumes the executor, yielding its metrics (closing any open disk
+    /// accounting window first).
     #[must_use]
-    pub fn into_metrics(self) -> Metrics {
+    pub fn into_metrics(mut self) -> Metrics {
+        if let Some(disk) = &mut self.disk {
+            disk.commit(&mut self.metrics);
+        }
         self.metrics
     }
 
     /// Marks the end of one algorithm iteration (bumps the counter and
-    /// charges the controller's convergence check — one GE cycle).
+    /// charges the controller's convergence check — one GE cycle), then
+    /// closes the iteration's disk window: its loads overlap against its
+    /// compute, never against a neighbouring iteration's.
     pub fn end_iteration(&mut self) {
         self.metrics.charge_iteration(self.config.ge_cycle());
+        if let Some(disk) = &mut self.disk {
+            disk.commit(&mut self.metrics);
+        }
     }
 
     /// One parallel-MAC pass over the whole graph: for each input vector
@@ -160,6 +180,9 @@ impl<'a> StreamingExecutor<'a> {
             }
         }
         self.metrics.charge_plan(plan.stats());
+        if let Some(disk) = &mut self.disk {
+            disk.charge_scan(self.tiled, plan, &mut self.metrics);
+        }
         self.metrics.events.rego_capacity_required = self
             .metrics
             .events
@@ -247,6 +270,9 @@ impl<'a> StreamingExecutor<'a> {
             }
         }
         self.metrics.charge_plan(plan.stats());
+        if let Some(disk) = &mut self.disk {
+            disk.charge_scan(self.tiled, plan, &mut self.metrics);
+        }
         self.metrics.events.rego_capacity_required = self
             .metrics
             .events
@@ -291,6 +317,13 @@ impl ScanEngine for StreamingExecutor<'_> {
         )
     }
 
+    fn set_disk(&mut self, disk: Option<DiskModel>) {
+        if let Some(acc) = &mut self.disk {
+            acc.commit(&mut self.metrics);
+        }
+        self.disk = disk.map(|model| DiskAccountant::new(model, self.metrics.elapsed));
+    }
+
     fn end_iteration(&mut self) {
         StreamingExecutor::end_iteration(self);
     }
@@ -300,6 +333,10 @@ impl ScanEngine for StreamingExecutor<'_> {
     }
 
     fn take_metrics(&mut self) -> Metrics {
+        if let Some(disk) = &mut self.disk {
+            disk.commit(&mut self.metrics);
+            disk.reset();
+        }
         std::mem::take(&mut self.metrics)
     }
 }

@@ -23,6 +23,10 @@
 //!   built around a plan/execute split: [`exec::plan::ScanPlan`]s —
 //!   frontier-pruned through the tiler's source-range index — describe
 //!   exactly which strips, block rows and subgraphs a scan streams,
+//! * [`outofcore`] — the plan-aware out-of-core disk model (Figure 9's
+//!   workflow): each iteration's [`exec::plan::ScanPlan`] becomes an
+//!   [`outofcore::IoPlan`] — planned spans load sequentially, pruned
+//!   blocks are seeked past — overlapped against compute per iteration,
 //! * [`sim`] — the top-level façade: run an algorithm on a graph, get the
 //!   algorithm result plus a full time/energy [`metrics::Metrics`] report.
 //!

@@ -76,6 +76,55 @@ impl TimeBreakdown {
     }
 }
 
+/// Plan-aware out-of-core disk accounting, filled in only when a run
+/// executes under a [`DiskModel`] (all-zero otherwise).
+///
+/// Every executed [`ScanPlan`] contributes its
+/// [`IoPlan`](crate::outofcore::IoPlan) — planned bytes loaded
+/// sequentially, pruned blocks seeked past — and each iteration's loads
+/// are overlapped against that iteration's compute (double-buffering
+/// cannot reach across iterations: a frontier-pruned plan is only known
+/// once the previous frontier has settled). See
+/// [`DiskAccountant`](crate::outofcore::DiskAccountant).
+///
+/// [`DiskModel`]: crate::outofcore::DiskModel
+/// [`ScanPlan`]: crate::exec::plan::ScanPlan
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DiskCounters {
+    /// Bytes of edge data loaded from disk (planned subgraphs only).
+    pub bytes_loaded: u64,
+    /// On-disk blocks loaded (cumulative across iterations).
+    pub blocks_loaded: u64,
+    /// On-disk blocks seeked past — pruned or empty, charged only the
+    /// per-block latency (cumulative across iterations).
+    pub blocks_seeked: u64,
+    /// Sequential-read segments issued (cumulative across iterations).
+    pub io_segments: u64,
+    /// Total disk-load time across all iterations.
+    pub time: Nanos,
+    /// Out-of-core total with per-iteration double buffering:
+    /// `Σ_iterations max(compute, disk)`.
+    pub overlapped: Nanos,
+}
+
+impl DiskCounters {
+    /// Whether any disk activity was accounted (a [`DiskModel`] was
+    /// attached to the run's engine).
+    ///
+    /// [`DiskModel`]: crate::outofcore::DiskModel
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.blocks_loaded + self.blocks_seeked > 0
+    }
+
+    /// Whether the disk, not the accelerator, bounds the deployment
+    /// (`compute` is the run's [`Metrics::total_time`]).
+    #[must_use]
+    pub fn is_disk_bound(&self, compute: Nanos) -> bool {
+        self.time > compute
+    }
+}
+
 /// Complete accounting of one GraphR run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Metrics {
@@ -89,6 +138,9 @@ pub struct Metrics {
     pub energy: CostBreakdown,
     /// Raw event counts.
     pub events: EventCounters,
+    /// Plan-aware out-of-core disk accounting (zero unless the engine ran
+    /// under a disk model).
+    pub disk: DiskCounters,
 }
 
 impl Metrics {
@@ -180,6 +232,14 @@ impl Metrics {
         a.register_writes += b.register_writes;
         a.bytes_streamed += b.bytes_streamed;
         a.rego_capacity_required = a.rego_capacity_required.max(b.rego_capacity_required);
+        let d = &mut self.disk;
+        let e = &other.disk;
+        d.bytes_loaded += e.bytes_loaded;
+        d.blocks_loaded += e.blocks_loaded;
+        d.blocks_seeked += e.blocks_seeked;
+        d.io_segments += e.io_segments;
+        d.time += e.time;
+        d.overlapped += e.overlapped;
     }
 }
 
@@ -226,6 +286,31 @@ mod tests {
         assert_eq!(a.total_energy().as_joules(), 1.5);
         assert_eq!(a.events.edges_loaded, 15);
         assert_eq!(a.events.rego_capacity_required, 128);
+    }
+
+    #[test]
+    fn merge_accumulates_disk_counters() {
+        let mut a = Metrics::new();
+        a.disk.bytes_loaded = 100;
+        a.disk.blocks_loaded = 2;
+        a.disk.time = Nanos::new(5.0);
+        a.disk.overlapped = Nanos::new(9.0);
+        let mut b = Metrics::new();
+        b.disk.bytes_loaded = 50;
+        b.disk.blocks_seeked = 3;
+        b.disk.io_segments = 4;
+        b.disk.time = Nanos::new(2.0);
+        b.disk.overlapped = Nanos::new(2.5);
+        a.merge(&b);
+        assert_eq!(a.disk.bytes_loaded, 150);
+        assert_eq!(a.disk.blocks_loaded, 2);
+        assert_eq!(a.disk.blocks_seeked, 3);
+        assert_eq!(a.disk.io_segments, 4);
+        assert_eq!(a.disk.time.as_nanos(), 7.0);
+        assert_eq!(a.disk.overlapped.as_nanos(), 11.5);
+        assert!(a.disk.is_active());
+        assert!(a.disk.is_disk_bound(Nanos::new(1.0)));
+        assert!(!Metrics::new().disk.is_active());
     }
 
     #[test]

@@ -1,20 +1,88 @@
-//! Out-of-core disk modelling (Figure 9's workflow).
+//! Out-of-core disk modelling (Figure 9's workflow), plan-aware.
 //!
 //! In the paper's evaluation graphs fit in memory and disk I/O is excluded
 //! (§5.2), but the architecture is explicitly a **drop-in accelerator for
 //! out-of-core frameworks**: blocks of the §3.4-ordered edge list load from
 //! disk strictly sequentially and stream through the node. This module
-//! prices that loading so the drop-in story can be examined: because the
-//! preprocessed order makes every disk access sequential, the loads can be
-//! double-buffered against computation, and the estimate shows the regime
-//! change — GraphR is so much faster than the CPU framework that the
-//! *disk*, not the accelerator, becomes the bottleneck of an out-of-core
-//! deployment.
+//! prices that loading so the drop-in story can be examined.
+//!
+//! Two models are provided:
+//!
+//! * [`IoPlan`] + [`DiskAccountant`] — the **plan-aware, per-iteration**
+//!   model. Each iteration's [`ScanPlan`] already names exactly which
+//!   subgraphs of the ordered edge list the scan will stream; deriving an
+//!   [`IoPlan`] from it turns contiguous planned spans into sequential-read
+//!   segments and pruned subgraphs into seeks past their bytes (a pruned
+//!   block is charged only [`DiskModel::per_block_latency`], never its
+//!   data). The accountant accumulates the result into
+//!   [`Metrics::disk`](crate::metrics::Metrics) and overlaps each
+//!   iteration's loads against that iteration's compute — per iteration,
+//!   not in aggregate, because a frontier-pruned plan is only known once
+//!   the *previous* iteration's frontier has settled, so prefetch cannot
+//!   reach across iterations.
+//! * [`estimate_out_of_core`] — the **legacy aggregate** estimate, kept as
+//!   the dense upper bound: it assumes every iteration re-streams the
+//!   entire ordered edge list, which is exact for the dense MAC
+//!   applications (PageRank, SpMV, CF) and pessimistic for traversal
+//!   workloads whose pruned plans skip most blocks on sparse frontiers.
+//!
+//! Because the preprocessed order makes every planned access sequential,
+//! loads double-buffer against computation; the per-iteration model shows
+//! the *regime change* both ways: a dense deployment is disk-bound (GraphR
+//! outruns the drive), while sparse BFS iterations can load so little that
+//! the same deployment flips back to compute-bound.
+//!
+//! # Examples
+//!
+//! From a [`ScanPlan`] to an [`IoPlan`] to nanoseconds of disk time:
+//!
+//! ```
+//! use graphr_core::exec::PlanSkeleton;
+//! use graphr_core::outofcore::{DiskModel, IoPlan};
+//! use graphr_core::{GraphRConfig, TiledGraph};
+//! use graphr_graph::generators::structured::grid;
+//!
+//! let config = GraphRConfig::builder()
+//!     .crossbar_size(4)
+//!     .crossbars_per_ge(8)
+//!     .num_ges(2)
+//!     .build()?;
+//! let tiled = TiledGraph::preprocess(&grid(20, 20), &config)?;
+//! let skeleton = PlanSkeleton::build(&tiled);
+//!
+//! // The dense full plan restreams the whole ordered edge list: one
+//! // sequential segment covering every byte.
+//! let full = IoPlan::from_scan_plan(&tiled, &skeleton.full_plan());
+//! assert_eq!(
+//!     full.bytes_loaded,
+//!     tiled.total_edges() as u64 * graphr_graph::BYTES_PER_EDGE
+//! );
+//! assert_eq!(full.segments, 1);
+//! assert_eq!(full.bytes_skipped, 0);
+//!
+//! // A sparse frontier prunes most subgraphs; the pruned plan's IoPlan
+//! // loads strictly fewer bytes and seeks past the rest.
+//! let mut mask = vec![false; tiled.num_vertices()];
+//! mask[0] = true;
+//! let sparse = IoPlan::from_scan_plan(&tiled, &skeleton.pruned_plan(&tiled, &mask));
+//! assert!(sparse.bytes_loaded < full.bytes_loaded);
+//! assert_eq!(sparse.bytes_loaded + sparse.bytes_skipped, full.bytes_loaded);
+//!
+//! // Price one iteration of each on a SATA-era drive.
+//! let disk = DiskModel::sata_ssd();
+//! assert!(disk.plan_time(&sparse) < disk.plan_time(&full));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`ScanPlan`]: crate::exec::plan::ScanPlan
+
+use std::collections::{HashMap, HashSet};
 
 use graphr_graph::BYTES_PER_EDGE;
 use graphr_units::Nanos;
 use serde::{Deserialize, Serialize};
 
+use crate::exec::plan::ScanPlan;
 use crate::metrics::Metrics;
 use crate::preprocess::tiler::TiledGraph;
 
@@ -23,12 +91,17 @@ use crate::preprocess::tiler::TiledGraph;
 pub struct DiskModel {
     /// Sustained sequential read bandwidth, GB/s.
     pub sequential_gbps: f64,
-    /// Fixed per-block latency (request issue, seek-equivalent).
+    /// Fixed per-block latency (request issue, seek-equivalent): charged
+    /// once per on-disk block whether the block is loaded or seeked past.
     pub per_block_latency: Nanos,
 }
 
 impl DiskModel {
-    /// A SATA-era SSD (the out-of-core hardware of the GridGraph paper).
+    /// A SATA-era SSD — the out-of-core hardware of *GridGraph:
+    /// Large-Scale Graph Processing on a Single Machine Using 2-Level
+    /// Hierarchical Partitioning* (Zhu, Han, Chen — USENIX ATC 2015),
+    /// the block-grid framework whose workflow Figure 9 drops GraphR
+    /// into (see PAPERS.md, "Referenced systems").
     #[must_use]
     pub fn sata_ssd() -> Self {
         DiskModel {
@@ -45,9 +118,288 @@ impl DiskModel {
             per_block_latency: Nanos::from_micros(15.0),
         }
     }
+
+    /// Looks a model up by its CLI/job-file name (`"sata"` or `"nvme"`);
+    /// `None` for anything else (including `"none"`, which callers map to
+    /// "no disk model").
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<DiskModel> {
+        match name {
+            "sata" => Some(DiskModel::sata_ssd()),
+            "nvme" => Some(DiskModel::nvme()),
+            _ => None,
+        }
+    }
+
+    /// Time to service one scan's [`IoPlan`]: planned bytes at sequential
+    /// bandwidth, plus one [`DiskModel::per_block_latency`] per on-disk
+    /// block — loaded blocks pay it as the request issue, pruned blocks as
+    /// the seek past them (their data is never transferred).
+    ///
+    /// For the dense full plan this is exactly the per-iteration cost of
+    /// [`estimate_out_of_core`]'s legacy formula, which is what lets
+    /// per-iteration accounting sum back to the aggregate estimate when no
+    /// pruning occurs.
+    #[must_use]
+    pub fn plan_time(&self, io: &IoPlan) -> Nanos {
+        Nanos::new(io.bytes_loaded as f64 / self.sequential_gbps)
+            + self.per_block_latency * (io.blocks_loaded + io.blocks_seeked) as f64
+    }
 }
 
-/// Disk/compute composition of an out-of-core run.
+/// The disk side of one executed [`ScanPlan`]: which parts of the ordered
+/// edge list the iteration actually reads, and which it seeks past.
+///
+/// The §3.4 streamed order lays every nonempty subgraph's edges out
+/// contiguously, and the tiler's
+/// [`SourceRangeIndex`](crate::preprocess::tiler::SourceRangeIndex)
+/// records each subgraph's offset into that order — so a plan's subgraphs
+/// translate directly into byte ranges of the on-disk file. Contiguous
+/// planned subgraphs coalesce into sequential-read [`IoPlan::segments`];
+/// pruned subgraphs contribute only [`IoPlan::bytes_skipped`] (seeked
+/// past, never transferred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IoPlan {
+    /// Bytes of edge data the plan loads (planned subgraphs only).
+    pub bytes_loaded: u64,
+    /// Bytes of edge data the plan seeks past (pruned subgraphs).
+    pub bytes_skipped: u64,
+    /// Maximal contiguous sequential-read runs in the streamed order.
+    pub segments: usize,
+    /// On-disk blocks holding at least one planned subgraph.
+    pub blocks_loaded: usize,
+    /// On-disk blocks seeked past (no planned subgraph; empty blocks
+    /// keep their slot in the §3.4 layout, so they count here too).
+    pub blocks_seeked: usize,
+}
+
+impl IoPlan {
+    /// Derives the disk plan of one scan: walks the blocks in streamed
+    /// (disk) order and classifies every nonempty subgraph as loaded (it
+    /// appears in `plan`) or seeked past. `plan` must have been built for
+    /// `tiled`.
+    #[must_use]
+    pub fn from_scan_plan(tiled: &TiledGraph, plan: &ScanPlan) -> IoPlan {
+        let mut planned: HashSet<(u32, u32, u32)> = HashSet::new();
+        for punit in plan.units() {
+            for row in &punit.rows {
+                for &pos in &row.subgraphs {
+                    planned.insert((row.block, punit.unit.strip, pos));
+                }
+            }
+        }
+        let mut io = IoPlan::default();
+        // Subgraph spans tile the ordered edge list exactly (asserted in
+        // the plan-layer tests), so adjacency in this walk *is* byte
+        // contiguity on disk.
+        let mut in_segment = false;
+        for (bidx, block) in tiled.blocks().iter().enumerate() {
+            let mut block_loaded = false;
+            for strip in &block.strips {
+                for (pos, sg) in strip.subgraphs.iter().enumerate() {
+                    let hit = planned.contains(&(bidx as u32, strip.strip, pos as u32));
+                    let bytes = u64::from(sg.edges) * BYTES_PER_EDGE;
+                    if hit {
+                        io.bytes_loaded += bytes;
+                        if !in_segment {
+                            io.segments += 1;
+                        }
+                        block_loaded = true;
+                    } else {
+                        io.bytes_skipped += bytes;
+                    }
+                    in_segment = hit;
+                }
+            }
+            if block_loaded {
+                io.blocks_loaded += 1;
+            }
+        }
+        io.blocks_seeked = tiled.blocks().len() - io.blocks_loaded;
+        io
+    }
+
+    /// The full-restream disk plan: what an engine with no plan layer
+    /// loads every iteration (every nonempty subgraph, one segment).
+    #[must_use]
+    pub fn full_restream(tiled: &TiledGraph) -> IoPlan {
+        let blocks_loaded = tiled
+            .blocks()
+            .iter()
+            .filter(|b| b.strips.iter().any(|s| !s.subgraphs.is_empty()))
+            .count();
+        IoPlan {
+            bytes_loaded: tiled.total_edges() as u64 * BYTES_PER_EDGE,
+            bytes_skipped: 0,
+            segments: usize::from(tiled.total_edges() > 0),
+            blocks_loaded,
+            blocks_seeked: tiled.blocks().len() - blocks_loaded,
+        }
+    }
+}
+
+/// Once-per-graph lookup behind [`DiskAccountant`]: every nonempty
+/// subgraph's ordinal in the streamed order (adjacency of ordinals ⇔ byte
+/// contiguity on disk), its byte size, and its block — so a sparse scan's
+/// [`IoPlan`] costs `O(planned · log planned)` instead of a walk over the
+/// whole graph ([`IoPlan::from_scan_plan`]'s general path, which this is
+/// tested against).
+struct IoIndex {
+    /// `(block, strip, position)` → ordinal in streamed order.
+    ordinals: HashMap<(u32, u32, u32), u32>,
+    /// Per-ordinal byte size of the subgraph.
+    bytes: Vec<u64>,
+    /// Per-ordinal owning block index (non-decreasing along ordinals).
+    block_of: Vec<u32>,
+    /// Total on-disk block slots.
+    total_blocks: usize,
+    /// Bytes of the whole ordered edge list.
+    total_bytes: u64,
+    /// The dense plan's IoPlan, precomputed.
+    full: IoPlan,
+}
+
+impl IoIndex {
+    fn build(tiled: &TiledGraph) -> IoIndex {
+        let mut ordinals = HashMap::new();
+        let mut bytes = Vec::new();
+        let mut block_of = Vec::new();
+        for (bidx, block) in tiled.blocks().iter().enumerate() {
+            for strip in &block.strips {
+                for (pos, sg) in strip.subgraphs.iter().enumerate() {
+                    ordinals.insert((bidx as u32, strip.strip, pos as u32), bytes.len() as u32);
+                    bytes.push(u64::from(sg.edges) * BYTES_PER_EDGE);
+                    block_of.push(bidx as u32);
+                }
+            }
+        }
+        IoIndex {
+            ordinals,
+            bytes,
+            block_of,
+            total_blocks: tiled.blocks().len(),
+            total_bytes: tiled.total_edges() as u64 * BYTES_PER_EDGE,
+            full: IoPlan::full_restream(tiled),
+        }
+    }
+
+    /// [`IoPlan::from_scan_plan`] in time proportional to the *plan*, not
+    /// the graph: planned ordinals are sorted once, runs of consecutive
+    /// ordinals are the sequential segments, block transitions count the
+    /// loaded blocks.
+    fn io_plan(&self, plan: &ScanPlan) -> IoPlan {
+        if plan.is_full() {
+            return self.full;
+        }
+        let mut planned: Vec<u32> = Vec::with_capacity(plan.stats().subgraphs_planned as usize);
+        for punit in plan.units() {
+            for row in &punit.rows {
+                for &pos in &row.subgraphs {
+                    planned.push(self.ordinals[&(row.block, punit.unit.strip, pos)]);
+                }
+            }
+        }
+        planned.sort_unstable();
+        let mut io = IoPlan::default();
+        let mut prev: Option<u32> = None;
+        for &ord in &planned {
+            io.bytes_loaded += self.bytes[ord as usize];
+            if prev != Some(ord.wrapping_sub(1)) {
+                io.segments += 1;
+            }
+            if prev.map(|p| self.block_of[p as usize]) != Some(self.block_of[ord as usize]) {
+                io.blocks_loaded += 1;
+            }
+            prev = Some(ord);
+        }
+        io.bytes_skipped = self.total_bytes - io.bytes_loaded;
+        io.blocks_seeked = self.total_blocks - io.blocks_loaded;
+        io
+    }
+}
+
+/// Per-iteration disk accounting for an executor: charges every executed
+/// plan's [`IoPlan`] into [`Metrics::disk`] and, at each iteration
+/// boundary, overlaps the iteration's accumulated disk time against the
+/// compute time the iteration added to [`Metrics::elapsed`].
+///
+/// Both the serial and the parallel executor drive the *same* accountant
+/// methods from the same call sites (one `charge_scan` per executed plan,
+/// one `commit` per `end_iteration`/`take_metrics`), so their disk
+/// accounting is bit-identical by construction — the same contract the
+/// plan-order metrics merge establishes for compute accounting.
+pub struct DiskAccountant {
+    model: DiskModel,
+    /// `Metrics::elapsed` when the current iteration window opened.
+    window_start: Nanos,
+    /// Disk time accumulated by this window's scans.
+    pending: Nanos,
+    /// Streamed-order span index, built once on the first charged scan so
+    /// sparse iterations derive their [`IoPlan`] in time proportional to
+    /// the plan, not the graph.
+    index: Option<IoIndex>,
+}
+
+impl DiskAccountant {
+    /// Creates an accountant for `model`, opening its first iteration
+    /// window at elapsed time `now` (the owning executor's current
+    /// [`Metrics::elapsed`]).
+    #[must_use]
+    pub fn new(model: DiskModel, now: Nanos) -> Self {
+        DiskAccountant {
+            model,
+            window_start: now,
+            pending: Nanos::ZERO,
+            index: None,
+        }
+    }
+
+    /// The disk model in force.
+    #[must_use]
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Charges one executed scan: derives `plan`'s [`IoPlan`], adds its
+    /// byte/block counts to `metrics.disk`, and queues its load time into
+    /// the current iteration window. `tiled` must be the graph every plan
+    /// this accountant sees was built for (an executor's accountant only
+    /// ever sees its own graph).
+    pub fn charge_scan(&mut self, tiled: &TiledGraph, plan: &ScanPlan, metrics: &mut Metrics) {
+        let index = self.index.get_or_insert_with(|| IoIndex::build(tiled));
+        let io = index.io_plan(plan);
+        let d = &mut metrics.disk;
+        d.bytes_loaded += io.bytes_loaded;
+        d.blocks_loaded += io.blocks_loaded as u64;
+        d.blocks_seeked += io.blocks_seeked as u64;
+        d.io_segments += io.segments as u64;
+        self.pending += self.model.plan_time(&io);
+    }
+
+    /// Closes the current iteration window: commits the queued disk time
+    /// and the double-buffered total `max(compute, disk)` for the window,
+    /// where compute is what the window added to `metrics.elapsed`. Call
+    /// after [`Metrics::charge_iteration`] so the controller's iteration
+    /// charge lands inside the window it belongs to.
+    pub fn commit(&mut self, metrics: &mut Metrics) {
+        let compute = metrics.elapsed - self.window_start;
+        metrics.disk.time += self.pending;
+        metrics.disk.overlapped += compute.max(self.pending);
+        self.window_start = metrics.elapsed;
+        self.pending = Nanos::ZERO;
+    }
+
+    /// Re-opens the window at elapsed zero — for executors whose metrics
+    /// were just taken (and therefore zeroed).
+    pub fn reset(&mut self) {
+        self.window_start = Nanos::ZERO;
+        self.pending = Nanos::ZERO;
+    }
+}
+
+/// Disk/compute composition of an out-of-core run (the legacy aggregate
+/// view; the per-iteration equivalent lives in
+/// [`Metrics::disk`](crate::metrics::DiskCounters)).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OutOfCoreEstimate {
     /// Blocks per full pass over the graph.
@@ -73,10 +425,17 @@ impl OutOfCoreEstimate {
     }
 }
 
-/// Prices the disk side of a run: `metrics` must come from executing an
-/// algorithm over `tiled`; every iteration re-streams all nonempty blocks
-/// of the ordered edge list (the out-of-core regime where the graph does
-/// not fit in the node's memory ReRAM).
+/// Prices the disk side of a run with the **legacy aggregate** model:
+/// `metrics` must come from executing an algorithm over `tiled`, and every
+/// iteration is assumed to re-stream the entire ordered edge list — the
+/// dense upper bound.
+///
+/// Exact for the dense MAC applications (their full plans really do
+/// restream everything); pessimistic for traversal workloads, whose
+/// frontier-pruned [`ScanPlan`]s skip disk blocks — use a
+/// [`DiskAccountant`] (or the runtime's disk configuration) for the
+/// plan-aware per-iteration accounting, and compare against this estimate
+/// to see what plan-aware loading saves.
 #[must_use]
 pub fn estimate_out_of_core(
     tiled: &TiledGraph,
@@ -104,6 +463,7 @@ pub fn estimate_out_of_core(
 mod tests {
     use super::*;
     use crate::config::GraphRConfig;
+    use crate::exec::plan::PlanSkeleton;
     use crate::sim::{run_pagerank, PageRankOptions};
     use graphr_graph::generators::rmat::Rmat;
 
@@ -122,6 +482,18 @@ mod tests {
         )
         .unwrap();
         (tiled, pr.metrics)
+    }
+
+    fn blocked_config() -> GraphRConfig {
+        GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(2)
+            .num_ges(2)
+            .spec(graphr_units::FixedSpec::new(5, 0).unwrap())
+            .slicer(graphr_units::BitSlicer::new(4, 1).unwrap())
+            .block_vertices(32)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -159,5 +531,134 @@ mod tests {
             est.serial_time.as_nanos(),
             est.compute_time.as_nanos() + est.disk_time.as_nanos()
         );
+    }
+
+    #[test]
+    fn dense_io_plan_matches_full_restream_and_legacy_cost() {
+        let g = Rmat::new(120, 700).seed(5).generate();
+        let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let dense = IoPlan::from_scan_plan(&tiled, &skeleton.full_plan());
+        assert_eq!(dense, IoPlan::full_restream(&tiled));
+        assert_eq!(dense.bytes_loaded, 700 * BYTES_PER_EDGE);
+        assert_eq!(dense.bytes_skipped, 0);
+        assert_eq!(dense.segments, 1, "dense restream is one sequential run");
+        assert_eq!(
+            dense.blocks_loaded + dense.blocks_seeked,
+            tiled.blocks().len()
+        );
+        // One dense iteration prices exactly like the legacy formula.
+        let disk = DiskModel::sata_ssd();
+        let legacy = Nanos::new(dense.bytes_loaded as f64 / disk.sequential_gbps)
+            + disk.per_block_latency * tiled.blocks().len() as f64;
+        assert_eq!(disk.plan_time(&dense), legacy);
+    }
+
+    #[test]
+    fn pruned_io_plan_partitions_the_bytes_and_costs_less() {
+        let g = Rmat::new(120, 700).seed(5).generate();
+        let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let dense = IoPlan::from_scan_plan(&tiled, &skeleton.full_plan());
+        let mut mask = vec![false; 120];
+        for v in (0..120).step_by(29) {
+            mask[v] = true;
+        }
+        let pruned = IoPlan::from_scan_plan(&tiled, &skeleton.pruned_plan(&tiled, &mask));
+        assert_eq!(
+            pruned.bytes_loaded + pruned.bytes_skipped,
+            dense.bytes_loaded
+        );
+        assert!(pruned.bytes_loaded < dense.bytes_loaded);
+        assert_eq!(
+            pruned.blocks_loaded + pruned.blocks_seeked,
+            tiled.blocks().len()
+        );
+        let disk = DiskModel::nvme();
+        assert!(disk.plan_time(&pruned) < disk.plan_time(&dense));
+    }
+
+    #[test]
+    fn empty_plan_only_seeks() {
+        let g = Rmat::new(90, 400).seed(8).generate();
+        let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let io = IoPlan::from_scan_plan(&tiled, &skeleton.pruned_plan(&tiled, &[false; 90]));
+        assert_eq!(io.bytes_loaded, 0);
+        assert_eq!(io.segments, 0);
+        assert_eq!(io.blocks_loaded, 0);
+        assert_eq!(io.blocks_seeked, tiled.blocks().len());
+        assert_eq!(io.bytes_skipped, 400 * BYTES_PER_EDGE);
+        // Seeking past everything still pays the per-block request issue.
+        let disk = DiskModel::sata_ssd();
+        assert_eq!(
+            disk.plan_time(&io),
+            disk.per_block_latency * tiled.blocks().len() as f64
+        );
+    }
+
+    #[test]
+    fn indexed_io_plan_matches_the_general_walk() {
+        // The accountant's O(planned)-path must agree with the
+        // whole-graph walk for dense, sparse, and empty plans alike.
+        let g = Rmat::new(140, 900).seed(21).generate();
+        let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let index = IoIndex::build(&tiled);
+        assert_eq!(
+            index.io_plan(&skeleton.full_plan()),
+            IoPlan::from_scan_plan(&tiled, &skeleton.full_plan())
+        );
+        for seed in 0u64..12 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mask: Vec<bool> = (0..140)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1);
+                    (state >> 33) % 4 == 0
+                })
+                .collect();
+            let plan = skeleton.pruned_plan(&tiled, &mask);
+            assert_eq!(
+                index.io_plan(&plan),
+                IoPlan::from_scan_plan(&tiled, &plan),
+                "indexed and walked IoPlans diverged (seed {seed})"
+            );
+        }
+        let empty = skeleton.pruned_plan(&tiled, &[false; 140]);
+        assert_eq!(
+            index.io_plan(&empty),
+            IoPlan::from_scan_plan(&tiled, &empty)
+        );
+    }
+
+    #[test]
+    fn accountant_overlaps_per_iteration() {
+        let g = Rmat::new(90, 400).seed(8).generate();
+        let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let disk = DiskModel::sata_ssd();
+        let mut metrics = Metrics::new();
+        let mut acc = DiskAccountant::new(disk, Nanos::ZERO);
+
+        // Iteration 1: dense scan, tiny compute → disk-bound window.
+        let full = skeleton.full_plan();
+        acc.charge_scan(&tiled, &full, &mut metrics);
+        metrics.elapsed += Nanos::new(10.0);
+        acc.commit(&mut metrics);
+        let d1 = disk.plan_time(&IoPlan::full_restream(&tiled));
+        assert_eq!(metrics.disk.time, d1);
+        assert_eq!(metrics.disk.overlapped, d1.max(Nanos::new(10.0)));
+
+        // Iteration 2: everything pruned, huge compute → compute-bound.
+        let none = skeleton.pruned_plan(&tiled, &[false; 90]);
+        acc.charge_scan(&tiled, &none, &mut metrics);
+        let big = Nanos::from_millis(5.0);
+        metrics.elapsed += big;
+        acc.commit(&mut metrics);
+        assert_eq!(metrics.disk.bytes_loaded, 400 * BYTES_PER_EDGE);
+        assert!(metrics.disk.overlapped >= d1 + big);
+        assert!(metrics.disk.time < metrics.disk.overlapped);
     }
 }

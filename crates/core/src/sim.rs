@@ -5,6 +5,13 @@
 //! and returns the *functional result* (computed through the emulated
 //! fixed-point/analog datapath) together with full [`Metrics`].
 //!
+//! The generic `run_*_with` drivers thread an optional out-of-core disk
+//! model through the loop: attach one to the engine
+//! ([`ScanEngine::set_disk`], or the executors' `with_disk` builders) and
+//! every per-iteration plan the driver executes also charges its disk
+//! loading, with each `end_iteration` closing that iteration's
+//! disk-vs-compute overlap window (see [`crate::outofcore`]).
+//!
 //! Fixed-point formats are per-algorithm, as they would be in a real
 //! deployment of the architecture:
 //!

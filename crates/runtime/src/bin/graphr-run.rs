@@ -1,7 +1,7 @@
 //! `graphr-run` — execute a job file against a GraphR runtime session and
 //! print a metrics report.
 //!
-//! Usage: `graphr-run <JOBFILE> [--threads N] [--serial]`
+//! Usage: `graphr-run <JOBFILE> [--threads N] [--serial] [--disk sata|nvme|none]`
 //!
 //! Job files are line-oriented; `#` starts a comment. Directives:
 //!
@@ -11,17 +11,23 @@
 //! dataset <name> table3 <TAG> <scale>
 //! threads <n>
 //! mode serial|parallel
+//! disk sata|nvme|none
 //! job <app> <dataset> [key=value ...]
 //! ```
 //!
 //! Apps: `pagerank` (damping=, iterations=, tolerance=), `spmv`,
-//! `bfs`/`sssp` (source=), `wcc`, `cf` (features=, epochs=). An example
-//! lives at `examples/demo.jobs`.
+//! `bfs`/`sssp` (source=), `wcc`, `cf` (features=, epochs=). The `disk`
+//! directive (overridable with `--disk`) runs every job in the
+//! out-of-core regime: scans price their disk loading plan-aware and the
+//! reports gain a disk-vs-compute breakdown. An example lives at
+//! `examples/demo.jobs`; the full format and every flag are documented in
+//! `docs/running-jobs.md`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{CfOptions, PageRankOptions, SpmvOptions, TraversalOptions};
 use graphr_core::GraphRConfig;
 use graphr_graph::generators::bipartite::RatingMatrix;
@@ -41,9 +47,12 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: graphr-run <JOBFILE> [--threads N] [--serial] [--disk sata|nvme|none]";
     let mut path = None;
     let mut threads_override = None;
     let mut force_serial = false;
+    let mut disk_override = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -52,15 +61,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 threads_override = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
             }
             "--serial" => force_serial = true,
+            "--disk" => {
+                let v = it.next().ok_or("--disk needs a value (sata|nvme|none)")?;
+                disk_override = Some(parse_disk(v)?);
+            }
             "--help" | "-h" => {
-                println!("usage: graphr-run <JOBFILE> [--threads N] [--serial]");
+                println!("{USAGE}");
                 return Ok(());
             }
             other if path.is_none() => path = Some(other.to_owned()),
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    let path = path.ok_or("usage: graphr-run <JOBFILE> [--threads N] [--serial]")?;
+    let path = path.ok_or(USAGE)?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let plan = parse_job_file(&text)?;
 
@@ -69,6 +82,10 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(t) = threads {
         session = session.with_threads(t);
     }
+    let disk = disk_override.unwrap_or(plan.disk);
+    if let Some(model) = disk {
+        session = session.with_disk(model);
+    }
     let mode = if force_serial {
         ExecMode::Serial
     } else {
@@ -76,11 +93,15 @@ fn run(args: &[String]) -> Result<(), String> {
     };
 
     println!(
-        "session: {} worker threads, {} mode, {} datasets, {} jobs",
+        "session: {} worker threads, {} mode, {} storage, {} datasets, {} jobs",
         session.threads(),
         match mode {
             ExecMode::Serial => "serial",
             ExecMode::Parallel => "parallel",
+        },
+        match disk {
+            None => "in-core".to_owned(),
+            Some(d) => format!("out-of-core ({:.1} GB/s disk)", d.sequential_gbps),
         },
         plan.datasets.len(),
         plan.jobs.len()
@@ -122,6 +143,18 @@ struct Plan {
     jobs: Vec<Job>,
     threads: Option<usize>,
     mode: ExecMode,
+    disk: Option<DiskModel>,
+}
+
+/// Parses a disk name as used by `--disk` and the `disk` directive:
+/// `sata`/`nvme` select a model, `none` the in-core regime.
+fn parse_disk(name: &str) -> Result<Option<DiskModel>, String> {
+    if name == "none" {
+        return Ok(None);
+    }
+    DiskModel::by_name(name)
+        .map(Some)
+        .ok_or_else(|| format!("unknown disk model '{name}' (expected sata, nvme or none)"))
 }
 
 fn parse_job_file(text: &str) -> Result<Plan, String> {
@@ -130,6 +163,7 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
         jobs: Vec::new(),
         threads: None,
         mode: ExecMode::Parallel,
+        disk: None,
     };
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -154,6 +188,12 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
                 Some("parallel") => plan.mode = ExecMode::Parallel,
                 other => return Err(err(format!("unknown mode {other:?}"))),
             },
+            "disk" => {
+                let v = fields
+                    .get(1)
+                    .ok_or_else(|| err("disk needs a value (sata|nvme|none)".into()))?;
+                plan.disk = parse_disk(v).map_err(err)?;
+            }
             "job" => {
                 let job = parse_job(&fields, &plan.datasets).map_err(err)?;
                 plan.jobs.push(job);

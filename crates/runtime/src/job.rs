@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{
     CfOptions, CfRun, PageRankOptions, ScalarRun, SpmvOptions, TraversalOptions, TraversalRun,
     WccRun,
@@ -18,6 +19,32 @@ pub enum ExecMode {
     /// The strip-sharded worker-pool executor (the default).
     #[default]
     Parallel,
+}
+
+/// Per-job out-of-core storage selection, three-way so a job can both
+/// opt *into* a disk model and opt back *out* of a session-level one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DiskChoice {
+    /// Use the session's disk configuration (which may itself be
+    /// in-core). The default.
+    #[default]
+    Inherit,
+    /// Force in-core execution even when the session prices disk.
+    InCore,
+    /// Run under this disk model regardless of the session default.
+    Model(DiskModel),
+}
+
+impl DiskChoice {
+    /// The effective disk model given the session default.
+    #[must_use]
+    pub fn resolve(self, session_default: Option<DiskModel>) -> Option<DiskModel> {
+        match self {
+            DiskChoice::Inherit => session_default,
+            DiskChoice::InCore => None,
+            DiskChoice::Model(disk) => Some(disk),
+        }
+    }
 }
 
 /// What to run — one variant per evaluated application (plus the WCC
@@ -66,6 +93,9 @@ pub struct Job {
     /// Per-job architectural override; `None` uses the session's
     /// configuration.
     pub config: Option<GraphRConfig>,
+    /// Per-job out-of-core storage selection (inherit the session's,
+    /// force in-core, or force a specific disk model).
+    pub disk: DiskChoice,
 }
 
 impl Job {
@@ -77,6 +107,7 @@ impl Job {
             spec,
             mode: ExecMode::default(),
             config: None,
+            disk: DiskChoice::default(),
         }
     }
 
@@ -91,6 +122,23 @@ impl Job {
     #[must_use]
     pub fn with_config(mut self, config: GraphRConfig) -> Self {
         self.config = Some(config);
+        self
+    }
+
+    /// Runs this job in the out-of-core regime: every scan's disk loading
+    /// is priced under `disk` and reported in the job's metrics
+    /// ([`Metrics::disk`]) and report. Overrides any session default.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskModel) -> Self {
+        self.disk = DiskChoice::Model(disk);
+        self
+    }
+
+    /// Forces in-core execution for this job, even when the session
+    /// prices disk by default (mirrors the CLI's `--disk none`).
+    #[must_use]
+    pub fn in_core(mut self) -> Self {
+        self.disk = DiskChoice::InCore;
         self
     }
 }
@@ -176,15 +224,18 @@ impl JobReport {
         self.output.metrics().events.bytes_streamed / graphr_graph::BYTES_PER_EDGE
     }
 
-    /// Renders the standard multi-line report block.
+    /// Renders the standard multi-line report block. Jobs that ran under a
+    /// disk model gain a `disk:` line with the plan-aware out-of-core
+    /// breakdown: bytes loaded vs seeked past, disk time vs compute time,
+    /// and the double-buffered (per-iteration overlapped) total.
     #[must_use]
     pub fn render(&self) -> String {
         let m = self.output.metrics();
         let ev = &m.events;
         let subgraphs_planned = ev.subgraphs_processed + ev.subgraphs_skipped_inactive;
         let streamed = self.edges_streamed();
-        format!(
-            "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  plan:       {} subgraphs planned / {} pruned; {} edges streamed / {} pruned\n  host wall:  {:.3} ms (cache: {} hits / {} misses, tiler {})",
+        let mut report = format!(
+            "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  plan:       {} subgraphs planned / {} pruned; {} edges streamed / {} pruned",
             self.app,
             self.graph,
             self.output.summary(),
@@ -198,11 +249,32 @@ impl JobReport {
             ev.subgraphs_pruned,
             streamed,
             ev.edges_pruned,
+        );
+        if m.disk.is_active() {
+            let d = &m.disk;
+            report.push_str(&format!(
+                "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past; disk {} vs compute {} → {}-bound, overlapped {}",
+                d.bytes_loaded / 1024,
+                d.blocks_loaded,
+                d.blocks_seeked,
+                d.time,
+                m.total_time(),
+                if d.is_disk_bound(m.total_time()) {
+                    "disk"
+                } else {
+                    "compute"
+                },
+                d.overlapped,
+            ));
+        }
+        report.push_str(&format!(
+            "\n  host wall:  {:.3} ms (cache: {} hits / {} misses, tiler {})",
             self.wall.as_secs_f64() * 1e3,
             self.cache_hits,
             self.cache_misses,
             if self.cache_hits > 0 { "warm" } else { "cold" },
-        )
+        ));
+        report
     }
 }
 

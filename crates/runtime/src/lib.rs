@@ -17,7 +17,12 @@
 //!   preprocessed-graph cache keyed by *(graph id, tiling geometry,
 //!   streaming order)* with hit/miss counters, so repeated queries skip
 //!   the §3.4 tiler and reuse the cached plan skeleton; serial/parallel
-//!   engine selection per job; and batched multi-job submission.
+//!   engine selection per job; batched multi-job submission; and an
+//!   optional out-of-core disk configuration
+//!   ([`Session::with_disk`](session::Session::with_disk) /
+//!   [`Job::with_disk`](job::Job::with_disk)) under which every scan's
+//!   plan also prices its disk loading
+//!   (plan-aware and per-iteration — see `graphr_core::outofcore`).
 //! * [`job`] — [`JobSpec`] covers all five evaluated
 //!   applications (PageRank, SpMV, BFS, SSSP, CF) plus the WCC extension;
 //!   [`JobReport`] carries the functional result, the
@@ -60,6 +65,6 @@ pub mod parallel;
 pub mod pool;
 pub mod session;
 
-pub use job::{ExecMode, Job, JobOutput, JobReport, JobSpec};
+pub use job::{DiskChoice, ExecMode, Job, JobOutput, JobReport, JobSpec};
 pub use parallel::ParallelExecutor;
 pub use session::{CacheStats, GraphVariant, RuntimeError, Session};

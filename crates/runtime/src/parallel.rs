@@ -23,6 +23,7 @@ use std::sync::Arc;
 use graphr_core::exec::plan::{PlanSkeleton, PlanUnit, ScanPlan};
 use graphr_core::exec::strip::{mac_rego_capacity, StripScanner};
 use graphr_core::exec::{EdgeValueFn, ScanEngine};
+use graphr_core::outofcore::{DiskAccountant, DiskModel};
 use graphr_core::{GraphRConfig, Metrics, TiledGraph};
 use graphr_units::FixedSpec;
 
@@ -37,6 +38,7 @@ pub struct ParallelExecutor<'a> {
     skeleton: Arc<PlanSkeleton>,
     threads: usize,
     metrics: Metrics,
+    disk: Option<DiskAccountant>,
 }
 
 impl<'a> ParallelExecutor<'a> {
@@ -81,7 +83,19 @@ impl<'a> ParallelExecutor<'a> {
             skeleton,
             threads: threads.max(1),
             metrics: Metrics::new(),
+            disk: None,
         }
+    }
+
+    /// Builder form of [`ScanEngine::set_disk`]: prices every scan's disk
+    /// loading under `disk` (see `graphr_core::outofcore`). Disk
+    /// accounting runs on the calling thread through the same
+    /// [`DiskAccountant`] the serial executor uses, so it stays
+    /// bit-identical regardless of worker count.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskModel) -> Self {
+        ScanEngine::set_disk(&mut self, Some(disk));
+        self
     }
 
     /// The worker count scans will use.
@@ -96,9 +110,13 @@ impl<'a> ParallelExecutor<'a> {
         self.skeleton.num_units()
     }
 
-    /// Consumes the executor, yielding its metrics.
+    /// Consumes the executor, yielding its metrics (closing any open disk
+    /// accounting window first).
     #[must_use]
-    pub fn into_metrics(self) -> Metrics {
+    pub fn into_metrics(mut self) -> Metrics {
+        if let Some(disk) = &mut self.disk {
+            disk.commit(&mut self.metrics);
+        }
         self.metrics
     }
 }
@@ -152,6 +170,9 @@ impl ScanEngine for ParallelExecutor<'_> {
             }
         }
         self.metrics.charge_plan(plan.stats());
+        if let Some(disk) = &mut self.disk {
+            disk.charge_scan(self.tiled, plan, &mut self.metrics);
+        }
         self.metrics.events.rego_capacity_required = self
             .metrics
             .events
@@ -227,6 +248,9 @@ impl ScanEngine for ParallelExecutor<'_> {
             }
         }
         self.metrics.charge_plan(plan.stats());
+        if let Some(disk) = &mut self.disk {
+            disk.charge_scan(self.tiled, plan, &mut self.metrics);
+        }
         self.metrics.events.rego_capacity_required = self
             .metrics
             .events
@@ -235,8 +259,18 @@ impl ScanEngine for ParallelExecutor<'_> {
         total_rows
     }
 
+    fn set_disk(&mut self, disk: Option<DiskModel>) {
+        if let Some(acc) = &mut self.disk {
+            acc.commit(&mut self.metrics);
+        }
+        self.disk = disk.map(|model| DiskAccountant::new(model, self.metrics.elapsed));
+    }
+
     fn end_iteration(&mut self) {
         self.metrics.charge_iteration(self.config.ge_cycle());
+        if let Some(disk) = &mut self.disk {
+            disk.commit(&mut self.metrics);
+        }
     }
 
     fn metrics(&self) -> &Metrics {
@@ -244,6 +278,10 @@ impl ScanEngine for ParallelExecutor<'_> {
     }
 
     fn take_metrics(&mut self) -> Metrics {
+        if let Some(disk) = &mut self.disk {
+            disk.commit(&mut self.metrics);
+            disk.reset();
+        }
         std::mem::take(&mut self.metrics)
     }
 }

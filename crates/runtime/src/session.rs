@@ -22,6 +22,7 @@ use std::time::Instant;
 use graphr_core::config::StreamingOrder;
 use graphr_core::exec::plan::PlanSkeleton;
 use graphr_core::exec::{ScanEngine, StreamingExecutor};
+use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{
     self, cf_config_for, run_bfs_with, run_cf_with, run_pagerank_with, run_spmv_with,
     run_sssp_with, run_wcc_with, CfMatrix, SimError,
@@ -136,6 +137,7 @@ struct CachedTiling {
 pub struct Session {
     config: GraphRConfig,
     threads: usize,
+    disk: Option<DiskModel>,
     tilings: Mutex<HashMap<TileKey, CachedTiling>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -148,6 +150,7 @@ impl Session {
         Session {
             config,
             threads: pool::available_threads(),
+            disk: None,
             tilings: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -159,6 +162,22 @@ impl Session {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Runs every job in the out-of-core regime by default: scans price
+    /// their disk loading under `disk` (plan-aware, per-iteration) and
+    /// reports gain the disk-vs-compute breakdown. A job's own
+    /// [`Job::with_disk`] still overrides this session default.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskModel) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// The session's default disk model, if out-of-core pricing is on.
+    #[must_use]
+    pub fn disk(&self) -> Option<&DiskModel> {
+        self.disk.as_ref()
     }
 
     /// The session's architectural configuration.
@@ -272,9 +291,10 @@ impl Session {
         config: &'a GraphRConfig,
         spec: FixedSpec,
         scan_threads: usize,
+        disk: Option<DiskModel>,
     ) -> Box<dyn ScanEngine + 'a> {
         let skeleton = Arc::clone(&tiling.skeleton);
-        match mode {
+        let mut engine: Box<dyn ScanEngine + 'a> = match mode {
             ExecMode::Serial => Box::new(StreamingExecutor::with_skeleton(
                 &tiling.tiled,
                 config,
@@ -288,7 +308,9 @@ impl Session {
                 skeleton,
                 scan_threads,
             )),
-        }
+        };
+        engine.set_disk(disk);
+        engine
     }
 
     /// Executes one job to completion.
@@ -312,6 +334,7 @@ impl Session {
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
         let config = job.config.as_ref().unwrap_or(&self.config);
+        let disk = job.disk.resolve(self.disk);
         let graph = job.graph.graph();
         let output = match &job.spec {
             JobSpec::PageRank(opts) => {
@@ -322,8 +345,14 @@ impl Session {
                     &mut cache_hits,
                     &mut cache_misses,
                 )?;
-                let mut exec =
-                    self.engine(job.mode, &tiling, config, opts.matrix_spec, scan_threads);
+                let mut exec = self.engine(
+                    job.mode,
+                    &tiling,
+                    config,
+                    opts.matrix_spec,
+                    scan_threads,
+                    disk,
+                );
                 JobOutput::Scalar(run_pagerank_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Spmv(opts) => {
@@ -334,8 +363,14 @@ impl Session {
                     &mut cache_hits,
                     &mut cache_misses,
                 )?;
-                let mut exec =
-                    self.engine(job.mode, &tiling, config, opts.matrix_spec, scan_threads);
+                let mut exec = self.engine(
+                    job.mode,
+                    &tiling,
+                    config,
+                    opts.matrix_spec,
+                    scan_threads,
+                    disk,
+                );
                 JobOutput::Scalar(run_spmv_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Bfs(opts) => {
@@ -346,7 +381,8 @@ impl Session {
                     &mut cache_hits,
                     &mut cache_misses,
                 )?;
-                let mut exec = self.engine(job.mode, &tiling, config, opts.spec, scan_threads);
+                let mut exec =
+                    self.engine(job.mode, &tiling, config, opts.spec, scan_threads, disk);
                 JobOutput::Traversal(run_bfs_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Sssp(opts) => {
@@ -357,7 +393,8 @@ impl Session {
                     &mut cache_hits,
                     &mut cache_misses,
                 )?;
-                let mut exec = self.engine(job.mode, &tiling, config, opts.spec, scan_threads);
+                let mut exec =
+                    self.engine(job.mode, &tiling, config, opts.spec, scan_threads, disk);
                 JobOutput::Traversal(run_sssp_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Wcc => {
@@ -369,7 +406,7 @@ impl Session {
                     &mut cache_misses,
                 )?;
                 let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
-                let mut exec = self.engine(job.mode, &tiling, config, spec, scan_threads);
+                let mut exec = self.engine(job.mode, &tiling, config, spec, scan_threads, disk);
                 JobOutput::Wcc(run_wcc_with(graph, exec.as_mut())?)
             }
             JobSpec::Cf(opts) => {
@@ -399,7 +436,7 @@ impl Session {
                         CfMatrix::Ratings => &tiling_r,
                         CfMatrix::Transposed => &tiling_t,
                     };
-                    self.engine(job.mode, tiling, &cf_config, opts.spec, scan_threads)
+                    self.engine(job.mode, tiling, &cf_config, opts.spec, scan_threads, disk)
                 })?;
                 JobOutput::Cf(run)
             }
@@ -511,6 +548,43 @@ mod tests {
         assert_eq!(reports.len(), 3);
         let apps: Vec<_> = reports.iter().map(|r| r.as_ref().unwrap().app).collect();
         assert_eq!(apps, vec!["pagerank", "sssp", "wcc"]);
+    }
+
+    #[test]
+    fn session_disk_default_and_job_override() {
+        let session = Session::new(small_config()).with_disk(DiskModel::sata_ssd());
+        let job = Job::new(handle(), JobSpec::Sssp(TraversalOptions::default()));
+        let report = session.submit(&job).unwrap();
+        let m = report.output.metrics();
+        assert!(m.disk.is_active(), "session default must reach the engine");
+        assert!(m.disk.bytes_loaded > 0);
+        assert!(m.disk.time.as_nanos() > 0.0);
+        // Σ max(compute, disk) dominates both components.
+        assert!(m.disk.overlapped >= m.disk.time);
+        assert!(m.disk.overlapped >= m.elapsed);
+        assert!(
+            report.render().contains("disk:"),
+            "report gains a disk line"
+        );
+
+        // A per-job NVMe override must beat the session's SATA default.
+        let nvme = session
+            .submit(&job.clone().with_disk(DiskModel::nvme()))
+            .unwrap();
+        assert!(nvme.output.metrics().disk.time < m.disk.time);
+        // Identical functional results and compute accounting either way.
+        assert_eq!(nvme.output.metrics().elapsed, m.elapsed);
+
+        // A job can also opt back out to in-core despite the session
+        // default (the API mirror of the CLI's `--disk none`).
+        let opted_out = session.submit(&job.clone().in_core()).unwrap();
+        assert!(!opted_out.output.metrics().disk.is_active());
+        assert_eq!(opted_out.output.metrics().elapsed, m.elapsed);
+
+        // Without any disk configuration the counters stay silent.
+        let in_core = Session::new(small_config()).submit(&job).unwrap();
+        assert!(!in_core.output.metrics().disk.is_active());
+        assert!(!in_core.render().contains("disk:"));
     }
 
     #[test]
