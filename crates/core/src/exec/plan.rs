@@ -134,6 +134,14 @@ pub struct ScanPlan {
 }
 
 impl ScanPlan {
+    /// Assembles a plan from already-derived parts. Crate-internal: used
+    /// by layers that derive new plans from an existing one (the cluster
+    /// layer's per-node shards) and therefore already hold consistent
+    /// stats.
+    pub(crate) fn from_parts(units: Vec<PlanUnit>, stats: PlanStats) -> ScanPlan {
+        ScanPlan { units, stats }
+    }
+
     /// The planned units in merge order.
     #[must_use]
     pub fn units(&self) -> &[PlanUnit] {

@@ -27,6 +27,11 @@
 //!   workflow): each iteration's [`exec::plan::ScanPlan`] becomes an
 //!   [`outofcore::IoPlan`] — planned spans load sequentially, pruned
 //!   blocks are seeked past — overlapped against compute per iteration,
+//! * [`multinode`] — the §3.1 scale-out (declared future work,
+//!   implemented): [`multinode::ClusterExecutor`] shards every scan plan
+//!   by destination-strip ownership across simulated GraphR nodes and
+//!   charges the plan-aware per-iteration property exchange into
+//!   [`metrics::NetCounters`],
 //! * [`sim`] — the top-level façade: run an algorithm on a graph, get the
 //!   algorithm result plus a full time/energy [`metrics::Metrics`] report.
 //!

@@ -125,6 +125,54 @@ impl DiskCounters {
     }
 }
 
+/// Plan-aware multi-node interconnect accounting, filled in only when a
+/// run executes on a [`ClusterExecutor`](crate::multinode::ClusterExecutor)
+/// with more than one node (all-zero otherwise — a one-node cluster has no
+/// interconnect, which is what keeps it bit-identical to the single-node
+/// engine).
+///
+/// Each iteration's property exchange is charged only for the vertices the
+/// iteration's planned subgraphs actually touched: the `updated` frontier
+/// delta for the add-op applications (BFS, SSSP, WCC), the planned units'
+/// destination coverage for the MAC applications (PageRank, SpMV, CF).
+/// The dense `|V| × 2`-byte all-gather of
+/// [`estimate_pagerank_scaling`](crate::multinode::estimate_pagerank_scaling)
+/// is the documented upper bound these counters never exceed.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetCounters {
+    /// Property bytes exchanged between nodes (16-bit properties of
+    /// touched vertices, cumulative across iterations).
+    pub bytes_exchanged: u64,
+    /// Property exchanges performed (iterations that updated anything).
+    pub exchanges: u64,
+    /// Total exchange time across all iterations (latency + transfer).
+    pub time: Nanos,
+    /// Composed cluster total: `Σ_iterations max(per-node scan [+ disk
+    /// overlap]) + exchange` — the cluster's effective wall-clock.
+    pub overlapped: Nanos,
+    /// Interconnect energy (per-byte link crossings over all nodes).
+    pub energy: Joules,
+}
+
+impl NetCounters {
+    /// Whether any interconnect activity was accounted (the run executed
+    /// on a cluster with more than one node).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.exchanges > 0
+    }
+
+    /// Whether the interconnect, not the bottleneck node, bounds the
+    /// cluster. `compute` is the run's compute time *excluding* exchange
+    /// — for a cluster run's composed [`Metrics`] that is
+    /// `total_time() - net.time`, since the composed elapsed already
+    /// includes each iteration's exchange.
+    #[must_use]
+    pub fn is_network_bound(&self, compute: Nanos) -> bool {
+        self.time > compute
+    }
+}
+
 /// Complete accounting of one GraphR run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Metrics {
@@ -141,6 +189,9 @@ pub struct Metrics {
     /// Plan-aware out-of-core disk accounting (zero unless the engine ran
     /// under a disk model).
     pub disk: DiskCounters,
+    /// Plan-aware multi-node interconnect accounting (zero unless the run
+    /// executed on a cluster with more than one node).
+    pub net: NetCounters,
 }
 
 impl Metrics {
@@ -156,10 +207,11 @@ impl Metrics {
         self.elapsed
     }
 
-    /// Total energy of the run.
+    /// Total energy of the run: the node components plus any interconnect
+    /// energy (nonzero only for multi-node cluster runs).
     #[must_use]
     pub fn total_energy(&self) -> Joules {
-        self.energy.total()
+        self.energy.total() + self.net.energy
     }
 
     /// Average power over the run.
@@ -240,6 +292,13 @@ impl Metrics {
         d.io_segments += e.io_segments;
         d.time += e.time;
         d.overlapped += e.overlapped;
+        let n = &mut self.net;
+        let o = &other.net;
+        n.bytes_exchanged += o.bytes_exchanged;
+        n.exchanges += o.exchanges;
+        n.time += o.time;
+        n.overlapped += o.overlapped;
+        n.energy += o.energy;
     }
 }
 
@@ -311,6 +370,30 @@ mod tests {
         assert!(a.disk.is_active());
         assert!(a.disk.is_disk_bound(Nanos::new(1.0)));
         assert!(!Metrics::new().disk.is_active());
+    }
+
+    #[test]
+    fn merge_accumulates_net_counters() {
+        let mut a = Metrics::new();
+        a.net.bytes_exchanged = 200;
+        a.net.exchanges = 2;
+        a.net.time = Nanos::new(3.0);
+        a.net.energy = Joules::new(0.25);
+        let mut b = Metrics::new();
+        b.net.bytes_exchanged = 50;
+        b.net.exchanges = 1;
+        b.net.time = Nanos::new(1.0);
+        b.net.overlapped = Nanos::new(9.0);
+        a.merge(&b);
+        assert_eq!(a.net.bytes_exchanged, 250);
+        assert_eq!(a.net.exchanges, 3);
+        assert_eq!(a.net.time.as_nanos(), 4.0);
+        assert_eq!(a.net.overlapped.as_nanos(), 9.0);
+        assert!(a.net.is_active());
+        assert!(a.net.is_network_bound(Nanos::new(1.0)));
+        assert!(!Metrics::new().net.is_active());
+        // Interconnect energy counts towards the run total.
+        assert_eq!(a.total_energy().as_joules(), 0.25);
     }
 
     #[test]

@@ -1,29 +1,95 @@
-//! Multi-node GraphR — the paper's declared future work, implemented.
+//! Multi-node GraphR — the paper's declared future work, implemented as a
+//! cluster execution subsystem.
 //!
 //! §3.1: *"multi-node: one can connect different GraphR nodes … to process
 //! large graphs. In this case, each block is processed by a GraphR node.
 //! Data movements happen between GraphR nodes. … we leave this as future
 //! work and extension."*
 //!
-//! The natural partitioning under column-major streaming-apply assigns each
-//! node a slice of destination strips: every node scans only the tiles
-//! whose destinations it owns, reducing into its private RegO windows, and
-//! at the end of each iteration the updated vertex properties are exchanged
-//! so every node starts the next iteration with the full property vector
-//! (an all-gather of `|V| × 2` bytes of 16-bit properties).
+//! The natural partitioning under column-major streaming-apply assigns
+//! each node a slice of destination strips: every node scans only the
+//! subgraphs whose destinations it owns, reducing into its private RegO
+//! windows, and at the end of each iteration the updated vertex properties
+//! are exchanged so every node starts the next iteration with the full
+//! property vector.
 //!
-//! [`estimate_pagerank_scaling`] runs the *per-node* workloads through the
-//! real executor (so tile packing, skipping and energy are exact per node)
-//! and composes iteration time as `max(per-node scan) + exchange`. The
-//! functional result is unchanged by partitioning — destination strips are
-//! disjoint — which [`estimate_pagerank_scaling`] asserts by construction.
+//! Two models are provided:
+//!
+//! * [`ClusterExecutor`] — the **plan-aware cluster subsystem**. It is a
+//!   [`ScanEngine`], so every `sim` driver (including the re-planning
+//!   traversal loops) runs on a cluster unchanged. Each executed
+//!   [`ScanPlan`] is sharded by destination-strip ownership (node `k` owns
+//!   the strip units with `index % nodes == k` — the same rule as
+//!   [`partition_by_strip`]) and each shard runs through a *real* inner
+//!   engine, so tile packing, skipping, energy and disk accounting stay
+//!   exact per node. A plan-aware exchange then charges the per-iteration
+//!   property traffic only for vertices the iteration actually touched —
+//!   the `updated` frontier delta for the add-op applications, the planned
+//!   units' destination coverage for the MAC applications — into
+//!   [`Metrics::net`](crate::metrics::NetCounters), and composes iteration
+//!   time as `max(per-node scan [+ disk]) + exchange`.
+//! * [`estimate_pagerank_scaling`] — the **legacy dense all-gather**
+//!   estimate, kept as the documented upper bound (the multi-node analogue
+//!   of [`estimate_out_of_core`](crate::outofcore::estimate_out_of_core)):
+//!   every iteration exchanges the full `|V| × 2`-byte property vector.
+//!   The plan-aware exchange never charges more bytes per iteration, and
+//!   on sparse frontiers charges radically fewer.
+//!
+//! Determinism contract: destination strips are disjoint, every shard is a
+//! subsequence of the global plan (merge order preserved), and per-node
+//! metrics compose in node order — so cluster results are bit-identical to
+//! the single-node engine executing the same plans, and a **one-node
+//! cluster is bit-identical in results *and* full [`Metrics`]** (no
+//! interconnect, no net counters). The `cluster_plan` integration tests
+//! assert both.
+//!
+//! # Examples
+//!
+//! Run PageRank on a simulated 4-node cluster through the unchanged
+//! driver:
+//!
+//! ```
+//! use graphr_core::multinode::{ClusterExecutor, MultiNodeConfig};
+//! use graphr_core::sim::{run_pagerank, run_pagerank_with, PageRankOptions};
+//! use graphr_core::{GraphRConfig, TiledGraph};
+//! use graphr_graph::generators::rmat::Rmat;
+//!
+//! let graph = Rmat::new(300, 2000).seed(3).generate();
+//! let config = GraphRConfig::builder()
+//!     .crossbar_size(4)
+//!     .crossbars_per_ge(8)
+//!     .num_ges(2)
+//!     .build()?;
+//! let opts = PageRankOptions { max_iterations: 3, tolerance: 0.0, ..PageRankOptions::default() };
+//! let tiled = TiledGraph::preprocess(&graph, &config)?;
+//! let spec = opts.matrix_spec;
+//!
+//! let mut cluster =
+//!     ClusterExecutor::new(&tiled, &config, spec, MultiNodeConfig::pcie_cluster(4));
+//! let run = run_pagerank_with(&graph, &mut cluster, &opts)?;
+//! let single = run_pagerank(&graph, &config, &opts)?;
+//! assert_eq!(run.values, single.values, "partitioning is invisible");
+//! assert!(run.metrics.net.is_active(), "4 nodes must exchange properties");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::Arc;
 
 use graphr_graph::{Edge, EdgeList};
-use graphr_units::{Joules, Nanos};
+use graphr_units::{FixedSpec, Joules, Nanos};
 use serde::{Deserialize, Serialize};
 
 use crate::config::GraphRConfig;
+use crate::exec::plan::{PlanSkeleton, PlanStats, PlanUnit, ScanPlan};
+use crate::exec::streaming::{EdgeValueFn, StreamingExecutor};
+use crate::exec::ScanEngine;
+use crate::metrics::{Metrics, NetCounters};
+use crate::outofcore::DiskModel;
+use crate::preprocess::tiler::TiledGraph;
 use crate::sim::{run_pagerank, PageRankOptions, SimError};
+
+/// Bytes per exchanged vertex property (the §3.2 16-bit data format).
+pub const BYTES_PER_PROPERTY: u64 = 2;
 
 /// Interconnect parameters of a multi-node GraphR cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,25 +123,6 @@ impl MultiNodeConfig {
     }
 }
 
-/// Scaling estimate for one algorithm run on a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct MultiNodeEstimate {
-    /// Nodes in the estimate.
-    pub nodes: usize,
-    /// Single-node runtime of the same workload (the baseline).
-    pub single_node_time: Nanos,
-    /// Slowest node's scan time across the run.
-    pub bottleneck_scan_time: Nanos,
-    /// Total property-exchange time across the run.
-    pub exchange_time: Nanos,
-    /// Estimated cluster runtime (`bottleneck + exchange`).
-    pub total_time: Nanos,
-    /// Compute energy summed over nodes plus interconnect energy.
-    pub total_energy: Joules,
-    /// `single_node_time / total_time`.
-    pub speedup: f64,
-}
-
 /// Splits a graph into per-node edge sets by destination-strip ownership
 /// (node `k` owns strips `s` with `s % nodes == k`), the partitioning that
 /// keeps each node's RegO windows private.
@@ -96,9 +143,534 @@ pub fn partition_by_strip(graph: &EdgeList, config: &GraphRConfig, nodes: usize)
         .collect()
 }
 
-/// Estimates multi-node PageRank scaling: each node's scan workload runs
-/// through the real executor; iterations are synchronised by a full
-/// property all-gather.
+// ------------------------------------------------------- cluster execution
+
+/// What one node owns of the full plan: its share of the unit table and
+/// the subgraph/edge totals beneath it (the baseline its shards' pruned
+/// counts are measured against).
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeShare {
+    units: usize,
+    subgraphs: u64,
+    edges: u64,
+}
+
+/// Plan-aware interconnect accounting for a cluster run: accumulates the
+/// per-iteration property exchange into [`Metrics::net`] and composes the
+/// cluster's effective iteration time.
+///
+/// The exchange is *plan-aware*: an iteration is charged
+/// [`BYTES_PER_PROPERTY`] bytes per vertex it actually touched (recorded
+/// by the owning [`ClusterExecutor`] at scan time), never the dense
+/// `|V| × BYTES_PER_PROPERTY` all-gather of
+/// [`estimate_pagerank_scaling`] — that legacy formula is the documented
+/// upper bound. An iteration that touched nothing exchanges nothing. A
+/// one-node cluster charges nothing at all (there is no interconnect),
+/// which is what keeps it bit-identical to the single-node engine.
+#[derive(Debug, Clone)]
+pub struct NetAccountant {
+    cluster: MultiNodeConfig,
+    /// Vertices touched by the current iteration window's scans.
+    pending_vertices: u64,
+}
+
+impl NetAccountant {
+    /// Creates an accountant for `cluster`.
+    #[must_use]
+    pub fn new(cluster: MultiNodeConfig) -> Self {
+        NetAccountant {
+            cluster,
+            pending_vertices: 0,
+        }
+    }
+
+    /// The interconnect parameters in force.
+    #[must_use]
+    pub fn cluster(&self) -> &MultiNodeConfig {
+        &self.cluster
+    }
+
+    /// Records vertices whose properties the current iteration updated
+    /// (they must cross the interconnect at the iteration boundary).
+    pub fn touch(&mut self, vertices: u64) {
+        if self.cluster.nodes > 1 {
+            self.pending_vertices += vertices;
+        }
+    }
+
+    /// Closes one iteration window: charges the queued property exchange
+    /// into `net` and returns the exchange time the cluster's iteration
+    /// composition must add after the bottleneck node. `bottleneck` is
+    /// `max(per-node scan [+ disk])` for the window.
+    pub fn commit(&mut self, bottleneck: Nanos, net: &mut NetCounters) -> Nanos {
+        if self.cluster.nodes <= 1 {
+            return Nanos::ZERO;
+        }
+        let exchange = if self.pending_vertices > 0 {
+            let bytes = self.pending_vertices * BYTES_PER_PROPERTY;
+            let time = self.cluster.exchange_latency
+                + Nanos::new(bytes as f64 / self.cluster.interconnect_gbps);
+            net.bytes_exchanged += bytes;
+            net.exchanges += 1;
+            net.time += time;
+            // Each node's owned slice crosses to every other node through
+            // the switch: one link crossing per byte per node.
+            net.energy += self.cluster.energy_per_byte * (bytes * self.cluster.nodes as u64) as f64;
+            time
+        } else {
+            Nanos::ZERO
+        };
+        net.overlapped += bottleneck + exchange;
+        self.pending_vertices = 0;
+        exchange
+    }
+}
+
+/// A [`ScanEngine`] that executes every plan on a simulated multi-node
+/// cluster: plans are sharded by destination-strip ownership, each shard
+/// runs through a real per-node inner engine (serial by default, any
+/// [`ScanEngine`] via [`ClusterExecutor::with_engines`]), and a
+/// [`NetAccountant`] charges the plan-aware property exchange.
+///
+/// Composition of the cluster [`Metrics`]:
+///
+/// * `iterations` — algorithm iterations (not summed over nodes),
+/// * `elapsed` — `Σ_iterations max(per-node compute) + exchange` (the
+///   cluster wall-clock seen by the accelerator; per-node disk overlap is
+///   composed into [`net.overlapped`](crate::metrics::NetCounters)),
+/// * `events`, `energy`, `time_breakdown`, `disk` — summed over nodes
+///   (each node's accounting is exact, produced by the real engines),
+/// * `net` — the interconnect counters (zero for a one-node cluster).
+///
+/// Every node holds the full §3.4-ordered edge list (preprocessing is
+/// replicated, as in block-replicated out-of-core deployments); a node's
+/// disk model therefore loads its owned planned spans and seeks past
+/// everything else.
+pub struct ClusterExecutor<'a> {
+    tiled: &'a TiledGraph,
+    config: &'a GraphRConfig,
+    cluster: MultiNodeConfig,
+    skeleton: Arc<PlanSkeleton>,
+    nodes: Vec<Box<dyn ScanEngine + 'a>>,
+    /// Full-plan ownership baseline per node.
+    shares: Vec<NodeShare>,
+    /// The dense plan's shards, computed once on first use — every MAC
+    /// iteration executes the same cached full plan, so resharding it per
+    /// scan would repeat an O(plan) walk and clone.
+    dense_shards: Option<Arc<Vec<ScanPlan>>>,
+    net: NetAccountant,
+    /// Composed cluster metrics, refreshed after every mutating call.
+    metrics: Metrics,
+    /// Cluster-level accumulators behind `metrics`.
+    iterations: usize,
+    elapsed: Nanos,
+    net_totals: NetCounters,
+    /// Per-node `elapsed` / `disk.overlapped` at the open window's start.
+    elapsed_marks: Vec<Nanos>,
+    overlap_marks: Vec<Nanos>,
+    has_disk: bool,
+}
+
+impl<'a> ClusterExecutor<'a> {
+    /// A cluster of serial [`StreamingExecutor`] nodes over one
+    /// preprocessed graph, quantising values to `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster.nodes` is zero.
+    #[must_use]
+    pub fn new(
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        spec: FixedSpec,
+        cluster: MultiNodeConfig,
+    ) -> Self {
+        let skeleton = Arc::new(PlanSkeleton::build(tiled));
+        let sk = Arc::clone(&skeleton);
+        Self::with_engines(tiled, config, cluster, skeleton, |_k| {
+            Box::new(StreamingExecutor::with_skeleton(
+                tiled,
+                config,
+                spec,
+                Arc::clone(&sk),
+            ))
+        })
+    }
+
+    /// A cluster over caller-built per-node engines (`make_engine(k)`
+    /// builds node `k`'s — e.g. `graphr-runtime`'s parallel executor).
+    /// Every engine must have been built over this same `tiled` (and, for
+    /// cached skeletons, this same `skeleton`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster.nodes` is zero.
+    #[must_use]
+    pub fn with_engines(
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        cluster: MultiNodeConfig,
+        skeleton: Arc<PlanSkeleton>,
+        mut make_engine: impl FnMut(usize) -> Box<dyn ScanEngine + 'a>,
+    ) -> Self {
+        assert!(cluster.nodes > 0, "a cluster needs at least one node");
+        let nodes: Vec<_> = (0..cluster.nodes).map(&mut make_engine).collect();
+        // Ownership baseline: walk the dense plan once, attributing every
+        // unit (and the subgraphs/edges beneath it) to its owner.
+        let mut shares = vec![NodeShare::default(); cluster.nodes];
+        for punit in skeleton.full_plan().units() {
+            let (subgraphs, edges) = count_planned(tiled, punit);
+            let share = &mut shares[punit.unit.index % cluster.nodes];
+            share.units += 1;
+            share.subgraphs += subgraphs;
+            share.edges += edges;
+        }
+        ClusterExecutor {
+            tiled,
+            config,
+            cluster,
+            skeleton,
+            nodes,
+            shares,
+            dense_shards: None,
+            net: NetAccountant::new(cluster),
+            metrics: Metrics::new(),
+            iterations: 0,
+            elapsed: Nanos::ZERO,
+            net_totals: NetCounters::default(),
+            elapsed_marks: vec![Nanos::ZERO; cluster.nodes],
+            overlap_marks: vec![Nanos::ZERO; cluster.nodes],
+            has_disk: false,
+        }
+    }
+
+    /// The interconnect parameters in force.
+    #[must_use]
+    pub fn cluster(&self) -> &MultiNodeConfig {
+        &self.cluster
+    }
+
+    /// Number of simulated nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Builder form of [`ScanEngine::set_disk`]: attaches `disk` to every
+    /// node (each node loads its owned planned spans and seeks past the
+    /// rest of its replicated on-disk image).
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskModel) -> Self {
+        ScanEngine::set_disk(&mut self, Some(disk));
+        self
+    }
+
+    /// Consumes the executor, yielding its composed metrics (closing any
+    /// open iteration window first).
+    #[must_use]
+    pub fn into_metrics(mut self) -> Metrics {
+        self.take_metrics()
+    }
+
+    /// Shards `plan` by destination-strip ownership: node `k`'s shard is
+    /// the subsequence of planned units with `index % nodes == k`, with
+    /// stats measured against the node's share of the full plan — so the
+    /// shards' stats sum exactly to the global plan's and per-node
+    /// `charge_plan` accounting stays partition-consistent.
+    #[must_use]
+    pub fn shard(&self, plan: &ScanPlan) -> Vec<ScanPlan> {
+        let nodes = self.cluster.nodes;
+        let mut units: Vec<Vec<PlanUnit>> = vec![Vec::new(); nodes];
+        let mut planned = vec![NodeShare::default(); nodes];
+        for punit in plan.units() {
+            let owner = punit.unit.index % nodes;
+            let (subgraphs, edges) = count_planned(self.tiled, punit);
+            planned[owner].units += 1;
+            planned[owner].subgraphs += subgraphs;
+            planned[owner].edges += edges;
+            units[owner].push(punit.clone());
+        }
+        units
+            .into_iter()
+            .zip(planned)
+            .zip(&self.shares)
+            .map(|((shard_units, p), share)| {
+                ScanPlan::from_parts(
+                    shard_units,
+                    PlanStats {
+                        units_planned: p.units,
+                        units_pruned: share.units - p.units,
+                        subgraphs_planned: p.subgraphs,
+                        subgraphs_pruned: share.subgraphs - p.subgraphs,
+                        edges_planned: p.edges,
+                        edges_pruned: share.edges - p.edges,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// [`ClusterExecutor::shard`] with the dense plan's shards cached:
+    /// drivers execute the skeleton's (`Arc`-shared) full plan every MAC
+    /// iteration, so its shards are derived once and reused.
+    fn shards_for(&mut self, plan: &ScanPlan) -> Arc<Vec<ScanPlan>> {
+        let full = self.skeleton.full_plan();
+        if std::ptr::eq(plan, Arc::as_ptr(&full)) {
+            if let Some(cached) = &self.dense_shards {
+                return Arc::clone(cached);
+            }
+            let shards = Arc::new(self.shard(plan));
+            self.dense_shards = Some(Arc::clone(&shards));
+            return shards;
+        }
+        Arc::new(self.shard(plan))
+    }
+
+    /// Recomposes the externally visible metrics from the nodes' current
+    /// state plus the cluster-level accumulators.
+    fn resync(&mut self) {
+        let mut m = Metrics::new();
+        for node in &self.nodes {
+            m.merge(node.metrics());
+        }
+        m.iterations = self.iterations;
+        m.elapsed = self.elapsed;
+        m.net = self.net_totals;
+        self.metrics = m;
+    }
+
+    /// The open window's bottleneck across per-node metrics: the largest
+    /// compute delta since the marks, and the largest total delta (disk
+    /// overlap when a disk model is attached, compute otherwise). The
+    /// single definition of "per-node iteration time" shared by
+    /// [`ClusterExecutor::close_window`] and the final `take_metrics`
+    /// drain, so the two cannot desynchronize.
+    fn window_maxima<'m>(&self, per_node: impl Iterator<Item = &'m Metrics>) -> (Nanos, Nanos) {
+        let mut max_compute = Nanos::ZERO;
+        let mut max_total = Nanos::ZERO;
+        for (k, m) in per_node.enumerate() {
+            let compute = m.elapsed - self.elapsed_marks[k];
+            let total = if self.has_disk {
+                m.disk.overlapped - self.overlap_marks[k]
+            } else {
+                compute
+            };
+            max_compute = max_compute.max(compute);
+            max_total = max_total.max(total);
+        }
+        (max_compute, max_total)
+    }
+
+    /// Closes the open iteration window against the nodes' current
+    /// metrics: finds the bottleneck node, charges the queued exchange,
+    /// and advances the marks.
+    fn close_window(&mut self) {
+        let (max_compute, max_total) = self.window_maxima(self.nodes.iter().map(|n| n.metrics()));
+        for (k, node) in self.nodes.iter().enumerate() {
+            let m = node.metrics();
+            self.elapsed_marks[k] = m.elapsed;
+            self.overlap_marks[k] = m.disk.overlapped;
+        }
+        let exchange = self.net.commit(max_total, &mut self.net_totals);
+        self.elapsed += max_compute + exchange;
+    }
+}
+
+/// Counts the set `updated` flags inside a plan's destination ranges —
+/// the only places a scan of that plan can set them.
+fn planned_updates(plan: &ScanPlan, updated: &[bool]) -> u64 {
+    plan.units()
+        .iter()
+        .map(|p| {
+            let u = &p.unit;
+            updated[u.dst_start..u.dst_start + u.dst_len]
+                .iter()
+                .filter(|&&b| b)
+                .count() as u64
+        })
+        .sum()
+}
+
+/// Counts the subgraph visits and edges a planned unit will stream.
+fn count_planned(tiled: &TiledGraph, punit: &PlanUnit) -> (u64, u64) {
+    let mut subgraphs = 0u64;
+    let mut edges = 0u64;
+    for row in &punit.rows {
+        let strip = &tiled.blocks()[row.block as usize].strips[punit.unit.strip as usize];
+        for &pos in &row.subgraphs {
+            subgraphs += 1;
+            edges += u64::from(strip.subgraphs[pos as usize].edges);
+        }
+    }
+    (subgraphs, edges)
+}
+
+impl ScanEngine for ClusterExecutor<'_> {
+    fn plan(&self, active: Option<&[bool]>) -> Arc<ScanPlan> {
+        self.skeleton.plan_for(self.tiled, self.config, active)
+    }
+
+    fn scan_mac_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        inputs: &[&[f64]],
+    ) -> Vec<Vec<f64>> {
+        let n = self.tiled.num_vertices();
+        let shards = self.shards_for(plan);
+        let mut outputs = vec![vec![0.0; n]; inputs.len()];
+        for (node, shard) in self.nodes.iter_mut().zip(shards.iter()) {
+            let local = node.scan_mac_planned(shard, value, inputs);
+            // Stitch the node's owned (disjoint) destination ranges.
+            for punit in shard.units() {
+                let u = &punit.unit;
+                if u.dst_len > 0 {
+                    for (out, buf) in outputs.iter_mut().zip(&local) {
+                        out[u.dst_start..u.dst_start + u.dst_len]
+                            .copy_from_slice(&buf[u.dst_start..u.dst_start + u.dst_len]);
+                    }
+                }
+            }
+        }
+        // MAC scans update every planned destination; those properties
+        // cross the interconnect at the iteration boundary.
+        self.net
+            .touch(plan.units().iter().map(|p| p.unit.dst_len as u64).sum());
+        self.resync();
+        outputs
+    }
+
+    fn scan_add_op_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addend: &[f64],
+        active: &[bool],
+        frontier: &mut [f64],
+        updated: &mut [bool],
+    ) -> u64 {
+        // Frontier-delta exchange needs the newly set `updated` flags.
+        // Inner engines only write planned units' (disjoint) destination
+        // ranges, so counting inside those ranges is exact and costs
+        // O(planned coverage), not O(|V|) — and nothing at all on a
+        // one-node cluster, which exchanges nothing.
+        let count = self.cluster.nodes > 1;
+        let before = if count {
+            planned_updates(plan, updated)
+        } else {
+            0
+        };
+        let shards = self.shards_for(plan);
+        let mut rows = 0u64;
+        for (node, shard) in self.nodes.iter_mut().zip(shards.iter()) {
+            // Each node writes only its owned destination ranges of
+            // `frontier` / `updated`; the ranges are disjoint.
+            rows +=
+                node.scan_add_op_planned(shard, value, combine, addend, active, frontier, updated);
+        }
+        if count {
+            let after = planned_updates(plan, updated);
+            self.net.touch(after - before);
+        }
+        self.resync();
+        rows
+    }
+
+    fn set_disk(&mut self, disk: Option<DiskModel>) {
+        for node in &mut self.nodes {
+            node.set_disk(disk);
+        }
+        self.has_disk = disk.is_some();
+        // Inner set_disk commits any open per-node disk window; re-anchor
+        // the overlap marks so the next cluster window starts clean.
+        for (k, node) in self.nodes.iter().enumerate() {
+            self.overlap_marks[k] = node.metrics().disk.overlapped;
+        }
+        self.resync();
+    }
+
+    fn end_iteration(&mut self) {
+        for node in &mut self.nodes {
+            node.end_iteration();
+        }
+        self.close_window();
+        self.iterations += 1;
+        self.resync();
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn take_metrics(&mut self) -> Metrics {
+        // Drain the nodes (committing their disk windows), close the
+        // cluster window against the drained state, compose, reset.
+        let taken: Vec<Metrics> = self.nodes.iter_mut().map(|n| n.take_metrics()).collect();
+        let (max_compute, max_total) = self.window_maxima(taken.iter());
+        let window_open = max_total > Nanos::ZERO || self.net.pending_vertices > 0;
+        if window_open {
+            let exchange = self.net.commit(max_total, &mut self.net_totals);
+            self.elapsed += max_compute + exchange;
+        }
+        let mut out = Metrics::new();
+        for m in &taken {
+            out.merge(m);
+        }
+        out.iterations = self.iterations;
+        out.elapsed = self.elapsed;
+        out.net = self.net_totals;
+
+        self.iterations = 0;
+        self.elapsed = Nanos::ZERO;
+        self.net_totals = NetCounters::default();
+        self.elapsed_marks.fill(Nanos::ZERO);
+        self.overlap_marks.fill(Nanos::ZERO);
+        self.metrics = Metrics::new();
+        out
+    }
+}
+
+// --------------------------------------------- legacy dense-exchange model
+
+/// Scaling estimate for one algorithm run on a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiNodeEstimate {
+    /// Nodes in the estimate.
+    pub nodes: usize,
+    /// Single-node runtime of the same workload (the baseline).
+    pub single_node_time: Nanos,
+    /// Slowest node's scan time across the run.
+    pub bottleneck_scan_time: Nanos,
+    /// Total property-exchange time across the run.
+    pub exchange_time: Nanos,
+    /// Estimated cluster runtime (`bottleneck + exchange`).
+    pub total_time: Nanos,
+    /// Compute energy summed over nodes plus interconnect energy.
+    pub total_energy: Joules,
+    /// `single_node_time / total_time`.
+    pub speedup: f64,
+}
+
+impl MultiNodeEstimate {
+    /// Total property bytes the dense all-gather exchanges across the run
+    /// — the upper bound the plan-aware
+    /// [`Metrics::net`](crate::metrics::NetCounters) accounting of a
+    /// [`ClusterExecutor`] run never exceeds.
+    #[must_use]
+    pub fn dense_exchange_bytes(num_vertices: usize, iterations: usize) -> u64 {
+        num_vertices as u64 * BYTES_PER_PROPERTY * iterations as u64
+    }
+}
+
+/// Estimates multi-node PageRank scaling with the **legacy dense
+/// all-gather** model: each node's scan workload runs through the real
+/// executor (on a physically partitioned edge list), and every iteration
+/// is synchronised by a full `|V| × 2`-byte property all-gather —
+/// the multi-node analogue of
+/// [`estimate_out_of_core`](crate::outofcore::estimate_out_of_core)'s
+/// dense restream, kept as the documented upper bound the plan-aware
+/// [`ClusterExecutor`] is compared against.
 ///
 /// # Errors
 ///
@@ -137,7 +709,7 @@ pub fn estimate_pagerank_scaling(
     // All-gather of 16-bit properties once per iteration: each node sends
     // its owned slice to every other node; with a switch this is |V|·2
     // bytes in and out per node.
-    let bytes_per_exchange = (graph.num_vertices() * 2) as f64;
+    let bytes_per_exchange = (graph.num_vertices() as u64 * BYTES_PER_PROPERTY) as f64;
     let per_exchange =
         cluster.exchange_latency + Nanos::new(bytes_per_exchange / cluster.interconnect_gbps);
     let exchange_time = per_exchange * iterations as f64;
@@ -159,6 +731,7 @@ pub fn estimate_pagerank_scaling(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::{run_pagerank_with, run_sssp, run_sssp_with, TraversalOptions};
     use graphr_graph::generators::rmat::Rmat;
 
     fn config() -> GraphRConfig {
@@ -237,5 +810,110 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         let _ = MultiNodeConfig::pcie_cluster(0);
+    }
+
+    #[test]
+    fn one_node_cluster_is_bit_identical_to_single_engine() {
+        let g = graph();
+        let cfg = config();
+        let opts = PageRankOptions {
+            max_iterations: 4,
+            tolerance: 0.0,
+            ..PageRankOptions::default()
+        };
+        let single = run_pagerank(&g, &cfg, &opts).unwrap();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let mut cluster = ClusterExecutor::new(
+            &tiled,
+            &cfg,
+            opts.matrix_spec,
+            MultiNodeConfig::pcie_cluster(1),
+        );
+        let run = run_pagerank_with(&g, &mut cluster, &opts).unwrap();
+        assert_eq!(run.values, single.values);
+        assert_eq!(run.metrics, single.metrics, "full Metrics must agree");
+        assert!(!run.metrics.net.is_active());
+    }
+
+    #[test]
+    fn cluster_results_match_single_node_across_node_counts() {
+        let g = graph();
+        let cfg = config();
+        let opts = TraversalOptions::default();
+        let single = run_sssp(&g, &cfg, &opts).unwrap();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        for nodes in [2usize, 3, 5] {
+            let mut cluster = ClusterExecutor::new(
+                &tiled,
+                &cfg,
+                opts.spec,
+                MultiNodeConfig::pcie_cluster(nodes),
+            );
+            let run = run_sssp_with(&g, &mut cluster, &opts).unwrap();
+            assert_eq!(run.distances, single.distances, "{nodes} nodes");
+            // Per-node event accounting sums back to the single-node scan.
+            assert_eq!(run.metrics.events, single.metrics.events, "{nodes} nodes");
+            assert_eq!(run.metrics.iterations, single.metrics.iterations);
+            assert!(run.metrics.net.is_active(), "{nodes} nodes must exchange");
+        }
+    }
+
+    #[test]
+    fn shard_stats_sum_to_the_global_plan() {
+        let g = graph();
+        let cfg = config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let spec = FixedSpec::new(16, 0).unwrap();
+        let cluster = ClusterExecutor::new(&tiled, &cfg, spec, MultiNodeConfig::pcie_cluster(3));
+        let mut mask = vec![false; tiled.num_vertices()];
+        for v in (0..tiled.num_vertices()).step_by(7) {
+            mask[v] = true;
+        }
+        for plan in [
+            cluster.plan(None),
+            cluster.plan(Some(&mask)),
+            cluster.plan(Some(&vec![false; tiled.num_vertices()])),
+        ] {
+            let shards = cluster.shard(&plan);
+            assert_eq!(shards.len(), 3);
+            let mut sum = PlanStats::default();
+            let mut unit_indices = Vec::new();
+            for shard in &shards {
+                let s = shard.stats();
+                sum.units_planned += s.units_planned;
+                sum.units_pruned += s.units_pruned;
+                sum.subgraphs_planned += s.subgraphs_planned;
+                sum.subgraphs_pruned += s.subgraphs_pruned;
+                sum.edges_planned += s.edges_planned;
+                sum.edges_pruned += s.edges_pruned;
+                unit_indices.extend(shard.units().iter().map(|p| p.unit.index));
+            }
+            assert_eq!(&sum, plan.stats(), "shard stats must sum to the plan's");
+            unit_indices.sort_unstable();
+            let mut expected: Vec<usize> = plan.units().iter().map(|p| p.unit.index).collect();
+            expected.sort_unstable();
+            assert_eq!(unit_indices, expected, "shards partition the units");
+        }
+    }
+
+    #[test]
+    fn plan_aware_exchange_never_exceeds_dense_all_gather() {
+        let g = graph();
+        let cfg = config();
+        let opts = TraversalOptions::default();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let mut cluster =
+            ClusterExecutor::new(&tiled, &cfg, opts.spec, MultiNodeConfig::pcie_cluster(4));
+        let run = run_sssp_with(&g, &mut cluster, &opts).unwrap();
+        let dense =
+            MultiNodeEstimate::dense_exchange_bytes(g.num_vertices(), run.metrics.iterations);
+        assert!(
+            run.metrics.net.bytes_exchanged < dense,
+            "frontier-delta exchange must beat the all-gather: {} vs {}",
+            run.metrics.net.bytes_exchanged,
+            dense
+        );
+        assert!(run.metrics.net.bytes_exchanged > 0);
+        assert!(run.metrics.net.overlapped >= run.metrics.net.time);
     }
 }

@@ -288,7 +288,12 @@ impl IoIndex {
     /// ordinals are the sequential segments, block transitions count the
     /// loaded blocks.
     fn io_plan(&self, plan: &ScanPlan) -> IoPlan {
-        if plan.is_full() {
+        // Full-restream short-circuit. Deliberately *not* `plan.is_full()`:
+        // a cluster shard's stats are measured against its node's share,
+        // so a shard of a dense plan reports zero pruned while covering
+        // only a fraction of the streamed order — compare the planned
+        // count against the graph's nonempty subgraphs instead.
+        if plan.stats().subgraphs_planned as usize == self.bytes.len() {
             return self.full;
         }
         let mut planned: Vec<u32> = Vec::with_capacity(plan.stats().subgraphs_planned as usize);

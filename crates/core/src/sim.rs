@@ -262,6 +262,14 @@ pub fn run_pagerank_with(
 pub struct SpmvOptions {
     /// Input vector; `None` = all-ones.
     pub input: Option<Vec<f64>>,
+    /// Optional source-activity mask (MAC-side pruning): when set, the
+    /// scan executes the plan pruned to subgraphs holding at least one
+    /// masked-active source. A pruned MAC plan is functionally exact only
+    /// when the input vector is zero outside the mask, so the driver
+    /// *validates* that precondition and rejects violating inputs — the
+    /// sparse-input case where this legally skips most of the streamed
+    /// order.
+    pub source_mask: Option<Vec<bool>>,
     /// Conductance format.
     pub matrix_spec: FixedSpec,
     /// Register format (applied to the output).
@@ -272,6 +280,7 @@ impl Default for SpmvOptions {
     fn default() -> Self {
         SpmvOptions {
             input: None,
+            source_mask: None,
             matrix_spec: FixedSpec::new(16, 8).expect("Q8.8 is valid"),
             register_spec: FixedSpec::new(16, 8).expect("Q8.8 is valid"),
         }
@@ -305,11 +314,15 @@ pub fn run_spmv(
 }
 
 /// Runs one SpMV pass on any [`ScanEngine`] (the generic core of
-/// [`run_spmv`]).
+/// [`run_spmv`]). A [`SpmvOptions::source_mask`] makes the pass execute
+/// the mask-pruned plan — legal (and validated) only for inputs that are
+/// zero outside the mask.
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Config`] for an input vector of the wrong length.
+/// Returns [`SimError::Config`] for an input vector or source mask of the
+/// wrong length, or an input that is nonzero at a masked-out vertex (a
+/// pruned MAC plan would silently drop its contributions).
 pub fn run_spmv_with(
     graph: &EdgeList,
     exec: &mut dyn ScanEngine,
@@ -328,13 +341,30 @@ pub fn run_spmv_with(
         }
         None => vec![1.0; n],
     };
+    if let Some(mask) = &opts.source_mask {
+        if mask.len() != n {
+            return Err(SimError::Config(ConfigError::new(format!(
+                "source mask has {} entries, graph has {n} vertices",
+                mask.len()
+            ))));
+        }
+        if let Some(v) = (0..n).find(|&v| !mask[v] && x[v] != 0.0) {
+            return Err(SimError::Config(ConfigError::new(format!(
+                "source mask excludes vertex {v} whose input {} is nonzero; \
+                 a pruned MAC plan is only exact for inputs that vanish \
+                 outside the mask",
+                x[v]
+            ))));
+        }
+    }
     let degrees = graph.out_degrees();
     let value = move |w: f32, src: u32, _dst: u32| f64::from(w) / f64::from(degrees[src as usize]);
     let qx: Vec<f64> = x
         .iter()
         .map(|&v| opts.register_spec.quantize_value(v))
         .collect();
-    let y = exec.scan_mac(&value, &[&qx]);
+    let plan = exec.plan(opts.source_mask.as_deref());
+    let y = exec.scan_mac_planned(&plan, &value, &[&qx]);
     exec.end_iteration();
     let values = y[0]
         .iter()
@@ -932,6 +962,62 @@ mod tests {
         for (a, b) in run.values.iter().zip(&gold) {
             assert!((a - b).abs() < 0.1 + b.abs() * 0.02, "spmv {a} vs gold {b}");
         }
+    }
+
+    #[test]
+    fn masked_spmv_matches_unmasked_and_prunes() {
+        // A sparse input (zero outside the mask): the mask-pruned plan
+        // must produce bit-identical values while legally skipping the
+        // subgraphs no active source reaches.
+        let g = Rmat::new(120, 600).seed(14).max_weight(8).generate();
+        let mask: Vec<bool> = (0..120).map(|v| v % 11 == 0).collect();
+        let input: Vec<f64> = (0..120)
+            .map(|v| if mask[v] { (v % 5) as f64 * 0.5 } else { 0.0 })
+            .collect();
+        let unmasked = run_spmv(
+            &g,
+            &test_config(),
+            &SpmvOptions {
+                input: Some(input.clone()),
+                ..SpmvOptions::default()
+            },
+        )
+        .unwrap();
+        let masked = run_spmv(
+            &g,
+            &test_config(),
+            &SpmvOptions {
+                input: Some(input),
+                source_mask: Some(mask),
+                ..SpmvOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(masked.values, unmasked.values);
+        assert!(
+            masked.metrics.events.subgraphs_pruned > 0,
+            "the sparse mask must actually prune"
+        );
+        assert_eq!(unmasked.metrics.events.subgraphs_pruned, 0);
+        assert!(masked.metrics.events.bytes_streamed < unmasked.metrics.events.bytes_streamed);
+    }
+
+    #[test]
+    fn masked_spmv_rejects_nonzero_input_outside_mask() {
+        let g = Rmat::new(40, 150).seed(2).generate();
+        let mut mask = vec![false; 40];
+        mask[0] = true;
+        let err = run_spmv(
+            &g,
+            &test_config(),
+            &SpmvOptions {
+                input: Some(vec![1.0; 40]), // nonzero everywhere
+                source_mask: Some(mask),
+                ..SpmvOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
     }
 
     #[test]

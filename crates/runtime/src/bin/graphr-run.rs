@@ -1,7 +1,8 @@
 //! `graphr-run` — execute a job file against a GraphR runtime session and
 //! print a metrics report.
 //!
-//! Usage: `graphr-run <JOBFILE> [--threads N] [--serial] [--disk sata|nvme|none]`
+//! Usage: `graphr-run <JOBFILE> [--threads N] [--serial]
+//! [--disk sata|nvme|none] [--nodes N|single]`
 //!
 //! Job files are line-oriented; `#` starts a comment. Directives:
 //!
@@ -12,6 +13,7 @@
 //! threads <n>
 //! mode serial|parallel
 //! disk sata|nvme|none
+//! nodes <n>|single
 //! job <app> <dataset> [key=value ...]
 //! ```
 //!
@@ -19,14 +21,22 @@
 //! `bfs`/`sssp` (source=), `wcc`, `cf` (features=, epochs=). The `disk`
 //! directive (overridable with `--disk`) runs every job in the
 //! out-of-core regime: scans price their disk loading plan-aware and the
-//! reports gain a disk-vs-compute breakdown. An example lives at
-//! `examples/demo.jobs`; the full format and every flag are documented in
-//! `docs/running-jobs.md`.
+//! reports gain a disk-vs-compute breakdown. The `nodes` directive
+//! (overridable with `--nodes`) runs every job on a simulated multi-node
+//! cluster with PCIe-class links: plans are sharded by destination-strip
+//! ownership, the plan-aware property exchange is charged per iteration,
+//! and reports gain a network-vs-compute breakdown (`nodes 1` = a
+//! one-node cluster, bit-identical to single-node execution;
+//! `nodes single` — or `--nodes single` — opts back out of a cluster
+//! entirely, like `--disk none` does for storage). Both
+//! compose. An example lives at `examples/demo.jobs`; the full format and
+//! every flag are documented in `docs/running-jobs.md`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use graphr_core::multinode::MultiNodeConfig;
 use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{CfOptions, PageRankOptions, SpmvOptions, TraversalOptions};
 use graphr_core::GraphRConfig;
@@ -47,12 +57,13 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    const USAGE: &str =
-        "usage: graphr-run <JOBFILE> [--threads N] [--serial] [--disk sata|nvme|none]";
+    const USAGE: &str = "usage: graphr-run <JOBFILE> [--threads N] [--serial] \
+                         [--disk sata|nvme|none] [--nodes N]";
     let mut path = None;
     let mut threads_override = None;
     let mut force_serial = false;
     let mut disk_override = None;
+    let mut nodes_override = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -64,6 +75,12 @@ fn run(args: &[String]) -> Result<(), String> {
             "--disk" => {
                 let v = it.next().ok_or("--disk needs a value (sata|nvme|none)")?;
                 disk_override = Some(parse_disk(v)?);
+            }
+            "--nodes" => {
+                let v = it
+                    .next()
+                    .ok_or("--nodes needs a value (a count, or 'single')")?;
+                nodes_override = Some(parse_nodes(v)?);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -86,6 +103,10 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(model) = disk {
         session = session.with_disk(model);
     }
+    let nodes = nodes_override.unwrap_or(plan.nodes);
+    if let Some(n) = nodes {
+        session = session.with_cluster(MultiNodeConfig::pcie_cluster(n));
+    }
     let mode = if force_serial {
         ExecMode::Serial
     } else {
@@ -93,7 +114,7 @@ fn run(args: &[String]) -> Result<(), String> {
     };
 
     println!(
-        "session: {} worker threads, {} mode, {} storage, {} datasets, {} jobs",
+        "session: {} worker threads, {} mode, {} storage, {}, {} datasets, {} jobs",
         session.threads(),
         match mode {
             ExecMode::Serial => "serial",
@@ -102,6 +123,10 @@ fn run(args: &[String]) -> Result<(), String> {
         match disk {
             None => "in-core".to_owned(),
             Some(d) => format!("out-of-core ({:.1} GB/s disk)", d.sequential_gbps),
+        },
+        match nodes {
+            None => "single node".to_owned(),
+            Some(n) => format!("{n}-node cluster"),
         },
         plan.datasets.len(),
         plan.jobs.len()
@@ -144,6 +169,25 @@ struct Plan {
     threads: Option<usize>,
     mode: ExecMode,
     disk: Option<DiskModel>,
+    nodes: Option<usize>,
+}
+
+/// Parses a node count as used by `--nodes` and the `nodes` directive: a
+/// positive integer (`1` = a one-node cluster, bit-identical to
+/// single-node execution), or `single`/`none` for plain single-node
+/// execution without the cluster wrapper (the opt-out mirror of
+/// `--disk none`).
+fn parse_nodes(value: &str) -> Result<Option<usize>, String> {
+    if value == "single" || value == "none" {
+        return Ok(None);
+    }
+    let n: usize = value
+        .parse()
+        .map_err(|e| format!("bad node count '{value}' (expected a count, or 'single'): {e}"))?;
+    if n == 0 {
+        return Err("a cluster needs at least one node (or 'single' for no cluster)".into());
+    }
+    Ok(Some(n))
 }
 
 /// Parses a disk name as used by `--disk` and the `disk` directive:
@@ -164,6 +208,7 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
         threads: None,
         mode: ExecMode::Parallel,
         disk: None,
+        nodes: None,
     };
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -193,6 +238,12 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
                     .get(1)
                     .ok_or_else(|| err("disk needs a value (sata|nvme|none)".into()))?;
                 plan.disk = parse_disk(v).map_err(err)?;
+            }
+            "nodes" => {
+                let v = fields
+                    .get(1)
+                    .ok_or_else(|| err("nodes needs a value (a count, or 'single')".into()))?;
+                plan.nodes = parse_nodes(v).map_err(err)?;
             }
             "job" => {
                 let job = parse_job(&fields, &plan.datasets).map_err(err)?;

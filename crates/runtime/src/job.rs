@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use graphr_core::multinode::MultiNodeConfig;
 use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{
     CfOptions, CfRun, PageRankOptions, ScalarRun, SpmvOptions, TraversalOptions, TraversalRun,
@@ -43,6 +44,33 @@ impl DiskChoice {
             DiskChoice::Inherit => session_default,
             DiskChoice::InCore => None,
             DiskChoice::Model(disk) => Some(disk),
+        }
+    }
+}
+
+/// Per-job cluster-execution selection, three-way so a job can both opt
+/// *into* a simulated multi-node cluster and opt back *out* of a
+/// session-level one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ClusterChoice {
+    /// Use the session's cluster configuration (which may itself be
+    /// single-node). The default.
+    #[default]
+    Inherit,
+    /// Force single-node execution even when the session clusters.
+    SingleNode,
+    /// Run on this cluster regardless of the session default.
+    Cluster(MultiNodeConfig),
+}
+
+impl ClusterChoice {
+    /// The effective cluster configuration given the session default.
+    #[must_use]
+    pub fn resolve(self, session_default: Option<MultiNodeConfig>) -> Option<MultiNodeConfig> {
+        match self {
+            ClusterChoice::Inherit => session_default,
+            ClusterChoice::SingleNode => None,
+            ClusterChoice::Cluster(cluster) => Some(cluster),
         }
     }
 }
@@ -96,6 +124,9 @@ pub struct Job {
     /// Per-job out-of-core storage selection (inherit the session's,
     /// force in-core, or force a specific disk model).
     pub disk: DiskChoice,
+    /// Per-job cluster-execution selection (inherit the session's, force
+    /// single-node, or force a specific cluster).
+    pub cluster: ClusterChoice,
 }
 
 impl Job {
@@ -108,6 +139,7 @@ impl Job {
             mode: ExecMode::default(),
             config: None,
             disk: DiskChoice::default(),
+            cluster: ClusterChoice::default(),
         }
     }
 
@@ -139,6 +171,24 @@ impl Job {
     #[must_use]
     pub fn in_core(mut self) -> Self {
         self.disk = DiskChoice::InCore;
+        self
+    }
+
+    /// Runs this job on a simulated multi-node cluster: every scan plan
+    /// is sharded by destination-strip ownership across the cluster's
+    /// nodes, and the plan-aware property exchange lands in
+    /// [`Metrics::net`]. Overrides any session default.
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: MultiNodeConfig) -> Self {
+        self.cluster = ClusterChoice::Cluster(cluster);
+        self
+    }
+
+    /// Forces single-node execution for this job, even when the session
+    /// clusters by default.
+    #[must_use]
+    pub fn single_node(mut self) -> Self {
+        self.cluster = ClusterChoice::SingleNode;
         self
     }
 }
@@ -227,7 +277,10 @@ impl JobReport {
     /// Renders the standard multi-line report block. Jobs that ran under a
     /// disk model gain a `disk:` line with the plan-aware out-of-core
     /// breakdown: bytes loaded vs seeked past, disk time vs compute time,
-    /// and the double-buffered (per-iteration overlapped) total.
+    /// and the double-buffered (per-iteration overlapped) total. Jobs that
+    /// ran on a multi-node cluster gain a `net:` line with the plan-aware
+    /// interconnect breakdown: property bytes exchanged, exchange time vs
+    /// the bottleneck node's compute, and the composed cluster total.
     #[must_use]
     pub fn render(&self) -> String {
         let m = self.output.metrics();
@@ -252,19 +305,50 @@ impl JobReport {
         );
         if m.disk.is_active() {
             let d = &m.disk;
+            if m.net.is_active() {
+                // On a cluster, the disk counters are sums over nodes:
+                // comparing them against the composed cluster wall-clock
+                // (or printing the summed per-node overlap as a total)
+                // would mislead — the composed total including each
+                // node's disk overlap is the net line's cluster total.
+                report.push_str(&format!(
+                    "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past (summed over cluster nodes); disk {} across nodes, per-node overlap composed into the cluster total below",
+                    d.bytes_loaded / 1024,
+                    d.blocks_loaded,
+                    d.blocks_seeked,
+                    d.time,
+                ));
+            } else {
+                report.push_str(&format!(
+                    "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past; disk {} vs compute {} → {}-bound, overlapped {}",
+                    d.bytes_loaded / 1024,
+                    d.blocks_loaded,
+                    d.blocks_seeked,
+                    d.time,
+                    m.total_time(),
+                    if d.is_disk_bound(m.total_time()) {
+                        "disk"
+                    } else {
+                        "compute"
+                    },
+                    d.overlapped,
+                ));
+            }
+        }
+        if m.net.is_active() {
+            let net = &m.net;
             report.push_str(&format!(
-                "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past; disk {} vs compute {} → {}-bound, overlapped {}",
-                d.bytes_loaded / 1024,
-                d.blocks_loaded,
-                d.blocks_seeked,
-                d.time,
-                m.total_time(),
-                if d.is_disk_bound(m.total_time()) {
-                    "disk"
+                "\n  net:        {} KiB exchanged over {} exchanges; exchange {} vs bottleneck compute {} → {}-bound, cluster total {}",
+                net.bytes_exchanged / 1024,
+                net.exchanges,
+                net.time,
+                m.total_time() - net.time,
+                if net.is_network_bound(m.total_time() - net.time) {
+                    "network"
                 } else {
                     "compute"
                 },
-                d.overlapped,
+                net.overlapped,
             ));
         }
         report.push_str(&format!(

@@ -17,12 +17,19 @@
 //!   preprocessed-graph cache keyed by *(graph id, tiling geometry,
 //!   streaming order)* with hit/miss counters, so repeated queries skip
 //!   the §3.4 tiler and reuse the cached plan skeleton; serial/parallel
-//!   engine selection per job; batched multi-job submission; and an
+//!   engine selection per job; batched multi-job submission; an
 //!   optional out-of-core disk configuration
 //!   ([`Session::with_disk`](session::Session::with_disk) /
 //!   [`Job::with_disk`](job::Job::with_disk)) under which every scan's
 //!   plan also prices its disk loading
-//!   (plan-aware and per-iteration — see `graphr_core::outofcore`).
+//!   (plan-aware and per-iteration — see `graphr_core::outofcore`); and
+//!   an optional cluster configuration
+//!   ([`Session::with_cluster`](session::Session::with_cluster) /
+//!   [`Job::with_cluster`](job::Job::with_cluster)) under which every
+//!   scan plan is sharded by destination-strip ownership across simulated
+//!   GraphR nodes of the job's execution mode, with the plan-aware
+//!   property exchange charged into `Metrics::net` (see
+//!   `graphr_core::multinode`).
 //! * [`job`] — [`JobSpec`] covers all five evaluated
 //!   applications (PageRank, SpMV, BFS, SSSP, CF) plus the WCC extension;
 //!   [`JobReport`] carries the functional result, the
@@ -65,6 +72,6 @@ pub mod parallel;
 pub mod pool;
 pub mod session;
 
-pub use job::{DiskChoice, ExecMode, Job, JobOutput, JobReport, JobSpec};
+pub use job::{ClusterChoice, DiskChoice, ExecMode, Job, JobOutput, JobReport, JobSpec};
 pub use parallel::ParallelExecutor;
 pub use session::{CacheStats, GraphVariant, RuntimeError, Session};

@@ -22,6 +22,7 @@ use std::time::Instant;
 use graphr_core::config::StreamingOrder;
 use graphr_core::exec::plan::PlanSkeleton;
 use graphr_core::exec::{ScanEngine, StreamingExecutor};
+use graphr_core::multinode::{ClusterExecutor, MultiNodeConfig};
 use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{
     self, cf_config_for, run_bfs_with, run_cf_with, run_pagerank_with, run_spmv_with,
@@ -138,6 +139,7 @@ pub struct Session {
     config: GraphRConfig,
     threads: usize,
     disk: Option<DiskModel>,
+    cluster: Option<MultiNodeConfig>,
     tilings: Mutex<HashMap<TileKey, CachedTiling>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -151,6 +153,7 @@ impl Session {
             config,
             threads: pool::available_threads(),
             disk: None,
+            cluster: None,
             tilings: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -178,6 +181,26 @@ impl Session {
     #[must_use]
     pub fn disk(&self) -> Option<&DiskModel> {
         self.disk.as_ref()
+    }
+
+    /// Runs every job on a simulated multi-node cluster by default: each
+    /// scan plan is sharded by destination-strip ownership across
+    /// `cluster.nodes` engines of the job's [`ExecMode`], and the
+    /// plan-aware property exchange lands in
+    /// [`Metrics::net`](graphr_core::Metrics). A job's own
+    /// [`Job::with_cluster`] / [`Job::single_node`] still overrides this
+    /// session default. Composes with the disk configuration: each node
+    /// prices its own plan-aware loading.
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: MultiNodeConfig) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// The session's default cluster configuration, if any.
+    #[must_use]
+    pub fn cluster(&self) -> Option<&MultiNodeConfig> {
+        self.cluster.as_ref()
     }
 
     /// The session's architectural configuration.
@@ -284,17 +307,16 @@ impl Session {
         Ok(entry)
     }
 
-    fn engine<'a>(
-        &self,
+    /// One single-node engine of the requested mode over a cached tiling.
+    fn node_engine<'a>(
         mode: ExecMode,
         tiling: &'a CachedTiling,
         config: &'a GraphRConfig,
         spec: FixedSpec,
         scan_threads: usize,
-        disk: Option<DiskModel>,
     ) -> Box<dyn ScanEngine + 'a> {
         let skeleton = Arc::clone(&tiling.skeleton);
-        let mut engine: Box<dyn ScanEngine + 'a> = match mode {
+        match mode {
             ExecMode::Serial => Box::new(StreamingExecutor::with_skeleton(
                 &tiling.tiled,
                 config,
@@ -308,6 +330,33 @@ impl Session {
                 skeleton,
                 scan_threads,
             )),
+        }
+    }
+
+    // One parameter per orthogonal per-job setting; bundling them would
+    // just move the argument list into a struct literal at every call.
+    #[allow(clippy::too_many_arguments)]
+    fn engine<'a>(
+        &self,
+        mode: ExecMode,
+        tiling: &'a CachedTiling,
+        config: &'a GraphRConfig,
+        spec: FixedSpec,
+        scan_threads: usize,
+        disk: Option<DiskModel>,
+        cluster: Option<MultiNodeConfig>,
+    ) -> Box<dyn ScanEngine + 'a> {
+        let mut engine: Box<dyn ScanEngine + 'a> = match cluster {
+            // Cluster nodes execute one after another on the host, so each
+            // node's parallel engine may use the full scan budget.
+            Some(c) => Box::new(ClusterExecutor::with_engines(
+                &tiling.tiled,
+                config,
+                c,
+                Arc::clone(&tiling.skeleton),
+                |_node| Self::node_engine(mode, tiling, config, spec, scan_threads),
+            )),
+            None => Self::node_engine(mode, tiling, config, spec, scan_threads),
         };
         engine.set_disk(disk);
         engine
@@ -335,6 +384,7 @@ impl Session {
         let mut cache_misses = 0u64;
         let config = job.config.as_ref().unwrap_or(&self.config);
         let disk = job.disk.resolve(self.disk);
+        let cluster = job.cluster.resolve(self.cluster);
         let graph = job.graph.graph();
         let output = match &job.spec {
             JobSpec::PageRank(opts) => {
@@ -352,6 +402,7 @@ impl Session {
                     opts.matrix_spec,
                     scan_threads,
                     disk,
+                    cluster,
                 );
                 JobOutput::Scalar(run_pagerank_with(graph, exec.as_mut(), opts)?)
             }
@@ -370,6 +421,7 @@ impl Session {
                     opts.matrix_spec,
                     scan_threads,
                     disk,
+                    cluster,
                 );
                 JobOutput::Scalar(run_spmv_with(graph, exec.as_mut(), opts)?)
             }
@@ -381,8 +433,15 @@ impl Session {
                     &mut cache_hits,
                     &mut cache_misses,
                 )?;
-                let mut exec =
-                    self.engine(job.mode, &tiling, config, opts.spec, scan_threads, disk);
+                let mut exec = self.engine(
+                    job.mode,
+                    &tiling,
+                    config,
+                    opts.spec,
+                    scan_threads,
+                    disk,
+                    cluster,
+                );
                 JobOutput::Traversal(run_bfs_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Sssp(opts) => {
@@ -393,8 +452,15 @@ impl Session {
                     &mut cache_hits,
                     &mut cache_misses,
                 )?;
-                let mut exec =
-                    self.engine(job.mode, &tiling, config, opts.spec, scan_threads, disk);
+                let mut exec = self.engine(
+                    job.mode,
+                    &tiling,
+                    config,
+                    opts.spec,
+                    scan_threads,
+                    disk,
+                    cluster,
+                );
                 JobOutput::Traversal(run_sssp_with(graph, exec.as_mut(), opts)?)
             }
             JobSpec::Wcc => {
@@ -406,7 +472,8 @@ impl Session {
                     &mut cache_misses,
                 )?;
                 let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
-                let mut exec = self.engine(job.mode, &tiling, config, spec, scan_threads, disk);
+                let mut exec =
+                    self.engine(job.mode, &tiling, config, spec, scan_threads, disk, cluster);
                 JobOutput::Wcc(run_wcc_with(graph, exec.as_mut())?)
             }
             JobSpec::Cf(opts) => {
@@ -436,7 +503,15 @@ impl Session {
                         CfMatrix::Ratings => &tiling_r,
                         CfMatrix::Transposed => &tiling_t,
                     };
-                    self.engine(job.mode, tiling, &cf_config, opts.spec, scan_threads, disk)
+                    self.engine(
+                        job.mode,
+                        tiling,
+                        &cf_config,
+                        opts.spec,
+                        scan_threads,
+                        disk,
+                        cluster,
+                    )
                 })?;
                 JobOutput::Cf(run)
             }
@@ -585,6 +660,52 @@ mod tests {
         let in_core = Session::new(small_config()).submit(&job).unwrap();
         assert!(!in_core.output.metrics().disk.is_active());
         assert!(!in_core.render().contains("disk:"));
+    }
+
+    #[test]
+    fn session_cluster_default_and_job_override() {
+        use graphr_core::multinode::MultiNodeConfig;
+        let session = Session::new(small_config()).with_cluster(MultiNodeConfig::pcie_cluster(4));
+        let job = Job::new(handle(), JobSpec::Sssp(TraversalOptions::default()));
+        let report = session.submit(&job).unwrap();
+        let m = report.output.metrics();
+        assert!(m.net.is_active(), "session default must reach the engine");
+        assert!(m.net.bytes_exchanged > 0);
+        assert!(report.render().contains("net:"), "report gains a net line");
+
+        // Functional results are unchanged by partitioning.
+        let single = Session::new(small_config()).submit(&job).unwrap();
+        assert!(!single.output.metrics().net.is_active());
+        match (&report.output, &single.output) {
+            (JobOutput::Traversal(c), JobOutput::Traversal(s)) => {
+                assert_eq!(c.distances, s.distances);
+            }
+            other => panic!("unexpected outputs {other:?}"),
+        }
+
+        // A job can opt back out to single-node despite the session
+        // default...
+        let opted_out = session.submit(&job.clone().single_node()).unwrap();
+        assert_eq!(opted_out.output, single.output);
+        // ...and a one-node cluster override is bit-identical to the
+        // single-node engine, full Metrics included.
+        let one = session
+            .submit(&job.clone().with_cluster(MultiNodeConfig::pcie_cluster(1)))
+            .unwrap();
+        assert_eq!(one.output, single.output);
+
+        // Cluster + disk compose: each node prices its own loading.
+        let both = session
+            .submit(&job.clone().with_disk(DiskModel::nvme()))
+            .unwrap();
+        let bm = both.output.metrics();
+        assert!(bm.net.is_active() && bm.disk.is_active());
+        match (&both.output, &single.output) {
+            (JobOutput::Traversal(c), JobOutput::Traversal(s)) => {
+                assert_eq!(c.distances, s.distances);
+            }
+            other => panic!("unexpected outputs {other:?}"),
+        }
     }
 
     #[test]
