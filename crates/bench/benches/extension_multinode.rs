@@ -4,13 +4,15 @@
 //! subsystem on a sparse-frontier BFS, where the frontier-delta exchange
 //! is asserted to beat the dense all-gather baseline.
 
+use graphr_core::exec::ScanEngine;
 use graphr_core::multinode::{
-    estimate_pagerank_scaling, ClusterExecutor, MultiNodeConfig, MultiNodeEstimate,
+    estimate_pagerank_scaling, ClusterExecutor, MultiNodeConfig, MultiNodeEstimate, OwnerPolicy,
 };
 use graphr_core::sim::{run_bfs, run_bfs_with, PageRankOptions, TraversalOptions};
 use graphr_core::TiledGraph;
 use graphr_graph::generators::structured::grid;
 use graphr_graph::DatasetSpec;
+use graphr_units::FixedSpec;
 
 fn main() {
     let ctx = graphr_bench::ExperimentContext::from_env();
@@ -55,6 +57,84 @@ fn main() {
     );
 
     cluster_sparse_frontier();
+    skew_aware_ownership();
+}
+
+/// Skew-aware strip ownership on a power-law graph: round-robin piles
+/// several hub strips onto one node; the degree-weighted (LPT)
+/// assignment balances per-node edge loads, tightening the bottleneck
+/// `max(per-node edges)` the cluster's iteration time composes from.
+fn skew_aware_ownership() {
+    // A power-law R-MAT graph over a geometry with many destination
+    // strips: hub strips concentrate edges, the skew the round-robin
+    // rule suffers under.
+    let graph = graphr_graph::generators::rmat::Rmat::new(20_000, 150_000)
+        .seed(42)
+        .self_loops(false)
+        .generate();
+    let config = &graphr_core::GraphRConfig::builder()
+        .crossbar_size(8)
+        .crossbars_per_ge(32)
+        .num_ges(4)
+        .build()
+        .expect("valid bench geometry");
+    let tiled = TiledGraph::preprocess(&graph, config).expect("valid geometry");
+    let spec = FixedSpec::new(16, 8).expect("Q8.8 is valid");
+
+    let mut rows = Vec::new();
+    for nodes in [2usize, 4, 8] {
+        let per_policy: Vec<(OwnerPolicy, u64, u64)> =
+            [OwnerPolicy::RoundRobin, OwnerPolicy::DegreeWeighted]
+                .into_iter()
+                .map(|owner| {
+                    let mut cluster = ClusterExecutor::new(
+                        &tiled,
+                        config,
+                        spec,
+                        MultiNodeConfig::pcie_cluster(nodes).with_owner(owner),
+                    );
+                    let full = cluster.plan(None);
+                    let shards = cluster.shard(&full);
+                    let max = shards
+                        .iter()
+                        .map(|s| s.stats().edges_planned)
+                        .max()
+                        .unwrap();
+                    let mean =
+                        shards.iter().map(|s| s.stats().edges_planned).sum::<u64>() / nodes as u64;
+                    (owner, max, mean)
+                })
+                .collect();
+        let (_, rr_max, rr_mean) = per_policy[0];
+        let (_, deg_max, deg_mean) = per_policy[1];
+        assert!(
+            deg_max <= rr_max,
+            "degree-weighted ownership must not worsen the bottleneck: {deg_max} vs {rr_max}"
+        );
+        rows.push(vec![
+            nodes.to_string(),
+            rr_max.to_string(),
+            format!("{:.2}", rr_max as f64 / rr_mean.max(1) as f64),
+            deg_max.to_string(),
+            format!("{:.2}", deg_max as f64 / deg_mean.max(1) as f64),
+            format!("{:.2}x", rr_max as f64 / deg_max.max(1) as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        graphr_bench::report::render_table(
+            "Extension: skew-aware strip ownership (full-plan edge loads, power-law R-MAT 20k/150k)",
+            &[
+                "nodes",
+                "rr max edges",
+                "rr imbalance",
+                "degree max edges",
+                "degree imbalance",
+                "bottleneck win"
+            ],
+            &rows,
+        )
+    );
 }
 
 /// The plan-aware cluster subsystem on the workload the dense model

@@ -13,6 +13,14 @@
 //! tiler's source-range index, so work (and every [`Metrics`] charge) is
 //! proportional to planned, not total, edges.
 //!
+//! [`planner`] makes that per-iteration planning *incremental*: every
+//! engine owns a stateful [`planner::Planner`] that diffs each new
+//! frontier against the previous one and patches the previous plan in
+//! `O(|delta|)` instead of rebuilding in `O(units)`, sharing untouched
+//! per-unit state by `Arc` — bit-identical plans, radically cheaper
+//! planning on overlapping traversal frontiers (reported through
+//! [`Metrics::plan`](crate::metrics::PlanCounters)).
+//!
 //! [`strip`] exposes the scan's parallel-safe decomposition: one
 //! [`strip::StripUnit`] per global destination strip, executed by a
 //! per-worker [`strip::StripScanner`]. The serial executor and any
@@ -31,10 +39,12 @@
 //! [`Metrics`]: crate::metrics::Metrics
 
 pub mod plan;
+pub mod planner;
 pub mod streaming;
 pub mod strip;
 
 pub use plan::{PlanRow, PlanSkeleton, PlanStats, PlanUnit, ScanPlan};
+pub use planner::{FrontierDelta, Planner, PlannerIndex};
 pub use streaming::{EdgeValueFn, StreamingExecutor};
 pub use strip::{mac_rego_capacity, strip_units, StripScanner, StripUnit};
 
@@ -54,9 +64,14 @@ use crate::outofcore::DiskModel;
 pub trait ScanEngine {
     /// Builds a scan plan for this engine's preprocessed graph: the dense
     /// full plan for `None`, or one pruned to the subgraphs holding at
-    /// least one vertex active under the mask (see
-    /// [`plan::PlanSkeleton::pruned_plan`]).
-    fn plan(&self, active: Option<&[bool]>) -> Arc<ScanPlan>;
+    /// least one vertex active under the mask. Engines route this through
+    /// their stateful incremental [`planner::Planner`], which diffs the
+    /// mask against the previous frontier and patches the previous plan
+    /// in `O(|delta|)` when the frontiers overlap (falling back to a
+    /// scratch rebuild otherwise) — bit-identical to
+    /// [`plan::PlanSkeleton::pruned_plan`] either way, with the planning
+    /// cost reported in [`Metrics::plan`](crate::metrics::PlanCounters).
+    fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan>;
 
     /// One parallel-MAC pass (§4.1) over a plan; see
     /// [`StreamingExecutor::scan_mac_planned`].

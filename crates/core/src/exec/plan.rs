@@ -126,25 +126,33 @@ pub struct PlanStats {
 
 /// An executable description of one scan: which units to run and, within
 /// each, which subgraphs to stream. Built from a [`PlanSkeleton`] — dense
-/// (the full plan) or pruned by an active-vertex mask.
+/// (the full plan) or pruned by an active-vertex mask — or patched from a
+/// previous plan by the incremental
+/// [`Planner`](crate::exec::planner::Planner).
+///
+/// Units are held by [`Arc`] so derived plans share per-unit state
+/// instead of cloning it: the incremental planner carries untouched units
+/// between consecutive plans pointer-equal, the cluster layer's shards
+/// are `Arc` clones of the global plan's units, and the out-of-core layer
+/// caches per-unit disk spans keyed by that pointer identity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanPlan {
-    units: Vec<PlanUnit>,
+    units: Vec<Arc<PlanUnit>>,
     stats: PlanStats,
 }
 
 impl ScanPlan {
     /// Assembles a plan from already-derived parts. Crate-internal: used
     /// by layers that derive new plans from an existing one (the cluster
-    /// layer's per-node shards) and therefore already hold consistent
-    /// stats.
-    pub(crate) fn from_parts(units: Vec<PlanUnit>, stats: PlanStats) -> ScanPlan {
+    /// layer's per-node shards, the incremental planner's patches) and
+    /// therefore already hold consistent stats.
+    pub(crate) fn from_parts(units: Vec<Arc<PlanUnit>>, stats: PlanStats) -> ScanPlan {
         ScanPlan { units, stats }
     }
 
     /// The planned units in merge order.
     #[must_use]
-    pub fn units(&self) -> &[PlanUnit] {
+    pub fn units(&self) -> &[Arc<PlanUnit>] {
         &self.units
     }
 
@@ -192,7 +200,7 @@ impl PlanSkeleton {
                     }
                 })
                 .collect();
-            plan_units.push(PlanUnit { unit: *unit, rows });
+            plan_units.push(Arc::new(PlanUnit { unit: *unit, rows }));
         }
         let full = Arc::new(ScanPlan {
             stats: PlanStats {
@@ -293,10 +301,10 @@ impl PlanSkeleton {
         let mut units = Vec::new();
         for (punit, rows) in self.full.units.iter().zip(rows_by_unit) {
             if !rows.is_empty() {
-                units.push(PlanUnit {
+                units.push(Arc::new(PlanUnit {
                     unit: punit.unit,
                     rows,
-                });
+                }));
             }
         }
         let stats = PlanStats {
@@ -341,7 +349,7 @@ mod tests {
             tiled.nonempty_subgraphs() as u64
         );
         assert_eq!(full.stats().edges_planned, tiled.total_edges() as u64);
-        let visits: usize = full.units().iter().map(PlanUnit::num_subgraphs).sum();
+        let visits: usize = full.units().iter().map(|u| u.num_subgraphs()).sum();
         assert_eq!(visits, tiled.nonempty_subgraphs());
         // Every block row appears in every unit of the dense plan.
         let per_side = tiled.order().blocks_per_side();

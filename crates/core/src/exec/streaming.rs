@@ -44,6 +44,7 @@ use std::sync::Arc;
 
 use crate::config::{Fidelity, GraphRConfig};
 use crate::exec::plan::{PlanSkeleton, ScanPlan};
+use crate::exec::planner::Planner;
 use crate::exec::strip::{mac_rego_capacity, StripScanner};
 use crate::exec::ScanEngine;
 use crate::metrics::Metrics;
@@ -63,7 +64,7 @@ pub struct StreamingExecutor<'a> {
     tiled: &'a TiledGraph,
     config: &'a GraphRConfig,
     scanner: StripScanner<'a>,
-    skeleton: Arc<PlanSkeleton>,
+    planner: Planner,
     metrics: Metrics,
     disk: Option<DiskAccountant>,
 }
@@ -82,6 +83,8 @@ impl<'a> StreamingExecutor<'a> {
 
     /// Creates an executor reusing an already-built plan skeleton (a
     /// session's cached one; it must have been built from this `tiled`).
+    /// Builds a fresh planner index — reuse a cached one via
+    /// [`StreamingExecutor::with_planner`] where available.
     #[must_use]
     pub fn with_skeleton(
         tiled: &'a TiledGraph,
@@ -89,11 +92,25 @@ impl<'a> StreamingExecutor<'a> {
         spec: graphr_units::FixedSpec,
         skeleton: Arc<PlanSkeleton>,
     ) -> Self {
+        let planner = Planner::new(tiled, skeleton);
+        Self::with_planner(tiled, config, spec, planner)
+    }
+
+    /// Creates an executor around a prepared incremental [`Planner`]
+    /// (typically stamped out from a session's cached skeleton + planner
+    /// index; both must come from this `tiled`).
+    #[must_use]
+    pub fn with_planner(
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        spec: graphr_units::FixedSpec,
+        planner: Planner,
+    ) -> Self {
         StreamingExecutor {
             tiled,
             config,
             scanner: StripScanner::new(tiled, config, spec),
-            skeleton,
+            planner,
             metrics: Metrics::new(),
             disk: None,
         }
@@ -140,7 +157,7 @@ impl<'a> StreamingExecutor<'a> {
     /// single tile-programming pass (K MVM evaluations per tile). Executes
     /// the dense full plan.
     pub fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {
-        let plan = self.skeleton.full_plan();
+        let plan = self.planner.skeleton().full_plan();
         self.scan_mac_planned(&plan, value, inputs)
     }
 
@@ -211,7 +228,7 @@ impl<'a> StreamingExecutor<'a> {
         frontier: &mut [f64],
         updated: &mut [bool],
     ) -> u64 {
-        let plan = self.skeleton.full_plan();
+        let plan = self.planner.skeleton().full_plan();
         self.scan_add_op_planned(&plan, value, combine, addend, active, frontier, updated)
     }
 
@@ -289,8 +306,9 @@ impl<'a> StreamingExecutor<'a> {
 }
 
 impl ScanEngine for StreamingExecutor<'_> {
-    fn plan(&self, active: Option<&[bool]>) -> Arc<ScanPlan> {
-        self.skeleton.plan_for(self.tiled, self.config, active)
+    fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan> {
+        self.planner
+            .plan_for(self.config, active, &mut self.metrics.plan)
     }
 
     fn scan_mac_planned(

@@ -54,6 +54,53 @@ pub struct EventCounters {
     pub rego_capacity_required: u64,
 }
 
+/// Incremental-planner accounting: how each iteration's [`ScanPlan`] was
+/// obtained, filled in by the engines'
+/// [`Planner`](crate::exec::planner::Planner) (all-zero for runs that
+/// never plan from a mask).
+///
+/// A *full rebuild* walks the whole span table (`O(units)`); a *delta
+/// patch* re-derives only the strip units the frontier delta touched,
+/// carrying the rest into the new plan as shared `Arc`s
+/// (`units_reused`). The two paths produce bit-identical plans — these
+/// counters report the planning *cost*, not the plan.
+///
+/// `time` is **host** wall-clock spent planning (the quantity the delta
+/// path exists to shrink), measured on whatever machine ran the
+/// simulation. It is deliberately excluded from equality: the
+/// determinism contract covers simulated results and accounting, which
+/// must not depend on host timing jitter.
+///
+/// [`ScanPlan`]: crate::exec::plan::ScanPlan
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PlanCounters {
+    /// Plans built by walking the whole span table (first mask, or a
+    /// delta too dense to be worth patching).
+    pub full_rebuilds: u64,
+    /// Plans produced by patching the previous plan with the frontier
+    /// delta.
+    pub delta_patches: u64,
+    /// Planned units carried between consecutive plans as shared `Arc`s
+    /// (cumulative over delta patches).
+    pub units_reused: u64,
+    /// Units re-derived by delta patches (cumulative).
+    pub units_patched: u64,
+    /// Host wall-clock spent planning (excluded from equality; see the
+    /// type docs).
+    pub time: Nanos,
+}
+
+impl PartialEq for PlanCounters {
+    fn eq(&self, other: &Self) -> bool {
+        // `time` is host-measured and intentionally ignored: two runs
+        // that planned identically are equal regardless of host jitter.
+        self.full_rebuilds == other.full_rebuilds
+            && self.delta_patches == other.delta_patches
+            && self.units_reused == other.units_reused
+            && self.units_patched == other.units_patched
+    }
+}
+
 /// Wall-clock decomposition (raw per-phase sums; with pipelining the
 /// effective total is less than the sum of parts).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -192,6 +239,9 @@ pub struct Metrics {
     /// Plan-aware multi-node interconnect accounting (zero unless the run
     /// executed on a cluster with more than one node).
     pub net: NetCounters,
+    /// Incremental-planner accounting (zero unless the run planned from
+    /// activity masks).
+    pub plan: PlanCounters,
 }
 
 impl Metrics {
@@ -299,6 +349,13 @@ impl Metrics {
         n.time += o.time;
         n.overlapped += o.overlapped;
         n.energy += o.energy;
+        let p = &mut self.plan;
+        let q = &other.plan;
+        p.full_rebuilds += q.full_rebuilds;
+        p.delta_patches += q.delta_patches;
+        p.units_reused += q.units_reused;
+        p.units_patched += q.units_patched;
+        p.time += q.time;
     }
 }
 
@@ -394,6 +451,32 @@ mod tests {
         assert!(!Metrics::new().net.is_active());
         // Interconnect energy counts towards the run total.
         assert_eq!(a.total_energy().as_joules(), 0.25);
+    }
+
+    #[test]
+    fn merge_accumulates_plan_counters_and_equality_ignores_host_time() {
+        let mut a = Metrics::new();
+        a.plan.full_rebuilds = 1;
+        a.plan.delta_patches = 5;
+        a.plan.units_reused = 40;
+        a.plan.time = Nanos::new(100.0);
+        let mut b = Metrics::new();
+        b.plan.delta_patches = 2;
+        b.plan.units_patched = 3;
+        b.plan.time = Nanos::new(7.0);
+        a.merge(&b);
+        assert_eq!(a.plan.full_rebuilds, 1);
+        assert_eq!(a.plan.delta_patches, 7);
+        assert_eq!(a.plan.units_reused, 40);
+        assert_eq!(a.plan.units_patched, 3);
+        assert_eq!(a.plan.time.as_nanos(), 107.0);
+        // Host planning time is observability, not part of the
+        // determinism contract: equality must ignore it.
+        let mut c = a.clone();
+        c.plan.time = Nanos::ZERO;
+        assert_eq!(a, c);
+        c.plan.delta_patches += 1;
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -16,13 +16,17 @@
 //! Two models are provided:
 //!
 //! * [`ClusterExecutor`] — the **plan-aware cluster subsystem**. It is a
-//!   [`ScanEngine`], so every `sim` driver (including the re-planning
-//!   traversal loops) runs on a cluster unchanged. Each executed
-//!   [`ScanPlan`] is sharded by destination-strip ownership (node `k` owns
-//!   the strip units with `index % nodes == k` — the same rule as
-//!   [`partition_by_strip`]) and each shard runs through a *real* inner
+//!   [`ScanEngine`], so every `sim` driver (including the incremental
+//!   re-planning traversal loops) runs on a cluster unchanged. Each
+//!   executed [`ScanPlan`] is sharded by destination-strip ownership
+//!   under an [`OwnerPolicy`] — round-robin `index % nodes` by default
+//!   (the same rule as [`partition_by_strip`]), or degree-weighted
+//!   ([`OwnerPolicy::DegreeWeighted`]) to tighten the per-node bottleneck
+//!   on power-law graphs — and each shard runs through a *real* inner
 //!   engine, so tile packing, skipping, energy and disk accounting stay
-//!   exact per node. A plan-aware exchange then charges the per-iteration
+//!   exact per node. Shard units are `Arc`-shared with the global plan,
+//!   so re-sharding a delta-patched plan clones pointers, not unit
+//!   state. A plan-aware exchange then charges the per-iteration
 //!   property traffic only for vertices the iteration actually touched —
 //!   the `updated` frontier delta for the add-op applications, the planned
 //!   units' destination coverage for the MAC applications — into
@@ -73,6 +77,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use graphr_graph::{Edge, EdgeList};
@@ -81,15 +87,59 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::GraphRConfig;
 use crate::exec::plan::{PlanSkeleton, PlanStats, PlanUnit, ScanPlan};
+use crate::exec::planner::Planner;
 use crate::exec::streaming::{EdgeValueFn, StreamingExecutor};
 use crate::exec::ScanEngine;
-use crate::metrics::{Metrics, NetCounters};
+use crate::metrics::{Metrics, NetCounters, PlanCounters};
 use crate::outofcore::DiskModel;
 use crate::preprocess::tiler::TiledGraph;
 use crate::sim::{run_pagerank, PageRankOptions, SimError};
 
 /// Bytes per exchanged vertex property (the §3.2 16-bit data format).
 pub const BYTES_PER_PROPERTY: u64 = 2;
+
+/// Per-unit `(subgraphs, edges)` counts keyed by the `Arc<PlanUnit>`
+/// they were derived from (see `ClusterExecutor::counts_for`).
+type UnitCountCache = RefCell<HashMap<usize, (Arc<PlanUnit>, (u64, u64))>>;
+
+/// How destination strips are assigned to cluster nodes.
+///
+/// Ownership decides which node scans which strip units; any policy
+/// preserves results (strips are disjoint) and the summed event
+/// accounting, but it moves the per-node *bottleneck*: on power-law
+/// graphs a handful of hub strips concentrate most edges, and round-robin
+/// can pile several onto one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OwnerPolicy {
+    /// `unit.index % nodes` — the PR 4 rule, kept as the default.
+    #[default]
+    RoundRobin,
+    /// Degree-weighted: units are assigned greedily, heaviest first, to
+    /// the least-loaded node (longest-processing-time scheduling over
+    /// per-strip edge counts), tightening `max(per-node edges)`.
+    DegreeWeighted,
+}
+
+impl OwnerPolicy {
+    /// Looks a policy up by its CLI/job-file name (`"rr"` or `"degree"`).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<OwnerPolicy> {
+        match name {
+            "rr" => Some(OwnerPolicy::RoundRobin),
+            "degree" => Some(OwnerPolicy::DegreeWeighted),
+            _ => None,
+        }
+    }
+
+    /// The CLI/job-file name of this policy.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OwnerPolicy::RoundRobin => "rr",
+            OwnerPolicy::DegreeWeighted => "degree",
+        }
+    }
+}
 
 /// Interconnect parameters of a multi-node GraphR cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -103,10 +153,13 @@ pub struct MultiNodeConfig {
     pub exchange_latency: Nanos,
     /// Energy per byte crossing the interconnect (≈10 pJ/bit links).
     pub energy_per_byte: Joules,
+    /// How destination strips are assigned to nodes.
+    pub owner: OwnerPolicy,
 }
 
 impl MultiNodeConfig {
-    /// A small cluster with PCIe-class links.
+    /// A small cluster with PCIe-class links (round-robin strip
+    /// ownership).
     ///
     /// # Panics
     ///
@@ -119,7 +172,15 @@ impl MultiNodeConfig {
             interconnect_gbps: 12.0,
             exchange_latency: Nanos::from_micros(2.0),
             energy_per_byte: Joules::from_picojoules(80.0),
+            owner: OwnerPolicy::RoundRobin,
         }
+    }
+
+    /// Selects the strip-ownership policy.
+    #[must_use]
+    pub fn with_owner(mut self, owner: OwnerPolicy) -> Self {
+        self.owner = owner;
+        self
     }
 }
 
@@ -250,14 +311,23 @@ pub struct ClusterExecutor<'a> {
     tiled: &'a TiledGraph,
     config: &'a GraphRConfig,
     cluster: MultiNodeConfig,
-    skeleton: Arc<PlanSkeleton>,
+    planner: Planner,
     nodes: Vec<Box<dyn ScanEngine + 'a>>,
+    /// Owning node of each strip unit, by unit index (derived from the
+    /// cluster's [`OwnerPolicy`] once at construction).
+    owners: Vec<u32>,
     /// Full-plan ownership baseline per node.
     shares: Vec<NodeShare>,
     /// The dense plan's shards, computed once on first use — every MAC
     /// iteration executes the same cached full plan, so resharding it per
     /// scan would repeat an O(plan) walk and clone.
     dense_shards: Option<Arc<Vec<ScanPlan>>>,
+    /// Per strip unit: the planned `(subgraphs, edges)` of the last plan
+    /// content seen for it, keyed by the `Arc<PlanUnit>` it was counted
+    /// from — so re-sharding a delta-patched plan re-counts only touched
+    /// strips (the sharding analogue of the disk layer's per-unit span
+    /// cache).
+    count_cache: UnitCountCache,
     net: NetAccountant,
     /// Composed cluster metrics, refreshed after every mutating call.
     metrics: Metrics,
@@ -265,6 +335,9 @@ pub struct ClusterExecutor<'a> {
     iterations: usize,
     elapsed: Nanos,
     net_totals: NetCounters,
+    /// Planning happens once at cluster level (shards are derived, not
+    /// re-planned), so its counters accumulate here, not per node.
+    plan_totals: PlanCounters,
     /// Per-node `elapsed` / `disk.overlapped` at the open window's start.
     elapsed_marks: Vec<Nanos>,
     overlap_marks: Vec<Nanos>,
@@ -286,13 +359,14 @@ impl<'a> ClusterExecutor<'a> {
         cluster: MultiNodeConfig,
     ) -> Self {
         let skeleton = Arc::new(PlanSkeleton::build(tiled));
-        let sk = Arc::clone(&skeleton);
-        Self::with_engines(tiled, config, cluster, skeleton, |_k| {
-            Box::new(StreamingExecutor::with_skeleton(
+        let planner = Planner::new(tiled, Arc::clone(&skeleton));
+        let index = Arc::clone(planner.index());
+        Self::with_engines(tiled, config, cluster, planner, |_k| {
+            Box::new(StreamingExecutor::with_planner(
                 tiled,
                 config,
                 spec,
-                Arc::clone(&sk),
+                Planner::with_index(Arc::clone(&skeleton), Arc::clone(&index)),
             ))
         })
     }
@@ -300,7 +374,7 @@ impl<'a> ClusterExecutor<'a> {
     /// A cluster over caller-built per-node engines (`make_engine(k)`
     /// builds node `k`'s — e.g. `graphr-runtime`'s parallel executor).
     /// Every engine must have been built over this same `tiled` (and, for
-    /// cached skeletons, this same `skeleton`).
+    /// cached skeletons, the same skeleton `planner` was built from).
     ///
     /// # Panics
     ///
@@ -310,17 +384,23 @@ impl<'a> ClusterExecutor<'a> {
         tiled: &'a TiledGraph,
         config: &'a GraphRConfig,
         cluster: MultiNodeConfig,
-        skeleton: Arc<PlanSkeleton>,
+        planner: Planner,
         mut make_engine: impl FnMut(usize) -> Box<dyn ScanEngine + 'a>,
     ) -> Self {
         assert!(cluster.nodes > 0, "a cluster needs at least one node");
         let nodes: Vec<_> = (0..cluster.nodes).map(&mut make_engine).collect();
-        // Ownership baseline: walk the dense plan once, attributing every
-        // unit (and the subgraphs/edges beneath it) to its owner.
+        let full = planner.skeleton().full_plan();
+        // One walk of the dense plan feeds both the ownership assignment
+        // (edge weights) and the per-node baseline shares.
+        let counts: Vec<(u64, u64)> = full
+            .units()
+            .iter()
+            .map(|punit| count_planned(tiled, punit))
+            .collect();
+        let owners = assign_owners(&counts, cluster.nodes, cluster.owner);
         let mut shares = vec![NodeShare::default(); cluster.nodes];
-        for punit in skeleton.full_plan().units() {
-            let (subgraphs, edges) = count_planned(tiled, punit);
-            let share = &mut shares[punit.unit.index % cluster.nodes];
+        for (punit, &(subgraphs, edges)) in full.units().iter().zip(&counts) {
+            let share = &mut shares[owners[punit.unit.index] as usize];
             share.units += 1;
             share.subgraphs += subgraphs;
             share.edges += edges;
@@ -329,15 +409,18 @@ impl<'a> ClusterExecutor<'a> {
             tiled,
             config,
             cluster,
-            skeleton,
+            planner,
             nodes,
+            owners,
             shares,
             dense_shards: None,
+            count_cache: RefCell::new(HashMap::new()),
             net: NetAccountant::new(cluster),
             metrics: Metrics::new(),
             iterations: 0,
             elapsed: Nanos::ZERO,
             net_totals: NetCounters::default(),
+            plan_totals: PlanCounters::default(),
             elapsed_marks: vec![Nanos::ZERO; cluster.nodes],
             overlap_marks: vec![Nanos::ZERO; cluster.nodes],
             has_disk: false,
@@ -373,22 +456,24 @@ impl<'a> ClusterExecutor<'a> {
     }
 
     /// Shards `plan` by destination-strip ownership: node `k`'s shard is
-    /// the subsequence of planned units with `index % nodes == k`, with
-    /// stats measured against the node's share of the full plan — so the
-    /// shards' stats sum exactly to the global plan's and per-node
-    /// `charge_plan` accounting stays partition-consistent.
+    /// the subsequence of planned units the [`OwnerPolicy`] assigns to
+    /// `k`, with stats measured against the node's share of the full plan
+    /// — so the shards' stats sum exactly to the global plan's and
+    /// per-node `charge_plan` accounting stays partition-consistent.
+    /// Shard units are `Arc` clones of the global plan's, so re-sharding
+    /// an incrementally patched plan shares all untouched per-unit state.
     #[must_use]
     pub fn shard(&self, plan: &ScanPlan) -> Vec<ScanPlan> {
         let nodes = self.cluster.nodes;
-        let mut units: Vec<Vec<PlanUnit>> = vec![Vec::new(); nodes];
+        let mut units: Vec<Vec<Arc<PlanUnit>>> = vec![Vec::new(); nodes];
         let mut planned = vec![NodeShare::default(); nodes];
         for punit in plan.units() {
-            let owner = punit.unit.index % nodes;
-            let (subgraphs, edges) = count_planned(self.tiled, punit);
+            let owner = self.owners[punit.unit.index] as usize;
+            let (subgraphs, edges) = self.counts_for(punit);
             planned[owner].units += 1;
             planned[owner].subgraphs += subgraphs;
             planned[owner].edges += edges;
-            units[owner].push(punit.clone());
+            units[owner].push(Arc::clone(punit));
         }
         units
             .into_iter()
@@ -410,11 +495,28 @@ impl<'a> ClusterExecutor<'a> {
             .collect()
     }
 
+    /// One unit's planned `(subgraphs, edges)`, served from the per-unit
+    /// cache when the plan carries the same `Arc` as the previous scan
+    /// (untouched strips under incremental re-planning), re-counted
+    /// otherwise.
+    fn counts_for(&self, punit: &Arc<PlanUnit>) -> (u64, u64) {
+        let mut cache = self.count_cache.borrow_mut();
+        let key = punit.unit.index;
+        if let Some((cached_unit, counts)) = cache.get(&key) {
+            if Arc::ptr_eq(cached_unit, punit) {
+                return *counts;
+            }
+        }
+        let counts = count_planned(self.tiled, punit);
+        cache.insert(key, (Arc::clone(punit), counts));
+        counts
+    }
+
     /// [`ClusterExecutor::shard`] with the dense plan's shards cached:
     /// drivers execute the skeleton's (`Arc`-shared) full plan every MAC
     /// iteration, so its shards are derived once and reused.
     fn shards_for(&mut self, plan: &ScanPlan) -> Arc<Vec<ScanPlan>> {
-        let full = self.skeleton.full_plan();
+        let full = self.planner.skeleton().full_plan();
         if std::ptr::eq(plan, Arc::as_ptr(&full)) {
             if let Some(cached) = &self.dense_shards {
                 return Arc::clone(cached);
@@ -436,6 +538,7 @@ impl<'a> ClusterExecutor<'a> {
         m.iterations = self.iterations;
         m.elapsed = self.elapsed;
         m.net = self.net_totals;
+        m.plan = self.plan_totals;
         self.metrics = m;
     }
 
@@ -491,6 +594,31 @@ fn planned_updates(plan: &ScanPlan, updated: &[bool]) -> u64 {
         .sum()
 }
 
+/// Assigns every strip unit of the dense plan to a node under `policy`,
+/// given each unit's full-plan `(subgraphs, edges)` counts.
+fn assign_owners(counts: &[(u64, u64)], nodes: usize, policy: OwnerPolicy) -> Vec<u32> {
+    let num_units = counts.len();
+    match policy {
+        OwnerPolicy::RoundRobin => (0..num_units).map(|i| (i % nodes) as u32).collect(),
+        OwnerPolicy::DegreeWeighted => {
+            // Longest-processing-time greedy: heaviest strip first onto
+            // the least-loaded node; ties break deterministically by unit
+            // index and node index.
+            let weights: Vec<u64> = counts.iter().map(|&(_, edges)| edges).collect();
+            let mut order: Vec<usize> = (0..num_units).collect();
+            order.sort_by_key(|&u| (std::cmp::Reverse(weights[u]), u));
+            let mut loads = vec![0u64; nodes];
+            let mut owners = vec![0u32; num_units];
+            for u in order {
+                let node = (0..nodes).min_by_key(|&k| (loads[k], k)).expect(">0 nodes");
+                owners[u] = node as u32;
+                loads[node] += weights[u];
+            }
+            owners
+        }
+    }
+}
+
 /// Counts the subgraph visits and edges a planned unit will stream.
 fn count_planned(tiled: &TiledGraph, punit: &PlanUnit) -> (u64, u64) {
     let mut subgraphs = 0u64;
@@ -506,8 +634,14 @@ fn count_planned(tiled: &TiledGraph, punit: &PlanUnit) -> (u64, u64) {
 }
 
 impl ScanEngine for ClusterExecutor<'_> {
-    fn plan(&self, active: Option<&[bool]>) -> Arc<ScanPlan> {
-        self.skeleton.plan_for(self.tiled, self.config, active)
+    fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan> {
+        // The cluster plans once, globally; shards are derived from the
+        // planned result, so the planning cost lives at cluster level.
+        let plan = self
+            .planner
+            .plan_for(self.config, active, &mut self.plan_totals);
+        self.metrics.plan = self.plan_totals;
+        plan
     }
 
     fn scan_mac_planned(
@@ -620,10 +754,12 @@ impl ScanEngine for ClusterExecutor<'_> {
         out.iterations = self.iterations;
         out.elapsed = self.elapsed;
         out.net = self.net_totals;
+        out.plan = self.plan_totals;
 
         self.iterations = 0;
         self.elapsed = Nanos::ZERO;
         self.net_totals = NetCounters::default();
+        self.plan_totals = PlanCounters::default();
         self.elapsed_marks.fill(Nanos::ZERO);
         self.overlap_marks.fill(Nanos::ZERO);
         self.metrics = Metrics::new();
@@ -864,7 +1000,8 @@ mod tests {
         let cfg = config();
         let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
         let spec = FixedSpec::new(16, 0).unwrap();
-        let cluster = ClusterExecutor::new(&tiled, &cfg, spec, MultiNodeConfig::pcie_cluster(3));
+        let mut cluster =
+            ClusterExecutor::new(&tiled, &cfg, spec, MultiNodeConfig::pcie_cluster(3));
         let mut mask = vec![false; tiled.num_vertices()];
         for v in (0..tiled.num_vertices()).step_by(7) {
             mask[v] = true;
@@ -894,6 +1031,66 @@ mod tests {
             expected.sort_unstable();
             assert_eq!(unit_indices, expected, "shards partition the units");
         }
+    }
+
+    #[test]
+    fn degree_weighted_ownership_is_invisible_and_tightens_the_bottleneck() {
+        let g = graph();
+        let cfg = config();
+        let opts = TraversalOptions::default();
+        let single = run_sssp(&g, &cfg, &opts).unwrap();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let rr_cfg = MultiNodeConfig::pcie_cluster(3);
+        let deg_cfg = rr_cfg.with_owner(OwnerPolicy::DegreeWeighted);
+        assert_eq!(OwnerPolicy::by_name("degree"), Some(deg_cfg.owner));
+
+        // Ownership must be invisible in results and summed accounting.
+        let mut cluster = ClusterExecutor::new(&tiled, &cfg, opts.spec, deg_cfg);
+        let run = run_sssp_with(&g, &mut cluster, &opts).unwrap();
+        assert_eq!(run.distances, single.distances);
+        assert_eq!(run.metrics.events, single.metrics.events);
+        assert!(run.metrics.net.is_active());
+
+        // On the full plan, the degree-weighted bottleneck (max per-node
+        // planned edges) never exceeds round-robin's.
+        let rr = ClusterExecutor::new(&tiled, &cfg, opts.spec, rr_cfg);
+        let deg = ClusterExecutor::new(&tiled, &cfg, opts.spec, deg_cfg);
+        let full = deg.planner.skeleton().full_plan();
+        let max_edges = |cl: &ClusterExecutor<'_>| {
+            cl.shard(&full)
+                .iter()
+                .map(|s| s.stats().edges_planned)
+                .max()
+                .unwrap()
+        };
+        assert!(
+            max_edges(&deg) <= max_edges(&rr),
+            "LPT assignment must not worsen the bottleneck: {} vs {}",
+            max_edges(&deg),
+            max_edges(&rr)
+        );
+    }
+
+    #[test]
+    fn one_node_degree_cluster_is_bit_identical_too() {
+        let g = graph();
+        let cfg = config();
+        let opts = PageRankOptions {
+            max_iterations: 3,
+            tolerance: 0.0,
+            ..PageRankOptions::default()
+        };
+        let single = run_pagerank(&g, &cfg, &opts).unwrap();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let mut cluster = ClusterExecutor::new(
+            &tiled,
+            &cfg,
+            opts.matrix_spec,
+            MultiNodeConfig::pcie_cluster(1).with_owner(OwnerPolicy::DegreeWeighted),
+        );
+        let run = run_pagerank_with(&g, &mut cluster, &opts).unwrap();
+        assert_eq!(run.values, single.values);
+        assert_eq!(run.metrics, single.metrics);
     }
 
     #[test]

@@ -77,23 +77,41 @@
 //! [`ScanPlan`]: crate::exec::plan::ScanPlan
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use graphr_graph::BYTES_PER_EDGE;
 use graphr_units::Nanos;
 use serde::{Deserialize, Serialize};
 
-use crate::exec::plan::ScanPlan;
+use crate::exec::plan::{PlanUnit, ScanPlan};
 use crate::metrics::Metrics;
 use crate::preprocess::tiler::TiledGraph;
+
+/// At what granularity the drive charges its fixed request latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RequestGranularity {
+    /// One request per on-disk block, loaded or seeked past — the
+    /// original model, kept as the default.
+    #[default]
+    Block,
+    /// One request per contiguous sequential-read segment of the
+    /// [`IoPlan`]: contiguity in the §3.4 streamed order is rewarded
+    /// (one long run costs one request however many blocks it crosses),
+    /// and seeked-past data costs nothing beyond the next segment's
+    /// request.
+    Segment,
+}
 
 /// Sequential-load characteristics of the backing store.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DiskModel {
     /// Sustained sequential read bandwidth, GB/s.
     pub sequential_gbps: f64,
-    /// Fixed per-block latency (request issue, seek-equivalent): charged
-    /// once per on-disk block whether the block is loaded or seeked past.
+    /// Fixed per-request latency (request issue, seek-equivalent); what
+    /// counts as a request is set by [`DiskModel::granularity`].
     pub per_block_latency: Nanos,
+    /// Request-charging granularity (per-block by default).
+    pub granularity: RequestGranularity,
 }
 
 impl DiskModel {
@@ -107,6 +125,7 @@ impl DiskModel {
         DiskModel {
             sequential_gbps: 0.5,
             per_block_latency: Nanos::from_micros(80.0),
+            granularity: RequestGranularity::Block,
         }
     }
 
@@ -116,34 +135,52 @@ impl DiskModel {
         DiskModel {
             sequential_gbps: 3.0,
             per_block_latency: Nanos::from_micros(15.0),
+            granularity: RequestGranularity::Block,
         }
     }
 
-    /// Looks a model up by its CLI/job-file name (`"sata"` or `"nvme"`);
-    /// `None` for anything else (including `"none"`, which callers map to
-    /// "no disk model").
+    /// Switches the model to segment-granular requests (see
+    /// [`RequestGranularity::Segment`]).
+    #[must_use]
+    pub fn with_segment_requests(mut self) -> Self {
+        self.granularity = RequestGranularity::Segment;
+        self
+    }
+
+    /// Looks a model up by its CLI/job-file name: `"sata"` or `"nvme"`
+    /// (per-block requests), `"sata-seg"` or `"nvme-seg"` (the same drive
+    /// with segment-granular requests); `None` for anything else
+    /// (including `"none"`, which callers map to "no disk model").
     #[must_use]
     pub fn by_name(name: &str) -> Option<DiskModel> {
         match name {
             "sata" => Some(DiskModel::sata_ssd()),
             "nvme" => Some(DiskModel::nvme()),
+            "sata-seg" => Some(DiskModel::sata_ssd().with_segment_requests()),
+            "nvme-seg" => Some(DiskModel::nvme().with_segment_requests()),
             _ => None,
         }
     }
 
     /// Time to service one scan's [`IoPlan`]: planned bytes at sequential
-    /// bandwidth, plus one [`DiskModel::per_block_latency`] per on-disk
-    /// block — loaded blocks pay it as the request issue, pruned blocks as
-    /// the seek past them (their data is never transferred).
+    /// bandwidth, plus the fixed request latency at the model's
+    /// [`RequestGranularity`] — per on-disk block by default (loaded
+    /// blocks pay it as the request issue, pruned blocks as the seek past
+    /// them; their data is never transferred), or per sequential segment
+    /// under [`RequestGranularity::Segment`], which rewards contiguity.
     ///
-    /// For the dense full plan this is exactly the per-iteration cost of
-    /// [`estimate_out_of_core`]'s legacy formula, which is what lets
-    /// per-iteration accounting sum back to the aggregate estimate when no
-    /// pruning occurs.
+    /// For the dense full plan under per-block requests this is exactly
+    /// the per-iteration cost of [`estimate_out_of_core`]'s legacy
+    /// formula, which is what lets per-iteration accounting sum back to
+    /// the aggregate estimate when no pruning occurs.
     #[must_use]
     pub fn plan_time(&self, io: &IoPlan) -> Nanos {
+        let requests = match self.granularity {
+            RequestGranularity::Block => io.blocks_loaded + io.blocks_seeked,
+            RequestGranularity::Segment => io.segments,
+        };
         Nanos::new(io.bytes_loaded as f64 / self.sequential_gbps)
-            + self.per_block_latency * (io.blocks_loaded + io.blocks_seeked) as f64
+            + self.per_block_latency * requests as f64
     }
 }
 
@@ -257,6 +294,12 @@ struct IoIndex {
     total_bytes: u64,
     /// The dense plan's IoPlan, precomputed.
     full: IoPlan,
+    /// Per strip unit: the ordinal list of the last plan content seen for
+    /// it, keyed by the `Arc<PlanUnit>` it was derived from. The
+    /// incremental planner carries untouched units between consecutive
+    /// plans pointer-equal, so only *touched* strips re-derive their
+    /// ordinals here — the disk side of delta re-planning.
+    unit_cache: HashMap<usize, (Arc<PlanUnit>, Arc<Vec<u32>>)>,
 }
 
 impl IoIndex {
@@ -280,14 +323,38 @@ impl IoIndex {
             total_blocks: tiled.blocks().len(),
             total_bytes: tiled.total_edges() as u64 * BYTES_PER_EDGE,
             full: IoPlan::full_restream(tiled),
+            unit_cache: HashMap::new(),
         }
     }
 
+    /// One unit's planned ordinals, served from the per-unit cache when
+    /// the plan carries the same `Arc` as the previous scan (untouched
+    /// strips under incremental re-planning), re-derived otherwise.
+    fn unit_ordinals(&mut self, punit: &Arc<PlanUnit>) -> Arc<Vec<u32>> {
+        let key = punit.unit.index;
+        if let Some((cached_unit, ordinals)) = self.unit_cache.get(&key) {
+            if Arc::ptr_eq(cached_unit, punit) {
+                return Arc::clone(ordinals);
+            }
+        }
+        let mut ordinals = Vec::with_capacity(punit.num_subgraphs());
+        for row in &punit.rows {
+            for &pos in &row.subgraphs {
+                ordinals.push(self.ordinals[&(row.block, punit.unit.strip, pos)]);
+            }
+        }
+        let ordinals = Arc::new(ordinals);
+        self.unit_cache
+            .insert(key, (Arc::clone(punit), Arc::clone(&ordinals)));
+        ordinals
+    }
+
     /// [`IoPlan::from_scan_plan`] in time proportional to the *plan*, not
-    /// the graph: planned ordinals are sorted once, runs of consecutive
-    /// ordinals are the sequential segments, block transitions count the
-    /// loaded blocks.
-    fn io_plan(&self, plan: &ScanPlan) -> IoPlan {
+    /// the graph: planned ordinals are gathered per unit (cached for
+    /// strips an incremental plan left untouched) and sorted once; runs
+    /// of consecutive ordinals are the sequential segments, block
+    /// transitions count the loaded blocks.
+    fn io_plan(&mut self, plan: &ScanPlan) -> IoPlan {
         // Full-restream short-circuit. Deliberately *not* `plan.is_full()`:
         // a cluster shard's stats are measured against its node's share,
         // so a shard of a dense plan reports zero pruned while covering
@@ -298,11 +365,7 @@ impl IoIndex {
         }
         let mut planned: Vec<u32> = Vec::with_capacity(plan.stats().subgraphs_planned as usize);
         for punit in plan.units() {
-            for row in &punit.rows {
-                for &pos in &row.subgraphs {
-                    planned.push(self.ordinals[&(row.block, punit.unit.strip, pos)]);
-                }
-            }
+            planned.extend(self.unit_ordinals(punit).iter());
         }
         planned.sort_unstable();
         let mut io = IoPlan::default();
@@ -609,7 +672,7 @@ mod tests {
         let g = Rmat::new(140, 900).seed(21).generate();
         let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
         let skeleton = PlanSkeleton::build(&tiled);
-        let index = IoIndex::build(&tiled);
+        let mut index = IoIndex::build(&tiled);
         assert_eq!(
             index.io_plan(&skeleton.full_plan()),
             IoPlan::from_scan_plan(&tiled, &skeleton.full_plan())
@@ -636,6 +699,76 @@ mod tests {
             index.io_plan(&empty),
             IoPlan::from_scan_plan(&tiled, &empty)
         );
+    }
+
+    #[test]
+    fn segment_requests_reward_contiguity_and_keep_block_default() {
+        let g = Rmat::new(120, 700).seed(5).generate();
+        let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let dense = IoPlan::from_scan_plan(&tiled, &skeleton.full_plan());
+
+        // The default stays per-block: `by_name` without the -seg suffix
+        // must price exactly as before.
+        let block = DiskModel::by_name("sata").unwrap();
+        assert_eq!(block.granularity, RequestGranularity::Block);
+        let legacy = Nanos::new(dense.bytes_loaded as f64 / block.sequential_gbps)
+            + block.per_block_latency * tiled.blocks().len() as f64;
+        assert_eq!(block.plan_time(&dense), legacy);
+
+        // Segment granularity: the dense restream is one contiguous run,
+        // so it pays one request instead of one per block.
+        let seg = DiskModel::by_name("sata-seg").unwrap();
+        assert_eq!(seg.granularity, RequestGranularity::Segment);
+        assert_eq!(
+            seg.plan_time(&dense),
+            Nanos::new(dense.bytes_loaded as f64 / seg.sequential_gbps) + seg.per_block_latency
+        );
+        assert!(seg.plan_time(&dense) <= block.plan_time(&dense));
+
+        // A fragmented pruned plan pays one request per segment — still
+        // charged for its fragmentation, never for seeked-past data.
+        let mut mask = vec![false; 120];
+        for v in (0..120).step_by(29) {
+            mask[v] = true;
+        }
+        let pruned = IoPlan::from_scan_plan(&tiled, &skeleton.pruned_plan(&tiled, &mask));
+        assert_eq!(
+            seg.plan_time(&pruned),
+            Nanos::new(pruned.bytes_loaded as f64 / seg.sequential_gbps)
+                + seg.per_block_latency * pruned.segments as f64
+        );
+    }
+
+    #[test]
+    fn unit_cache_serves_shared_arcs_and_invalidates_on_new_content() {
+        use crate::exec::planner::Planner;
+        use crate::metrics::PlanCounters;
+        use std::sync::Arc;
+
+        let g = graphr_graph::generators::structured::grid(16, 16);
+        let cfg = blocked_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let n = tiled.num_vertices();
+        let skeleton = Arc::new(PlanSkeleton::build(&tiled));
+        let mut planner = Planner::new(&tiled, Arc::clone(&skeleton));
+        let mut counters = PlanCounters::default();
+        let mut index = IoIndex::build(&tiled);
+
+        // Two overlapping frontiers: the second plan shares untouched
+        // units by Arc, and the indexed IoPlan must stay exact for both
+        // (cache hits on shared units, re-derivation on patched ones).
+        let mask1: Vec<bool> = (0..n).map(|v| v < n / 2).collect();
+        let mask2: Vec<bool> = (0..n).map(|v| v > 4 && v < n / 2 + 4).collect();
+        for mask in [&mask1, &mask2, &mask1] {
+            let plan = planner.plan_for(&cfg, Some(mask), &mut counters);
+            assert_eq!(
+                index.io_plan(&plan),
+                IoPlan::from_scan_plan(&tiled, &plan),
+                "cached per-unit ordinals must not change the IoPlan"
+            );
+        }
+        assert!(counters.delta_patches > 0, "frontiers must have patched");
     }
 
     #[test]

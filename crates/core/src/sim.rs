@@ -518,7 +518,10 @@ fn run_add_op_with(
     for _round in 0..cap {
         // Re-plan from the frontier: only subgraphs holding an active
         // source are streamed this round, so sparse iterations cost
-        // active work, not O(|E|).
+        // active work, not O(|E|). The engine's incremental planner
+        // diffs this frontier against the previous round's and patches
+        // the prior plan, so planning itself costs the delta, not a
+        // walk of the whole span table.
         let plan = exec.plan(Some(&active));
         let mut frontier = dist.clone();
         let mut updated = vec![false; n];

@@ -2,7 +2,8 @@
 //! print a metrics report.
 //!
 //! Usage: `graphr-run <JOBFILE> [--threads N] [--serial]
-//! [--disk sata|nvme|none] [--nodes N|single]`
+//! [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N|single]
+//! [--owner rr|degree]`
 //!
 //! Job files are line-oriented; `#` starts a comment. Directives:
 //!
@@ -12,8 +13,9 @@
 //! dataset <name> table3 <TAG> <scale>
 //! threads <n>
 //! mode serial|parallel
-//! disk sata|nvme|none
+//! disk sata|nvme|sata-seg|nvme-seg|none
 //! nodes <n>|single
+//! owner rr|degree
 //! job <app> <dataset> [key=value ...]
 //! ```
 //!
@@ -21,12 +23,16 @@
 //! `bfs`/`sssp` (source=), `wcc`, `cf` (features=, epochs=). The `disk`
 //! directive (overridable with `--disk`) runs every job in the
 //! out-of-core regime: scans price their disk loading plan-aware and the
-//! reports gain a disk-vs-compute breakdown. The `nodes` directive
+//! reports gain a disk-vs-compute breakdown (the `-seg` variants charge
+//! one request per sequential segment instead of one per on-disk block,
+//! rewarding contiguity). The `nodes` directive
 //! (overridable with `--nodes`) runs every job on a simulated multi-node
 //! cluster with PCIe-class links: plans are sharded by destination-strip
-//! ownership, the plan-aware property exchange is charged per iteration,
-//! and reports gain a network-vs-compute breakdown (`nodes 1` = a
-//! one-node cluster, bit-identical to single-node execution;
+//! ownership — round-robin by default, degree-weighted under
+//! `owner degree` / `--owner degree` (tightens the per-node bottleneck on
+//! power-law graphs) — the plan-aware property exchange is charged per
+//! iteration, and reports gain a network-vs-compute breakdown (`nodes 1`
+//! = a one-node cluster, bit-identical to single-node execution;
 //! `nodes single` — or `--nodes single` — opts back out of a cluster
 //! entirely, like `--disk none` does for storage). Both
 //! compose. An example lives at `examples/demo.jobs`; the full format and
@@ -36,7 +42,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use graphr_core::multinode::MultiNodeConfig;
+use graphr_core::multinode::{MultiNodeConfig, OwnerPolicy};
 use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{CfOptions, PageRankOptions, SpmvOptions, TraversalOptions};
 use graphr_core::GraphRConfig;
@@ -58,12 +64,14 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: graphr-run <JOBFILE> [--threads N] [--serial] \
-                         [--disk sata|nvme|none] [--nodes N]";
+                         [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N] \
+                         [--owner rr|degree]";
     let mut path = None;
     let mut threads_override = None;
     let mut force_serial = false;
     let mut disk_override = None;
     let mut nodes_override = None;
+    let mut owner_override = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -73,7 +81,9 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--serial" => force_serial = true,
             "--disk" => {
-                let v = it.next().ok_or("--disk needs a value (sata|nvme|none)")?;
+                let v = it
+                    .next()
+                    .ok_or("--disk needs a value (sata|nvme|sata-seg|nvme-seg|none)")?;
                 disk_override = Some(parse_disk(v)?);
             }
             "--nodes" => {
@@ -81,6 +91,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     .next()
                     .ok_or("--nodes needs a value (a count, or 'single')")?;
                 nodes_override = Some(parse_nodes(v)?);
+            }
+            "--owner" => {
+                let v = it.next().ok_or("--owner needs a value (rr|degree)")?;
+                owner_override = Some(parse_owner(v)?);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -104,8 +118,9 @@ fn run(args: &[String]) -> Result<(), String> {
         session = session.with_disk(model);
     }
     let nodes = nodes_override.unwrap_or(plan.nodes);
+    let owner = owner_override.unwrap_or(plan.owner);
     if let Some(n) = nodes {
-        session = session.with_cluster(MultiNodeConfig::pcie_cluster(n));
+        session = session.with_cluster(MultiNodeConfig::pcie_cluster(n).with_owner(owner));
     }
     let mode = if force_serial {
         ExecMode::Serial
@@ -126,7 +141,7 @@ fn run(args: &[String]) -> Result<(), String> {
         },
         match nodes {
             None => "single node".to_owned(),
-            Some(n) => format!("{n}-node cluster"),
+            Some(n) => format!("{n}-node cluster ({} ownership)", owner.name()),
         },
         plan.datasets.len(),
         plan.jobs.len()
@@ -170,6 +185,7 @@ struct Plan {
     mode: ExecMode,
     disk: Option<DiskModel>,
     nodes: Option<usize>,
+    owner: OwnerPolicy,
 }
 
 /// Parses a node count as used by `--nodes` and the `nodes` directive: a
@@ -191,14 +207,22 @@ fn parse_nodes(value: &str) -> Result<Option<usize>, String> {
 }
 
 /// Parses a disk name as used by `--disk` and the `disk` directive:
-/// `sata`/`nvme` select a model, `none` the in-core regime.
+/// `sata`/`nvme` select a model (append `-seg` for segment-granular
+/// requests), `none` the in-core regime.
 fn parse_disk(name: &str) -> Result<Option<DiskModel>, String> {
     if name == "none" {
         return Ok(None);
     }
-    DiskModel::by_name(name)
-        .map(Some)
-        .ok_or_else(|| format!("unknown disk model '{name}' (expected sata, nvme or none)"))
+    DiskModel::by_name(name).map(Some).ok_or_else(|| {
+        format!("unknown disk model '{name}' (expected sata, nvme, sata-seg, nvme-seg or none)")
+    })
+}
+
+/// Parses a strip-ownership policy as used by `--owner` and the `owner`
+/// directive.
+fn parse_owner(name: &str) -> Result<OwnerPolicy, String> {
+    OwnerPolicy::by_name(name)
+        .ok_or_else(|| format!("unknown ownership policy '{name}' (expected rr or degree)"))
 }
 
 fn parse_job_file(text: &str) -> Result<Plan, String> {
@@ -209,6 +233,7 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
         mode: ExecMode::Parallel,
         disk: None,
         nodes: None,
+        owner: OwnerPolicy::default(),
     };
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -234,9 +259,9 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
                 other => return Err(err(format!("unknown mode {other:?}"))),
             },
             "disk" => {
-                let v = fields
-                    .get(1)
-                    .ok_or_else(|| err("disk needs a value (sata|nvme|none)".into()))?;
+                let v = fields.get(1).ok_or_else(|| {
+                    err("disk needs a value (sata|nvme|sata-seg|nvme-seg|none)".into())
+                })?;
                 plan.disk = parse_disk(v).map_err(err)?;
             }
             "nodes" => {
@@ -244,6 +269,12 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
                     .get(1)
                     .ok_or_else(|| err("nodes needs a value (a count, or 'single')".into()))?;
                 plan.nodes = parse_nodes(v).map_err(err)?;
+            }
+            "owner" => {
+                let v = fields
+                    .get(1)
+                    .ok_or_else(|| err("owner needs a value (rr|degree)".into()))?;
+                plan.owner = parse_owner(v).map_err(err)?;
             }
             "job" => {
                 let job = parse_job(&fields, &plan.datasets).map_err(err)?;

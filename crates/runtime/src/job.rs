@@ -274,13 +274,18 @@ impl JobReport {
         self.output.metrics().events.bytes_streamed / graphr_graph::BYTES_PER_EDGE
     }
 
-    /// Renders the standard multi-line report block. Jobs that ran under a
-    /// disk model gain a `disk:` line with the plan-aware out-of-core
-    /// breakdown: bytes loaded vs seeked past, disk time vs compute time,
-    /// and the double-buffered (per-iteration overlapped) total. Jobs that
-    /// ran on a multi-node cluster gain a `net:` line with the plan-aware
-    /// interconnect breakdown: property bytes exchanged, exchange time vs
-    /// the bottleneck node's compute, and the composed cluster total.
+    /// Renders the standard multi-line report block. The `plan:` line
+    /// tells the whole planning story in one row: the pruning split
+    /// (subgraphs/edges planned vs pruned), the incremental planner's
+    /// reuse counters (delta patches vs full rebuilds, units reused,
+    /// host planning time), and the session's skeleton-cache traffic.
+    /// Jobs that ran under a disk model gain a `disk:` line with the
+    /// plan-aware out-of-core breakdown: bytes loaded vs seeked past,
+    /// disk time vs compute time, and the double-buffered (per-iteration
+    /// overlapped) total. Jobs that ran on a multi-node cluster gain a
+    /// `net:` line with the plan-aware interconnect breakdown: property
+    /// bytes exchanged, exchange time vs the bottleneck node's compute,
+    /// and the composed cluster total.
     #[must_use]
     pub fn render(&self) -> String {
         let m = self.output.metrics();
@@ -288,7 +293,7 @@ impl JobReport {
         let subgraphs_planned = ev.subgraphs_processed + ev.subgraphs_skipped_inactive;
         let streamed = self.edges_streamed();
         let mut report = format!(
-            "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  plan:       {} subgraphs planned / {} pruned; {} edges streamed / {} pruned",
+            "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  plan:       {} subgraphs planned / {} pruned; {} edges streamed / {} pruned; {} delta patches / {} rebuilds, {} units reused, planning {} (cache: {} hits / {} misses)",
             self.app,
             self.graph,
             self.output.summary(),
@@ -302,6 +307,12 @@ impl JobReport {
             ev.subgraphs_pruned,
             streamed,
             ev.edges_pruned,
+            m.plan.delta_patches,
+            m.plan.full_rebuilds,
+            m.plan.units_reused,
+            m.plan.time,
+            self.cache_hits,
+            self.cache_misses,
         );
         if m.disk.is_active() {
             let d = &m.disk;
@@ -352,10 +363,8 @@ impl JobReport {
             ));
         }
         report.push_str(&format!(
-            "\n  host wall:  {:.3} ms (cache: {} hits / {} misses, tiler {})",
+            "\n  host wall:  {:.3} ms (tiler {})",
             self.wall.as_secs_f64() * 1e3,
-            self.cache_hits,
-            self.cache_misses,
             if self.cache_hits > 0 { "warm" } else { "cold" },
         ));
         report

@@ -16,7 +16,10 @@
 //! * [`session::Session`] — a long-lived, thread-safe query session: a
 //!   preprocessed-graph cache keyed by *(graph id, tiling geometry,
 //!   streaming order)* with hit/miss counters, so repeated queries skip
-//!   the §3.4 tiler and reuse the cached plan skeleton; serial/parallel
+//!   the §3.4 tiler and reuse the cached plan skeleton plus the
+//!   incremental planner's graph-derived index (each engine gets a
+//!   fresh `Planner` stamped from it — frontier-delta re-planning
+//!   without re-walking the span table); serial/parallel
 //!   engine selection per job; batched multi-job submission; an
 //!   optional out-of-core disk configuration
 //!   ([`Session::with_disk`](session::Session::with_disk) /

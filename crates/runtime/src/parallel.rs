@@ -17,10 +17,12 @@
 //! full and pruned plans alike.
 //!
 //! [`StreamingExecutor`]: graphr_core::exec::StreamingExecutor
+//! [`PlanUnit`]: graphr_core::exec::PlanUnit
 
 use std::sync::Arc;
 
-use graphr_core::exec::plan::{PlanSkeleton, PlanUnit, ScanPlan};
+use graphr_core::exec::plan::{PlanSkeleton, ScanPlan};
+use graphr_core::exec::planner::Planner;
 use graphr_core::exec::strip::{mac_rego_capacity, StripScanner};
 use graphr_core::exec::{EdgeValueFn, ScanEngine};
 use graphr_core::outofcore::{DiskAccountant, DiskModel};
@@ -35,7 +37,7 @@ pub struct ParallelExecutor<'a> {
     tiled: &'a TiledGraph,
     config: &'a GraphRConfig,
     spec: FixedSpec,
-    skeleton: Arc<PlanSkeleton>,
+    planner: Planner,
     threads: usize,
     metrics: Metrics,
     disk: Option<DiskAccountant>,
@@ -68,6 +70,8 @@ impl<'a> ParallelExecutor<'a> {
 
     /// Creates an executor reusing an already-built plan skeleton (a
     /// session's cached one; it must have been built from this `tiled`).
+    /// Builds a fresh planner index — reuse a cached one via
+    /// [`ParallelExecutor::with_planner`] where available.
     #[must_use]
     pub fn with_skeleton(
         tiled: &'a TiledGraph,
@@ -76,11 +80,25 @@ impl<'a> ParallelExecutor<'a> {
         skeleton: Arc<PlanSkeleton>,
         threads: usize,
     ) -> Self {
+        Self::with_planner(tiled, config, spec, Planner::new(tiled, skeleton), threads)
+    }
+
+    /// Creates an executor around a prepared incremental
+    /// [`Planner`] (typically stamped out from a session's cached
+    /// skeleton + planner index; both must come from this `tiled`).
+    #[must_use]
+    pub fn with_planner(
+        tiled: &'a TiledGraph,
+        config: &'a GraphRConfig,
+        spec: FixedSpec,
+        planner: Planner,
+        threads: usize,
+    ) -> Self {
         ParallelExecutor {
             tiled,
             config,
             spec,
-            skeleton,
+            planner,
             threads: threads.max(1),
             metrics: Metrics::new(),
             disk: None,
@@ -107,7 +125,7 @@ impl<'a> ParallelExecutor<'a> {
     /// The scan units of the full plan (one per global destination strip).
     #[must_use]
     pub fn num_units(&self) -> usize {
-        self.skeleton.num_units()
+        self.planner.skeleton().num_units()
     }
 
     /// Consumes the executor, yielding its metrics (closing any open disk
@@ -122,8 +140,9 @@ impl<'a> ParallelExecutor<'a> {
 }
 
 impl ScanEngine for ParallelExecutor<'_> {
-    fn plan(&self, active: Option<&[bool]>) -> Arc<ScanPlan> {
-        self.skeleton.plan_for(self.tiled, self.config, active)
+    fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan> {
+        self.planner
+            .plan_for(self.config, active, &mut self.metrics.plan)
     }
 
     fn scan_mac_planned(
@@ -140,7 +159,7 @@ impl ScanEngine for ParallelExecutor<'_> {
         }
         let width = self.config.strip_width();
         let (tiled, config, spec) = (self.tiled, self.config, self.spec);
-        let punits: &[PlanUnit] = plan.units();
+        let punits = plan.units();
 
         // Fan out: one task per planned destination strip, private scanner
         // per worker, unit-local outputs.
@@ -205,7 +224,7 @@ impl ScanEngine for ParallelExecutor<'_> {
             "updated mask must have one entry per vertex"
         );
         let (tiled, config, spec) = (self.tiled, self.config, self.spec);
-        let punits: &[PlanUnit] = plan.units();
+        let punits = plan.units();
         let frontier_in: &[f64] = frontier;
         let updated_in: &[bool] = updated;
 

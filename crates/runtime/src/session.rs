@@ -8,10 +8,12 @@
 //! order, graph variant)* and shares it across every job that needs it —
 //! repeated queries skip the tiler entirely. The cache entry also carries
 //! the graph's [`PlanSkeleton`] (unit table + dense plan over the tiler's
-//! source-range index), so warm jobs stamp out per-iteration pruned
-//! [`ScanPlan`](graphr_core::exec::ScanPlan)s without re-enumerating
-//! units. Hits and misses are counted, and the cache is safe to use from
-//! concurrent batch jobs.
+//! source-range index) and the incremental planner's
+//! [`PlannerIndex`], so warm jobs stamp out per-engine
+//! [`Planner`]s — frontier-delta re-planning of per-iteration
+//! [`ScanPlan`](graphr_core::exec::ScanPlan)s — without re-enumerating
+//! units or re-walking the span table. Hits and misses are counted, and
+//! the cache is safe to use from concurrent batch jobs.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -21,6 +23,7 @@ use std::time::Instant;
 
 use graphr_core::config::StreamingOrder;
 use graphr_core::exec::plan::PlanSkeleton;
+use graphr_core::exec::planner::{Planner, PlannerIndex};
 use graphr_core::exec::{ScanEngine, StreamingExecutor};
 use graphr_core::multinode::{ClusterExecutor, MultiNodeConfig};
 use graphr_core::outofcore::DiskModel;
@@ -126,12 +129,23 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// A cached preprocessing: the tiled graph plus the plan skeleton built
-/// over it, shared by every job on the same (graph, geometry) key.
+/// A cached preprocessing: the tiled graph plus the plan skeleton and the
+/// incremental planner's graph-derived index built over it, shared by
+/// every job on the same (graph, geometry) key. Engines stamp out cheap
+/// per-run [`Planner`]s from the cached state instead of re-walking the
+/// span table.
 #[derive(Clone)]
 struct CachedTiling {
     tiled: Arc<TiledGraph>,
     skeleton: Arc<PlanSkeleton>,
+    planner_index: Arc<PlannerIndex>,
+}
+
+impl CachedTiling {
+    /// A fresh incremental planner over the cached skeleton + index.
+    fn planner(&self) -> Planner {
+        Planner::with_index(Arc::clone(&self.skeleton), Arc::clone(&self.planner_index))
+    }
 }
 
 /// A long-lived, thread-safe query session over the simulator stack.
@@ -302,12 +316,18 @@ impl Session {
         };
         let tiled = Arc::new(TiledGraph::preprocess(graph, config)?);
         let skeleton = Arc::new(PlanSkeleton::build(&tiled));
-        let entry = CachedTiling { tiled, skeleton };
+        let planner_index = Arc::new(PlannerIndex::build(&tiled));
+        let entry = CachedTiling {
+            tiled,
+            skeleton,
+            planner_index,
+        };
         self.tilings.lock().insert(key, entry.clone());
         Ok(entry)
     }
 
-    /// One single-node engine of the requested mode over a cached tiling.
+    /// One single-node engine of the requested mode over a cached tiling,
+    /// carrying a planner stamped out from the cached skeleton + index.
     fn node_engine<'a>(
         mode: ExecMode,
         tiling: &'a CachedTiling,
@@ -315,19 +335,18 @@ impl Session {
         spec: FixedSpec,
         scan_threads: usize,
     ) -> Box<dyn ScanEngine + 'a> {
-        let skeleton = Arc::clone(&tiling.skeleton);
         match mode {
-            ExecMode::Serial => Box::new(StreamingExecutor::with_skeleton(
+            ExecMode::Serial => Box::new(StreamingExecutor::with_planner(
                 &tiling.tiled,
                 config,
                 spec,
-                skeleton,
+                tiling.planner(),
             )),
-            ExecMode::Parallel => Box::new(ParallelExecutor::with_skeleton(
+            ExecMode::Parallel => Box::new(ParallelExecutor::with_planner(
                 &tiling.tiled,
                 config,
                 spec,
-                skeleton,
+                tiling.planner(),
                 scan_threads,
             )),
         }
@@ -353,7 +372,7 @@ impl Session {
                 &tiling.tiled,
                 config,
                 c,
-                Arc::clone(&tiling.skeleton),
+                tiling.planner(),
                 |_node| Self::node_engine(mode, tiling, config, spec, scan_threads),
             )),
             None => Self::node_engine(mode, tiling, config, spec, scan_threads),

@@ -1,0 +1,280 @@
+//! Property tests of the incremental planner subsystem: for random
+//! frontier sequences, a delta-patched plan must be **bit-identical** —
+//! units, `PlanStats`, and the full downstream `Metrics` of executing it
+//! — to a plan rebuilt from scratch for the same mask, on the serial,
+//! parallel, and cluster engines alike. The planner may only differ in
+//! *cost*, reported through `Metrics::plan`.
+
+use std::sync::Arc;
+
+use graphr_repro::core::exec::planner::Planner;
+use graphr_repro::core::exec::{PlanSkeleton, ScanEngine, StreamingExecutor};
+use graphr_repro::core::metrics::PlanCounters;
+use graphr_repro::core::multinode::{ClusterExecutor, MultiNodeConfig, OwnerPolicy};
+use graphr_repro::core::{GraphRConfig, Metrics, TiledGraph};
+use graphr_repro::graph::generators::rmat::Rmat;
+use graphr_repro::graph::generators::structured::grid;
+use graphr_repro::units::FixedSpec;
+use graphr_runtime::ParallelExecutor;
+use proptest::prelude::*;
+
+fn test_config() -> GraphRConfig {
+    GraphRConfig::builder()
+        .crossbar_size(4)
+        .crossbars_per_ge(8)
+        .num_ges(2)
+        .build()
+        .expect("valid test geometry")
+}
+
+/// A deterministic pseudo-random mask sequence that evolves by flipping a
+/// bounded number of vertices per step — the overlap profile delta
+/// patching exists for, with occasional dense flips mixed in.
+fn mask_sequence(n: usize, seed: u64, steps: usize) -> Vec<Vec<bool>> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let mut mask = vec![false; n];
+    for bit in &mut mask {
+        *bit = next() % 4 == 0;
+    }
+    let mut out = Vec::with_capacity(steps);
+    out.push(mask.clone());
+    for step in 1..steps {
+        if step % 5 == 4 {
+            // A dense jump: most chunks flip, exercising the rebuild
+            // fallback mid-sequence.
+            for bit in &mut mask {
+                *bit = next() % 3 == 0;
+            }
+        } else {
+            let flips = (next() as usize % (n / 4 + 1)).max(1);
+            for _ in 0..flips {
+                let v = next() as usize % n;
+                mask[v] = !mask[v];
+            }
+        }
+        out.push(mask.clone());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The core contract: over a random frontier sequence, every plan the
+    /// stateful planner emits equals the scratch rebuild — units (content
+    /// *and* merge order) and `PlanStats` both, via `ScanPlan`'s
+    /// `PartialEq`.
+    #[test]
+    fn delta_patched_plans_equal_scratch_rebuilt_plans(
+        n in 8usize..140,
+        m in 0usize..600,
+        seed in 0u64..24,
+        steps in 2usize..10,
+    ) {
+        let g = Rmat::new(n, m).seed(seed).max_weight(9).generate();
+        let config = test_config();
+        let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
+        let skeleton = Arc::new(PlanSkeleton::build(&tiled));
+        let mut planner = Planner::new(&tiled, Arc::clone(&skeleton));
+        let mut counters = PlanCounters::default();
+        for (step, mask) in mask_sequence(n, seed, steps).iter().enumerate() {
+            let plan = planner.plan_for(&config, Some(mask), &mut counters);
+            let scratch = skeleton.pruned_plan(&tiled, mask);
+            prop_assert_eq!(&*plan, &scratch, "step {} diverged", step);
+        }
+        prop_assert_eq!(
+            counters.full_rebuilds + counters.delta_patches,
+            steps as u64,
+            "every masked request must be accounted as rebuild or patch"
+        );
+    }
+
+    /// End-to-end determinism: a full SSSP run whose iterations plan
+    /// through the engine (delta patching under the hood) produces
+    /// bit-identical distances, per-round activations and Metrics to the
+    /// same loop fed scratch-rebuilt plans — on serial, parallel, and
+    /// cluster engines.
+    #[test]
+    fn engine_runs_match_scratch_planned_runs(
+        n in 8usize..100,
+        m in 0usize..450,
+        seed in 0u64..16,
+        nodes in 2usize..5,
+    ) {
+        let g = Rmat::new(n, m).seed(seed).max_weight(9).generate();
+        let config = test_config();
+        let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
+        let skeleton = Arc::new(PlanSkeleton::build(&tiled));
+        let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+
+        let scratch = scratch_planned_sssp(&tiled, &config, &skeleton, spec);
+        let mut serial = StreamingExecutor::new(&tiled, &config, spec);
+        let mut parallel = ParallelExecutor::with_threads(&tiled, &config, spec, 4);
+        let mut cluster = ClusterExecutor::new(
+            &tiled,
+            &config,
+            spec,
+            MultiNodeConfig::pcie_cluster(nodes).with_owner(OwnerPolicy::DegreeWeighted),
+        );
+        let engines: [(&str, &mut dyn ScanEngine); 3] = [
+            ("serial", &mut serial),
+            ("parallel", &mut parallel),
+            ("cluster", &mut cluster),
+        ];
+        for (name, exec) in engines {
+            let (dist, rows, metrics) = engine_planned_sssp(exec, spec, n);
+            prop_assert_eq!(&dist, &scratch.0, "{} distances diverged", name);
+            prop_assert_eq!(&rows, &scratch.1, "{} activations diverged", name);
+            if name == "serial" {
+                // Downstream Metrics must match bit for bit once the
+                // planner's own cost counters are set aside (the two
+                // loops planned differently on purpose).
+                let mut a = metrics.clone();
+                let mut b = scratch.2.clone();
+                a.plan = PlanCounters::default();
+                b.plan = PlanCounters::default();
+                prop_assert_eq!(a, b, "serial Metrics diverged");
+            } else {
+                // Parallel merges in plan order; the cluster additionally
+                // composes elapsed/net — events stay exactly the scan's.
+                prop_assert_eq!(metrics.events, scratch.2.events, "{} events diverged", name);
+                prop_assert_eq!(metrics.iterations, scratch.2.iterations);
+            }
+        }
+    }
+}
+
+type SsspTrace = (Vec<f64>, Vec<u64>, Metrics);
+
+/// The SSSP loop with every iteration's plan rebuilt from scratch through
+/// the stateless skeleton — the pre-planner baseline.
+fn scratch_planned_sssp(
+    tiled: &TiledGraph,
+    config: &GraphRConfig,
+    skeleton: &PlanSkeleton,
+    spec: FixedSpec,
+) -> SsspTrace {
+    let mut exec = StreamingExecutor::new(tiled, config, spec);
+    let n = tiled.num_vertices();
+    let inf = spec.max_value();
+    let mut dist = vec![inf; n];
+    dist[0] = 0.0;
+    let mut active = vec![false; n];
+    active[0] = true;
+    let mut rows_history = Vec::new();
+    for _ in 0..n {
+        let plan = skeleton.pruned_plan(tiled, &active);
+        let mut frontier = dist.clone();
+        let mut updated = vec![false; n];
+        rows_history.push(exec.scan_add_op_planned(
+            &plan,
+            &|w, _, _| f64::from(w),
+            &|du, w| du + w,
+            &dist,
+            &active,
+            &mut frontier,
+            &mut updated,
+        ));
+        exec.end_iteration();
+        dist = frontier;
+        active = updated;
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+    }
+    (dist, rows_history, exec.into_metrics())
+}
+
+/// The same loop planning through the engine (`exec.plan`), i.e. the
+/// incremental planner.
+fn engine_planned_sssp(exec: &mut dyn ScanEngine, spec: FixedSpec, n: usize) -> SsspTrace {
+    let inf = spec.max_value();
+    let mut dist = vec![inf; n];
+    dist[0] = 0.0;
+    let mut active = vec![false; n];
+    active[0] = true;
+    let mut rows_history = Vec::new();
+    for _ in 0..n {
+        let plan = exec.plan(Some(&active));
+        let mut frontier = dist.clone();
+        let mut updated = vec![false; n];
+        rows_history.push(exec.scan_add_op_planned(
+            &plan,
+            &|w, _, _| f64::from(w),
+            &|du, w| du + w,
+            &dist,
+            &active,
+            &mut frontier,
+            &mut updated,
+        ));
+        exec.end_iteration();
+        dist = frontier;
+        active = updated;
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+    }
+    (dist, rows_history, exec.take_metrics())
+}
+
+/// On a high-diameter grid BFS the planner must overwhelmingly patch —
+/// one rebuild for the first frontier, deltas after — and reuse planned
+/// units across rounds, while serial and parallel engines agree on the
+/// full Metrics (planning counters included: both planned the same
+/// sequence).
+#[test]
+fn grid_bfs_patches_dominate_and_engines_agree() {
+    let g = grid(40, 40);
+    let config = test_config();
+    let tiled = TiledGraph::preprocess(&g, &config).expect("grid tiles");
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    let n = tiled.num_vertices();
+
+    let mut serial = StreamingExecutor::new(&tiled, &config, spec);
+    let (dist_s, _, m_serial) = engine_planned_sssp(&mut serial, spec, n);
+    let mut parallel = ParallelExecutor::with_threads(&tiled, &config, spec, 3);
+    let (dist_p, _, m_parallel) = engine_planned_sssp(&mut parallel, spec, n);
+
+    assert_eq!(dist_s, dist_p);
+    assert_eq!(
+        m_serial, m_parallel,
+        "identical plan sequences must yield identical Metrics, planner counters included"
+    );
+    assert!(
+        m_serial.plan.delta_patches > m_serial.plan.full_rebuilds,
+        "overlapping BFS frontiers must mostly patch: {:?}",
+        m_serial.plan
+    );
+    assert!(m_serial.plan.units_reused > 0);
+}
+
+/// The cluster re-shards each patched plan by `Arc` clone: a one-node
+/// degree-weighted cluster running the engine-planned loop stays
+/// bit-identical to the serial engine, planning counters included.
+#[test]
+fn one_node_cluster_engine_planned_run_is_bit_identical() {
+    let g = Rmat::new(180, 1100).seed(7).max_weight(9).generate();
+    let config = test_config();
+    let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    let n = tiled.num_vertices();
+
+    let mut serial = StreamingExecutor::new(&tiled, &config, spec);
+    let single = engine_planned_sssp(&mut serial, spec, n);
+    let mut cluster = ClusterExecutor::new(
+        &tiled,
+        &config,
+        spec,
+        MultiNodeConfig::pcie_cluster(1).with_owner(OwnerPolicy::DegreeWeighted),
+    );
+    let clustered = engine_planned_sssp(&mut cluster, spec, n);
+    assert_eq!(single.0, clustered.0);
+    assert_eq!(single.1, clustered.1);
+    assert_eq!(single.2, clustered.2, "full Metrics must agree");
+}
