@@ -108,6 +108,7 @@ fn main() {
     incremental_planner_case();
     out_of_core_sparse_frontier_case(threads);
     cluster_sparse_frontier_case();
+    tracing_overhead_case();
 }
 
 /// BFS over a dense-plan scan loop runs every iteration in O(|E|); the
@@ -306,6 +307,74 @@ fn incremental_planner_case() {
         t_delta * 1e3,
         t_scratch * 1e3,
         t_scratch / t_delta.max(1e-9),
+    );
+}
+
+/// The telemetry tax: the same sparse-frontier BFS with a trace sink
+/// attached vs without. Tracing is an observation — labels and the full
+/// `Metrics` must be bit-identical either way (asserted) — and its host
+/// cost is a handful of mutex-guarded pushes per iteration, reported here
+/// as an overhead ratio.
+fn tracing_overhead_case() {
+    use graphr_core::trace::{TraceHandle, TraceSink};
+
+    let g = grid(120, 120);
+    let config = GraphRConfig::builder()
+        .crossbar_size(8)
+        .crossbars_per_ge(32)
+        .num_ges(4)
+        .build()
+        .expect("valid bench geometry");
+    let tiled = TiledGraph::preprocess(&g, &config).expect("grid tiles");
+    let n = tiled.num_vertices();
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+
+    let plain_run = || {
+        let mut exec = StreamingExecutor::new(&tiled, &config, spec);
+        bfs_rounds_on(&mut exec, spec, n, true)
+    };
+    let traced_run = || {
+        let sink = TraceSink::shared();
+        let mut exec = StreamingExecutor::new(&tiled, &config, spec);
+        exec.set_trace(Some(TraceHandle::new(std::sync::Arc::clone(&sink))));
+        let out = bfs_rounds_on(&mut exec, spec, n, true);
+        (out, sink)
+    };
+
+    let (d_plain, m_plain) = plain_run();
+    let ((d_traced, m_traced), sink) = traced_run();
+    assert_eq!(d_plain, d_traced, "tracing must not change labels");
+    assert_eq!(
+        m_plain, m_traced,
+        "tracing must not change Metrics — it only observes"
+    );
+    assert!(!sink.is_empty(), "the sink must have seen the run");
+
+    let t_plain = best_of(3, || {
+        let start = Instant::now();
+        let _ = plain_run();
+        start.elapsed()
+    });
+    let t_traced = best_of(3, || {
+        let start = Instant::now();
+        let _ = traced_run();
+        start.elapsed()
+    });
+    // Host timing is noisy; only the absurd direction would indicate a
+    // bug (tracing making the *untraced* run look slower than 2x).
+    assert!(
+        t_plain <= t_traced * 2.0,
+        "untraced runs can't cost 2x a traced run: {:.3} ms vs {:.3} ms",
+        t_plain * 1e3,
+        t_traced * 1e3
+    );
+    println!(
+        "  tracing overhead (120x120 grid bfs, {} rounds, {} events): plain {:.3} ms vs traced {:.3} ms → {:.2}x",
+        m_traced.iterations,
+        sink.len(),
+        t_plain * 1e3,
+        t_traced * 1e3,
+        t_traced / t_plain.max(1e-9),
     );
 }
 

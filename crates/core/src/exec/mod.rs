@@ -52,6 +52,7 @@ use std::sync::Arc;
 
 use crate::metrics::Metrics;
 use crate::outofcore::DiskModel;
+use crate::trace::TraceHandle;
 
 /// An executor capable of running the two streaming-apply scan
 /// primitives over [`ScanPlan`]s. Implemented by the serial
@@ -127,6 +128,23 @@ pub trait ScanEngine {
     /// route through the same [`DiskAccountant`](crate::outofcore::DiskAccountant),
     /// so serial and parallel disk accounting stay bit-identical.
     fn set_disk(&mut self, disk: Option<DiskModel>);
+
+    /// Attaches (or detaches, with `None`) a trace handle: while
+    /// attached, the engine emits per-iteration
+    /// [`TraceData`](crate::trace::TraceData) span events (compute, disk
+    /// windows, plan decisions) into the handle's sink. Tracing only
+    /// *observes* the engine's [`Metrics`] — attaching a handle never
+    /// changes results or accounting. Defaulted to a no-op so existing
+    /// engines (and test doubles) stay valid without telemetry.
+    fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        let _ = trace;
+    }
+
+    /// The attached trace handle, if any (drivers clone it to emit their
+    /// own per-iteration snapshots alongside the engine's spans).
+    fn trace(&self) -> Option<&TraceHandle> {
+        None
+    }
 
     /// Marks the end of one algorithm iteration.
     fn end_iteration(&mut self);

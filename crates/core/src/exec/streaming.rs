@@ -50,6 +50,7 @@ use crate::exec::ScanEngine;
 use crate::metrics::Metrics;
 use crate::outofcore::{DiskAccountant, DiskModel};
 use crate::preprocess::tiler::TiledGraph;
+use crate::trace::{SpanMark, TraceHandle};
 
 /// Computes the value programmed into a crossbar cell for an edge:
 /// `(weight, src, dst) → value`. This is the `processEdge`-side transform —
@@ -67,6 +68,11 @@ pub struct StreamingExecutor<'a> {
     planner: Planner,
     metrics: Metrics,
     disk: Option<DiskAccountant>,
+    /// Attached telemetry emitter (observation only; never feeds back
+    /// into `metrics`).
+    trace: Option<TraceHandle>,
+    /// Where the last emitted compute span ended.
+    span_mark: SpanMark,
 }
 
 impl<'a> StreamingExecutor<'a> {
@@ -113,6 +119,8 @@ impl<'a> StreamingExecutor<'a> {
             planner,
             metrics: Metrics::new(),
             disk: None,
+            trace: None,
+            span_mark: SpanMark::default(),
         }
     }
 
@@ -134,8 +142,14 @@ impl<'a> StreamingExecutor<'a> {
     /// accounting window first).
     #[must_use]
     pub fn into_metrics(mut self) -> Metrics {
+        if let Some(trace) = &self.trace {
+            trace.record_compute(&mut self.span_mark, &self.metrics);
+        }
         if let Some(disk) = &mut self.disk {
-            disk.commit(&mut self.metrics);
+            let window = disk.commit(&mut self.metrics);
+            if let Some(trace) = &self.trace {
+                trace.record_disk(&window);
+            }
         }
         self.metrics
     }
@@ -146,8 +160,14 @@ impl<'a> StreamingExecutor<'a> {
     /// compute, never against a neighbouring iteration's.
     pub fn end_iteration(&mut self) {
         self.metrics.charge_iteration(self.config.ge_cycle());
+        if let Some(trace) = &self.trace {
+            trace.record_compute(&mut self.span_mark, &self.metrics);
+        }
         if let Some(disk) = &mut self.disk {
-            disk.commit(&mut self.metrics);
+            let window = disk.commit(&mut self.metrics);
+            if let Some(trace) = &self.trace {
+                trace.record_disk(&window);
+            }
         }
     }
 
@@ -307,8 +327,14 @@ impl<'a> StreamingExecutor<'a> {
 
 impl ScanEngine for StreamingExecutor<'_> {
     fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan> {
-        self.planner
-            .plan_for(self.config, active, &mut self.metrics.plan)
+        let before = self.metrics.plan;
+        let plan = self
+            .planner
+            .plan_for(self.config, active, &mut self.metrics.plan);
+        if let Some(trace) = &self.trace {
+            trace.record_plan(&before, &self.metrics.plan);
+        }
+        plan
     }
 
     fn scan_mac_planned(
@@ -337,9 +363,23 @@ impl ScanEngine for StreamingExecutor<'_> {
 
     fn set_disk(&mut self, disk: Option<DiskModel>) {
         if let Some(acc) = &mut self.disk {
-            acc.commit(&mut self.metrics);
+            let window = acc.commit(&mut self.metrics);
+            if let Some(trace) = &self.trace {
+                trace.record_disk(&window);
+            }
         }
         self.disk = disk.map(|model| DiskAccountant::new(model, self.metrics.elapsed));
+    }
+
+    fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        // Anchor the next compute span at the current state, so a handle
+        // attached mid-run does not backdate a span to time zero.
+        self.span_mark = SpanMark::at(&self.metrics);
+        self.trace = trace;
+    }
+
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
     }
 
     fn end_iteration(&mut self) {
@@ -351,10 +391,19 @@ impl ScanEngine for StreamingExecutor<'_> {
     }
 
     fn take_metrics(&mut self) -> Metrics {
+        // A trailing span covers scans since the last iteration boundary
+        // (e.g. CF's transposed pass, which never calls end_iteration).
+        if let Some(trace) = &self.trace {
+            trace.record_compute(&mut self.span_mark, &self.metrics);
+        }
         if let Some(disk) = &mut self.disk {
-            disk.commit(&mut self.metrics);
+            let window = disk.commit(&mut self.metrics);
+            if let Some(trace) = &self.trace {
+                trace.record_disk(&window);
+            }
             disk.reset();
         }
+        self.span_mark = SpanMark::default();
         std::mem::take(&mut self.metrics)
     }
 }

@@ -33,7 +33,11 @@
 //!   charges the plan-aware per-iteration property exchange into
 //!   [`metrics::NetCounters`],
 //! * [`sim`] — the top-level façade: run an algorithm on a graph, get the
-//!   algorithm result plus a full time/energy [`metrics::Metrics`] report.
+//!   algorithm result plus a full time/energy [`metrics::Metrics`] report,
+//! * [`trace`] — run telemetry: per-iteration [`trace::TraceEvent`]s on
+//!   the simulated clock, collected by a [`trace::TraceSink`] any engine
+//!   or driver emits into, exportable as JSONL or a Chrome/Perfetto
+//!   trace-event timeline.
 //!
 //! # Examples
 //!
@@ -61,6 +65,7 @@ pub mod outofcore;
 pub mod preprocess;
 pub mod program;
 pub mod sim;
+pub mod trace;
 
 pub use config::{ConfigError, Fidelity, GraphRConfig, StreamingOrder};
 pub use metrics::Metrics;

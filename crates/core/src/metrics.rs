@@ -54,6 +54,35 @@ pub struct EventCounters {
     pub rego_capacity_required: u64,
 }
 
+impl EventCounters {
+    /// What one iteration added on top of `prev` (a snapshot of the same
+    /// run taken earlier): every counter is the plain difference except
+    /// `rego_capacity_required`, which is a running **maximum** — the
+    /// delta carries the maximum observed so far, mirroring how
+    /// [`Metrics::merge`] composes it.
+    #[must_use]
+    pub fn delta_since(&self, prev: &EventCounters) -> EventCounters {
+        EventCounters {
+            subgraphs_processed: self.subgraphs_processed - prev.subgraphs_processed,
+            subgraphs_skipped_empty: self.subgraphs_skipped_empty - prev.subgraphs_skipped_empty,
+            subgraphs_skipped_inactive: self.subgraphs_skipped_inactive
+                - prev.subgraphs_skipped_inactive,
+            subgraphs_pruned: self.subgraphs_pruned - prev.subgraphs_pruned,
+            edges_pruned: self.edges_pruned - prev.edges_pruned,
+            tiles_loaded: self.tiles_loaded - prev.tiles_loaded,
+            edges_loaded: self.edges_loaded - prev.edges_loaded,
+            mvm_scans: self.mvm_scans - prev.mvm_scans,
+            rows_activated: self.rows_activated - prev.rows_activated,
+            adc_conversions: self.adc_conversions - prev.adc_conversions,
+            salu_ops: self.salu_ops - prev.salu_ops,
+            register_reads: self.register_reads - prev.register_reads,
+            register_writes: self.register_writes - prev.register_writes,
+            bytes_streamed: self.bytes_streamed - prev.bytes_streamed,
+            rego_capacity_required: self.rego_capacity_required,
+        }
+    }
+}
+
 /// Incremental-planner accounting: how each iteration's [`ScanPlan`] was
 /// obtained, filled in by the engines'
 /// [`Planner`](crate::exec::planner::Planner) (all-zero for runs that
@@ -69,7 +98,11 @@ pub struct EventCounters {
 /// path exists to shrink), measured on whatever machine ran the
 /// simulation. It is deliberately excluded from equality: the
 /// determinism contract covers simulated results and accounting, which
-/// must not depend on host timing jitter.
+/// must not depend on host timing jitter. It is the **only** host-measured
+/// field inside the otherwise fully simulated [`Metrics`]; the trace
+/// subsystem mirrors the same split — host-side timestamps live in
+/// [`HostTimes`](crate::trace::HostTimes) and are likewise excluded from
+/// [`TraceEvent`](crate::trace::TraceEvent) equality.
 ///
 /// [`ScanPlan`]: crate::exec::plan::ScanPlan
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -101,6 +134,22 @@ impl PartialEq for PlanCounters {
     }
 }
 
+impl PlanCounters {
+    /// What one iteration added on top of `prev` (plain differences;
+    /// `time` is the host-clock difference and inherits the
+    /// excluded-from-equality treatment).
+    #[must_use]
+    pub fn delta_since(&self, prev: &PlanCounters) -> PlanCounters {
+        PlanCounters {
+            full_rebuilds: self.full_rebuilds - prev.full_rebuilds,
+            delta_patches: self.delta_patches - prev.delta_patches,
+            units_reused: self.units_reused - prev.units_reused,
+            units_patched: self.units_patched - prev.units_patched,
+            time: self.time - prev.time,
+        }
+    }
+}
+
 /// Wall-clock decomposition (raw per-phase sums; with pipelining the
 /// effective total is less than the sum of parts).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -120,6 +169,18 @@ impl TimeBreakdown {
     #[must_use]
     pub fn serial_total(&self) -> Nanos {
         self.program + self.compute + self.memory + self.apply
+    }
+
+    /// What one iteration added on top of `prev` (plain per-phase
+    /// differences).
+    #[must_use]
+    pub fn delta_since(&self, prev: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            program: self.program - prev.program,
+            compute: self.compute - prev.compute,
+            memory: self.memory - prev.memory,
+            apply: self.apply - prev.apply,
+        }
     }
 }
 
@@ -170,6 +231,19 @@ impl DiskCounters {
     pub fn is_disk_bound(&self, compute: Nanos) -> bool {
         self.time > compute
     }
+
+    /// What one iteration added on top of `prev` (plain differences).
+    #[must_use]
+    pub fn delta_since(&self, prev: &DiskCounters) -> DiskCounters {
+        DiskCounters {
+            bytes_loaded: self.bytes_loaded - prev.bytes_loaded,
+            blocks_loaded: self.blocks_loaded - prev.blocks_loaded,
+            blocks_seeked: self.blocks_seeked - prev.blocks_seeked,
+            io_segments: self.io_segments - prev.io_segments,
+            time: self.time - prev.time,
+            overlapped: self.overlapped - prev.overlapped,
+        }
+    }
 }
 
 /// Plan-aware multi-node interconnect accounting, filled in only when a
@@ -217,6 +291,18 @@ impl NetCounters {
     #[must_use]
     pub fn is_network_bound(&self, compute: Nanos) -> bool {
         self.time > compute
+    }
+
+    /// What one iteration added on top of `prev` (plain differences).
+    #[must_use]
+    pub fn delta_since(&self, prev: &NetCounters) -> NetCounters {
+        NetCounters {
+            bytes_exchanged: self.bytes_exchanged - prev.bytes_exchanged,
+            exchanges: self.exchanges - prev.exchanges,
+            time: self.time - prev.time,
+            overlapped: self.overlapped - prev.overlapped,
+            energy: self.energy - prev.energy,
+        }
     }
 }
 
@@ -288,6 +374,83 @@ impl Metrics {
         } else {
             skipped as f64 / total as f64
         }
+    }
+
+    /// Internal-consistency check of the accounting, so tests can make
+    /// bookkeeping bugs fail loudly instead of silently skewing results.
+    ///
+    /// Checked invariants (all context-free — they must hold for any
+    /// engine, serial, parallel, or cluster-composed):
+    ///
+    /// * [`Metrics::skip_fraction`] lies in `[0, 1]`,
+    /// * every loaded edge was streamed past the scanner
+    ///   (`bytes_streamed ≥ edges_loaded × BYTES_PER_EDGE`; add-op scans
+    ///   stream inactive subgraphs without loading them, so `≥` not `=`),
+    /// * planner counters are consistent: patched/reused units imply at
+    ///   least one delta patch,
+    /// * disk: an inactive model left every disk counter zero, and the
+    ///   double-buffered overlap is never less than the disk time it
+    ///   overlaps (`overlapped = Σ max(compute, disk) ≥ Σ disk = time`),
+    /// * net: zero exchanges left every interconnect counter zero, and
+    ///   the composed overlap is never less than the exchange time.
+    ///
+    /// Partition checks that need plan context (planned + pruned = graph
+    /// totals) live in the integration tests, which hold the plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        // Nanos sums of per-window maxima are compared against sums of
+        // the window terms; float accumulation order may differ, so the
+        // ordering checks tolerate a relative epsilon.
+        fn not_less(bigger: Nanos, smaller: Nanos) -> bool {
+            bigger.as_nanos() >= smaller.as_nanos() * (1.0 - 1e-9) - f64::EPSILON
+        }
+        let sf = self.skip_fraction();
+        if !(0.0..=1.0).contains(&sf) {
+            return Err(format!("skip_fraction {sf} outside [0, 1]"));
+        }
+        let ev = &self.events;
+        let loaded_bytes = ev.edges_loaded * graphr_graph::BYTES_PER_EDGE;
+        if ev.bytes_streamed < loaded_bytes {
+            return Err(format!(
+                "streamed {} bytes but loaded {} edge bytes: loads must stream",
+                ev.bytes_streamed, loaded_bytes
+            ));
+        }
+        let p = &self.plan;
+        if (p.units_patched > 0 || p.units_reused > 0) && p.delta_patches == 0 {
+            return Err(format!(
+                "planner touched units without any delta patch: {p:?}"
+            ));
+        }
+        let d = &self.disk;
+        if !d.is_active() && (d.bytes_loaded > 0 || d.io_segments > 0 || d.time > Nanos::ZERO) {
+            return Err(format!(
+                "disk counters nonzero without block activity: {d:?}"
+            ));
+        }
+        if !not_less(d.overlapped, d.time) {
+            return Err(format!(
+                "disk overlap {} below the disk time {} it overlaps",
+                d.overlapped, d.time
+            ));
+        }
+        // `net.overlapped` composes the per-window bottleneck even when
+        // nothing crossed the wire, so only the exchange-side counters
+        // must be zero without exchanges.
+        let n = &self.net;
+        if !n.is_active() && (n.bytes_exchanged > 0 || n.time > Nanos::ZERO) {
+            return Err(format!("net counters nonzero without exchanges: {n:?}"));
+        }
+        if !not_less(n.overlapped, n.time) {
+            return Err(format!(
+                "net overlap {} below the exchange time {} it includes",
+                n.overlapped, n.time
+            ));
+        }
+        Ok(())
     }
 
     /// Charges the end of one algorithm iteration: bumps the counter and

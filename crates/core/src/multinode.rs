@@ -94,6 +94,7 @@ use crate::metrics::{Metrics, NetCounters, PlanCounters};
 use crate::outofcore::DiskModel;
 use crate::preprocess::tiler::TiledGraph;
 use crate::sim::{run_pagerank, PageRankOptions, SimError};
+use crate::trace::TraceHandle;
 
 /// Bytes per exchanged vertex property (the §3.2 16-bit data format).
 pub const BYTES_PER_PROPERTY: u64 = 2;
@@ -342,6 +343,9 @@ pub struct ClusterExecutor<'a> {
     elapsed_marks: Vec<Nanos>,
     overlap_marks: Vec<Nanos>,
     has_disk: bool,
+    /// Cluster-level telemetry emitter (plan + exchange events; each node
+    /// engine additionally holds a per-node rebinding of the same handle).
+    trace: Option<TraceHandle>,
 }
 
 impl<'a> ClusterExecutor<'a> {
@@ -424,6 +428,7 @@ impl<'a> ClusterExecutor<'a> {
             elapsed_marks: vec![Nanos::ZERO; cluster.nodes],
             overlap_marks: vec![Nanos::ZERO; cluster.nodes],
             has_disk: false,
+            trace: None,
         }
     }
 
@@ -574,8 +579,27 @@ impl<'a> ClusterExecutor<'a> {
             self.elapsed_marks[k] = m.elapsed;
             self.overlap_marks[k] = m.disk.overlapped;
         }
-        let exchange = self.net.commit(max_total, &mut self.net_totals);
+        let exchange = self.commit_exchange(max_compute, max_total);
         self.elapsed += max_compute + exchange;
+    }
+
+    /// Charges the queued exchange for one closed window and emits its
+    /// trace span on the composed cluster clock (starting after the
+    /// window's bottleneck). A one-node cluster exchanges nothing and
+    /// emits nothing — preserving its bit-identity to the single engine.
+    fn commit_exchange(&mut self, max_compute: Nanos, max_total: Nanos) -> Nanos {
+        let bytes_before = self.net_totals.bytes_exchanged;
+        let exchange = self.net.commit(max_total, &mut self.net_totals);
+        if exchange > Nanos::ZERO {
+            if let Some(trace) = &self.trace {
+                trace.record_exchange(
+                    self.elapsed + max_compute,
+                    exchange,
+                    self.net_totals.bytes_exchanged - bytes_before,
+                );
+            }
+        }
+        exchange
     }
 }
 
@@ -636,10 +660,16 @@ fn count_planned(tiled: &TiledGraph, punit: &PlanUnit) -> (u64, u64) {
 impl ScanEngine for ClusterExecutor<'_> {
     fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan> {
         // The cluster plans once, globally; shards are derived from the
-        // planned result, so the planning cost lives at cluster level.
+        // planned result, so the planning cost lives at cluster level —
+        // and so does the plan trace event (inner nodes never plan),
+        // keeping the event stream identical to a single engine's.
+        let before = self.plan_totals;
         let plan = self
             .planner
             .plan_for(self.config, active, &mut self.plan_totals);
+        if let Some(trace) = &self.trace {
+            trace.record_plan(&before, &self.plan_totals);
+        }
         self.metrics.plan = self.plan_totals;
         plan
     }
@@ -724,6 +754,19 @@ impl ScanEngine for ClusterExecutor<'_> {
         self.resync();
     }
 
+    fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        // Node k emits compute/disk spans on its own lane; plan and
+        // exchange events stay cluster-level.
+        for (k, node) in self.nodes.iter_mut().enumerate() {
+            node.set_trace(trace.as_ref().map(|t| t.for_node(k as u32)));
+        }
+        self.trace = trace;
+    }
+
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
+    }
+
     fn end_iteration(&mut self) {
         for node in &mut self.nodes {
             node.end_iteration();
@@ -744,7 +787,7 @@ impl ScanEngine for ClusterExecutor<'_> {
         let (max_compute, max_total) = self.window_maxima(taken.iter());
         let window_open = max_total > Nanos::ZERO || self.net.pending_vertices > 0;
         if window_open {
-            let exchange = self.net.commit(max_total, &mut self.net_totals);
+            let exchange = self.commit_exchange(max_compute, max_total);
             self.elapsed += max_compute + exchange;
         }
         let mut out = Metrics::new();

@@ -402,10 +402,54 @@ pub struct DiskAccountant {
     window_start: Nanos,
     /// Disk time accumulated by this window's scans.
     pending: Nanos,
+    /// Byte/block/segment counts accumulated by this window's scans
+    /// (the per-window view of what `charge_scan` added to the
+    /// cumulative [`Metrics::disk`] counters).
+    window: DiskWindow,
     /// Streamed-order span index, built once on the first charged scan so
     /// sparse iterations derive their [`IoPlan`] in time proportional to
     /// the plan, not the graph.
     index: Option<IoIndex>,
+}
+
+/// Summary of one closed iteration window of a [`DiskAccountant`] —
+/// what [`DiskAccountant::commit`] just folded into the cumulative
+/// [`Metrics::disk`] counters, exposed so the trace subsystem can emit a
+/// per-iteration disk span on the simulated clock.
+///
+/// All fields are **simulated** quantities derived from the executed
+/// plans, so windows are bit-identical across the serial and parallel
+/// executors (the same accounting contract as [`Metrics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DiskWindow {
+    /// [`Metrics::elapsed`] when the window opened (the simulated start
+    /// of both the window's compute and its double-buffered loads).
+    pub start: Nanos,
+    /// Compute time the window added to [`Metrics::elapsed`].
+    pub compute: Nanos,
+    /// Disk-load time the window's scans queued.
+    pub disk: Nanos,
+    /// Bytes loaded by the window's scans.
+    pub bytes_loaded: u64,
+    /// Blocks loaded by the window's scans.
+    pub blocks_loaded: u64,
+    /// Blocks seeked past by the window's scans.
+    pub blocks_seeked: u64,
+    /// Sequential-read segments issued by the window's scans.
+    pub segments: u64,
+}
+
+impl DiskWindow {
+    /// Whether the window did any disk work at all (idle windows are not
+    /// worth a trace event).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.disk == Nanos::ZERO
+            && self.bytes_loaded == 0
+            && self.blocks_loaded == 0
+            && self.blocks_seeked == 0
+            && self.segments == 0
+    }
 }
 
 impl DiskAccountant {
@@ -418,6 +462,7 @@ impl DiskAccountant {
             model,
             window_start: now,
             pending: Nanos::ZERO,
+            window: DiskWindow::default(),
             index: None,
         }
     }
@@ -441,6 +486,11 @@ impl DiskAccountant {
         d.blocks_loaded += io.blocks_loaded as u64;
         d.blocks_seeked += io.blocks_seeked as u64;
         d.io_segments += io.segments as u64;
+        let w = &mut self.window;
+        w.bytes_loaded += io.bytes_loaded;
+        w.blocks_loaded += io.blocks_loaded as u64;
+        w.blocks_seeked += io.blocks_seeked as u64;
+        w.segments += io.segments as u64;
         self.pending += self.model.plan_time(&io);
     }
 
@@ -448,13 +498,23 @@ impl DiskAccountant {
     /// and the double-buffered total `max(compute, disk)` for the window,
     /// where compute is what the window added to `metrics.elapsed`. Call
     /// after [`Metrics::charge_iteration`] so the controller's iteration
-    /// charge lands inside the window it belongs to.
-    pub fn commit(&mut self, metrics: &mut Metrics) {
+    /// charge lands inside the window it belongs to. Returns the closed
+    /// window's summary (for the trace subsystem; callers that only
+    /// account may ignore it).
+    pub fn commit(&mut self, metrics: &mut Metrics) -> DiskWindow {
         let compute = metrics.elapsed - self.window_start;
         metrics.disk.time += self.pending;
         metrics.disk.overlapped += compute.max(self.pending);
+        let closed = DiskWindow {
+            start: self.window_start,
+            compute,
+            disk: self.pending,
+            ..self.window
+        };
         self.window_start = metrics.elapsed;
         self.pending = Nanos::ZERO;
+        self.window = DiskWindow::default();
+        closed
     }
 
     /// Re-opens the window at elapsed zero — for executors whose metrics
@@ -462,6 +522,7 @@ impl DiskAccountant {
     pub fn reset(&mut self) {
         self.window_start = Nanos::ZERO;
         self.pending = Nanos::ZERO;
+        self.window = DiskWindow::default();
     }
 }
 

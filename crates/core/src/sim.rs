@@ -12,6 +12,14 @@
 //! loading, with each `end_iteration` closing that iteration's
 //! disk-vs-compute overlap window (see [`crate::outofcore`]).
 //!
+//! They also thread run telemetry: when the engine carries a
+//! [`TraceHandle`] (see [`ScanEngine::set_trace`]), each driver emits one
+//! [`TraceData::Iteration`](crate::trace::TraceData::Iteration) snapshot
+//! per algorithm iteration — the frontier size plus the *delta* of every
+//! counter family since the previous snapshot — through an [`IterTracer`].
+//! Tracing only observes the engine's [`Metrics`]; a traced run computes
+//! bit-identical results and accounting to an untraced one.
+//!
 //! Fixed-point formats are per-algorithm, as they would be in a real
 //! deployment of the architecture:
 //!
@@ -34,6 +42,7 @@ use crate::exec::streaming::StreamingExecutor;
 use crate::exec::ScanEngine;
 use crate::metrics::Metrics;
 use crate::preprocess::tiler::TiledGraph;
+use crate::trace::{IterTracer, TraceHandle};
 
 /// Errors from the simulation drivers.
 #[derive(Debug)]
@@ -219,6 +228,8 @@ pub fn run_pagerank_with(
     let mut s = vec![qr.quantize_value(1.0); n];
     let base = 1.0 - r;
     let mut converged = false;
+    let trace = exec.trace().cloned();
+    let mut tracer = IterTracer::new();
     while exec.metrics().iterations < opts.max_iterations {
         let y = exec.scan_mac(&value, &[&s]);
         let dangling: f64 = if opts.redistribute_dangling {
@@ -242,16 +253,19 @@ pub fn run_pagerank_with(
             s[v] = updated;
         }
         exec.end_iteration();
+        tracer.record(trace.as_ref(), exec.metrics(), None);
         if delta / n as f64 <= opts.tolerance {
             converged = true;
             break;
         }
     }
     let values = s.iter().map(|&sv| sv / n as f64).collect();
+    let metrics = exec.take_metrics();
+    tracer.finish(trace.as_ref(), &metrics);
     Ok(ScalarRun {
         values,
         converged,
-        metrics: exec.take_metrics(),
+        metrics,
     })
 }
 
@@ -363,17 +377,26 @@ pub fn run_spmv_with(
         .iter()
         .map(|&v| opts.register_spec.quantize_value(v))
         .collect();
+    let trace = exec.trace().cloned();
+    let mut tracer = IterTracer::new();
     let plan = exec.plan(opts.source_mask.as_deref());
     let y = exec.scan_mac_planned(&plan, &value, &[&qx]);
     exec.end_iteration();
+    let frontier = opts
+        .source_mask
+        .as_ref()
+        .map(|m| m.iter().filter(|&&a| a).count() as u64);
+    tracer.record(trace.as_ref(), exec.metrics(), frontier);
     let values = y[0]
         .iter()
         .map(|&v| opts.register_spec.quantize_value(v))
         .collect();
+    let metrics = exec.take_metrics();
+    tracer.finish(trace.as_ref(), &metrics);
     Ok(ScalarRun {
         values,
         converged: true,
-        metrics: exec.take_metrics(),
+        metrics,
     })
 }
 
@@ -515,6 +538,8 @@ fn run_add_op_with(
     active[opts.source as usize] = true;
     let cap = opts.max_iterations.unwrap_or(n.max(1));
 
+    let trace = exec.trace().cloned();
+    let mut tracer = IterTracer::new();
     for _round in 0..cap {
         // Re-plan from the frontier: only subgraphs holding an active
         // source are streamed this round, so sparse iterations cost
@@ -537,7 +562,9 @@ fn run_add_op_with(
         exec.end_iteration();
         dist = frontier;
         active = updated;
-        if !active.iter().any(|&a| a) {
+        let frontier_size = active.iter().filter(|&&a| a).count() as u64;
+        tracer.record(trace.as_ref(), exec.metrics(), Some(frontier_size));
+        if frontier_size == 0 {
             break;
         }
     }
@@ -545,10 +572,9 @@ fn run_add_op_with(
         .into_iter()
         .map(|d| if d >= inf { None } else { Some(d) })
         .collect();
-    Ok(TraversalRun {
-        distances,
-        metrics: exec.take_metrics(),
-    })
+    let metrics = exec.take_metrics();
+    tracer.finish(trace.as_ref(), &metrics);
+    Ok(TraversalRun { distances, metrics })
 }
 
 // -------------------------------------------------------------------- WCC
@@ -617,6 +643,8 @@ pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRu
 
     let mut labels: Vec<f64> = (0..n).map(|v| v as f64).collect();
     let mut active = vec![true; n];
+    let trace = exec.trace().cloned();
+    let mut tracer = IterTracer::new();
     for _round in 0..n.max(1) {
         // Label propagation converges region by region: later rounds have
         // sparse frontiers, which the per-round pruned plan turns into
@@ -636,7 +664,9 @@ pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRu
         exec.end_iteration();
         labels = frontier;
         active = updated;
-        if !active.iter().any(|&a| a) {
+        let frontier_size = active.iter().filter(|&&a| a).count() as u64;
+        tracer.record(trace.as_ref(), exec.metrics(), Some(frontier_size));
+        if frontier_size == 0 {
             break;
         }
     }
@@ -644,10 +674,12 @@ pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRu
     let mut distinct = labels.clone();
     distinct.sort_unstable();
     distinct.dedup();
+    let metrics = exec.take_metrics();
+    tracer.finish(trace.as_ref(), &metrics);
     Ok(WccRun {
         num_components: distinct.len(),
         labels,
-        metrics: exec.take_metrics(),
+        metrics,
     })
 }
 
@@ -804,6 +836,8 @@ pub fn run_cf_with<'e>(
     let in_deg = ratings.in_degrees();
     let mut metrics = Metrics::new();
     let mut rmse_history = Vec::with_capacity(opts.epochs);
+    let mut trace: Option<TraceHandle> = None;
+    let mut tracer = IterTracer::new();
     for _epoch in 0..opts.epochs {
         // Error closure: e(u, i) = rating − p_u · q_i, in fixed point.
         let p_ref = &p;
@@ -828,6 +862,9 @@ pub fn run_cf_with<'e>(
             .collect();
         let p_col_refs: Vec<&[f64]> = p_cols.iter().map(Vec::as_slice).collect();
         let mut exec_r = make_engine(CfMatrix::Ratings);
+        if trace.is_none() {
+            trace = exec_r.trace().cloned();
+        }
         let grad_q = exec_r.scan_mac(&value_r, &p_col_refs);
         exec_r.end_iteration();
         metrics.merge(&exec_r.take_metrics());
@@ -895,7 +932,9 @@ pub fn run_cf_with<'e>(
         let t = cost.salu_latency(ops / cf_config.num_ges.max(1) as u64);
         metrics.elapsed += t;
         metrics.time_breakdown.apply += t;
+        tracer.record(trace.as_ref(), &metrics, None);
     }
+    tracer.finish(trace.as_ref(), &metrics);
     Ok(CfRun {
         rmse_history,
         metrics,

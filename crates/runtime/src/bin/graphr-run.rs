@@ -3,7 +3,7 @@
 //!
 //! Usage: `graphr-run <JOBFILE> [--threads N] [--serial]
 //! [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N|single]
-//! [--owner rr|degree]`
+//! [--owner rr|degree] [--trace PATH] [--report text|json]`
 //!
 //! Job files are line-oriented; `#` starts a comment. Directives:
 //!
@@ -16,6 +16,7 @@
 //! disk sata|nvme|sata-seg|nvme-seg|none
 //! nodes <n>|single
 //! owner rr|degree
+//! trace <path>|off
 //! job <app> <dataset> [key=value ...]
 //! ```
 //!
@@ -35,8 +36,14 @@
 //! = a one-node cluster, bit-identical to single-node execution;
 //! `nodes single` — or `--nodes single` — opts back out of a cluster
 //! entirely, like `--disk none` does for storage). Both
-//! compose. An example lives at `examples/demo.jobs`; the full format and
-//! every flag are documented in `docs/running-jobs.md`.
+//! compose. The `trace` directive (overridable with `--trace`; `trace
+//! off` opts back out) collects every run's telemetry into one sink and
+//! writes it after the batch: a `.jsonl` path gets the JSONL event log,
+//! anything else the Chrome trace-event timeline on the simulated clock
+//! (a file Perfetto opens directly). `--report json` replaces the text
+//! reports with one machine-readable JSON document on stdout. An example
+//! lives at `examples/demo.jobs`; the full format and every flag are
+//! documented in `docs/running-jobs.md` and `docs/tracing.md`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -45,6 +52,7 @@ use std::time::Instant;
 use graphr_core::multinode::{MultiNodeConfig, OwnerPolicy};
 use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{CfOptions, PageRankOptions, SpmvOptions, TraversalOptions};
+use graphr_core::trace::{json_escape, TraceSink};
 use graphr_core::GraphRConfig;
 use graphr_graph::generators::bipartite::RatingMatrix;
 use graphr_graph::generators::rmat::Rmat;
@@ -65,13 +73,15 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: graphr-run <JOBFILE> [--threads N] [--serial] \
                          [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N] \
-                         [--owner rr|degree]";
+                         [--owner rr|degree] [--trace PATH] [--report text|json]";
     let mut path = None;
     let mut threads_override = None;
     let mut force_serial = false;
     let mut disk_override = None;
     let mut nodes_override = None;
     let mut owner_override = None;
+    let mut trace_override = None;
+    let mut report_json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -80,6 +90,18 @@ fn run(args: &[String]) -> Result<(), String> {
                 threads_override = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
             }
             "--serial" => force_serial = true,
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a path (or 'off')")?;
+                trace_override = Some(parse_trace(v));
+            }
+            "--report" => {
+                let v = it.next().ok_or("--report needs a value (text|json)")?;
+                report_json = match v.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown report format '{other}' (text|json)")),
+                };
+            }
             "--disk" => {
                 let v = it
                     .next()
@@ -122,56 +144,109 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(n) = nodes {
         session = session.with_cluster(MultiNodeConfig::pcie_cluster(n).with_owner(owner));
     }
+    let trace_path = trace_override.unwrap_or(plan.trace);
+    let trace_sink = trace_path.as_ref().map(|_| TraceSink::shared());
+    if let Some(sink) = &trace_sink {
+        session = session.with_trace(std::sync::Arc::clone(sink));
+    }
     let mode = if force_serial {
         ExecMode::Serial
     } else {
         plan.mode
     };
 
-    println!(
-        "session: {} worker threads, {} mode, {} storage, {}, {} datasets, {} jobs",
-        session.threads(),
-        match mode {
-            ExecMode::Serial => "serial",
-            ExecMode::Parallel => "parallel",
-        },
-        match disk {
-            None => "in-core".to_owned(),
-            Some(d) => format!("out-of-core ({:.1} GB/s disk)", d.sequential_gbps),
-        },
-        match nodes {
-            None => "single node".to_owned(),
-            Some(n) => format!("{n}-node cluster ({} ownership)", owner.name()),
-        },
-        plan.datasets.len(),
-        plan.jobs.len()
-    );
+    if !report_json {
+        println!(
+            "session: {} worker threads, {} mode, {} storage, {}, {} datasets, {} jobs",
+            session.threads(),
+            match mode {
+                ExecMode::Serial => "serial",
+                ExecMode::Parallel => "parallel",
+            },
+            match disk {
+                None => "in-core".to_owned(),
+                Some(d) => format!("out-of-core ({:.1} GB/s disk)", d.sequential_gbps),
+            },
+            match nodes {
+                None => "single node".to_owned(),
+                Some(n) => format!("{n}-node cluster ({} ownership)", owner.name()),
+            },
+            plan.datasets.len(),
+            plan.jobs.len()
+        );
+    }
     let start = Instant::now();
     let mut failures = 0usize;
+    let mut jobs_json: Vec<String> = Vec::new();
     for (index, job) in plan.jobs.iter().enumerate() {
         let job = job.clone().with_mode(mode);
         match session.submit(&job) {
-            Ok(report) => println!("\n[{}] {report}", index + 1),
+            Ok(report) => {
+                if report_json {
+                    jobs_json.push(report.to_json());
+                } else {
+                    println!("\n[{}] {report}", index + 1);
+                }
+            }
             Err(e) => {
                 failures += 1;
-                println!(
-                    "\n[{}] {} on {} FAILED: {e}",
-                    index + 1,
-                    job.spec.name(),
-                    job.graph.id()
-                );
+                if report_json {
+                    jobs_json.push(format!(
+                        "{{\"app\":\"{}\",\"graph\":\"{}\",\"error\":\"{}\"}}",
+                        json_escape(job.spec.name()),
+                        json_escape(&job.graph.id().to_string()),
+                        json_escape(&e.to_string())
+                    ));
+                } else {
+                    println!(
+                        "\n[{}] {} on {} FAILED: {e}",
+                        index + 1,
+                        job.spec.name(),
+                        job.graph.id()
+                    );
+                }
             }
         }
     }
+    let elapsed = start.elapsed();
+    // Write the collected telemetry even when jobs failed — a partial
+    // trace is exactly what debugging a failure wants.
+    if let (Some(path), Some(sink)) = (&trace_path, &trace_sink) {
+        let data = if path.ends_with(".jsonl") {
+            sink.to_jsonl()
+        } else {
+            sink.to_chrome_trace()
+        };
+        std::fs::write(path, data).map_err(|e| format!("{path}: {e}"))?;
+        if !report_json {
+            println!(
+                "\ntrace: {} events from {} job(s) written to {path}",
+                sink.len(),
+                sink.job_names().len()
+            );
+        }
+    }
     let stats = session.cache_stats();
-    println!(
-        "\ntotal: {} jobs in {:.3} s; tiler cache {} hits / {} misses / {} entries",
-        plan.jobs.len(),
-        start.elapsed().as_secs_f64(),
-        stats.hits,
-        stats.misses,
-        stats.entries
-    );
+    if report_json {
+        println!(
+            "{{\"jobs\":[{}],\"failures\":{failures},\"host_wall_s\":{},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}}}",
+            jobs_json.join(","),
+            elapsed.as_secs_f64(),
+            stats.hits,
+            stats.misses,
+            stats.entries
+        );
+    } else {
+        println!(
+            "\ntotal: {} jobs in {:.3} s; tiler cache {} hits / {} misses / {} entries",
+            plan.jobs.len(),
+            elapsed.as_secs_f64(),
+            stats.hits,
+            stats.misses,
+            stats.entries
+        );
+    }
     if failures > 0 {
         return Err(format!("{failures} job(s) failed"));
     }
@@ -186,6 +261,19 @@ struct Plan {
     disk: Option<DiskModel>,
     nodes: Option<usize>,
     owner: OwnerPolicy,
+    trace: Option<String>,
+}
+
+/// Parses a trace destination as used by `--trace` and the `trace`
+/// directive: a path (`.jsonl` selects the JSONL event log, anything
+/// else the Chrome trace-event timeline), or `off`/`none` to disable
+/// tracing (the opt-out mirror of `--disk none`).
+fn parse_trace(value: &str) -> Option<String> {
+    if value == "off" || value == "none" {
+        None
+    } else {
+        Some(value.to_owned())
+    }
 }
 
 /// Parses a node count as used by `--nodes` and the `nodes` directive: a
@@ -234,6 +322,7 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
         disk: None,
         nodes: None,
         owner: OwnerPolicy::default(),
+        trace: None,
     };
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -275,6 +364,12 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
                     .get(1)
                     .ok_or_else(|| err("owner needs a value (rr|degree)".into()))?;
                 plan.owner = parse_owner(v).map_err(err)?;
+            }
+            "trace" => {
+                let v = fields
+                    .get(1)
+                    .ok_or_else(|| err("trace needs a path (or 'off')".into()))?;
+                plan.trace = parse_trace(v);
             }
             "job" => {
                 let job = parse_job(&fields, &plan.datasets).map_err(err)?;

@@ -1,6 +1,7 @@
 //! Job specifications and results for the runtime service layer.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use graphr_core::multinode::MultiNodeConfig;
@@ -9,6 +10,7 @@ use graphr_core::sim::{
     CfOptions, CfRun, PageRankOptions, ScalarRun, SpmvOptions, TraversalOptions, TraversalRun,
     WccRun,
 };
+use graphr_core::trace::{json_escape, TraceSink};
 use graphr_core::{GraphRConfig, Metrics};
 use graphr_graph::GraphHandle;
 
@@ -75,6 +77,33 @@ impl ClusterChoice {
     }
 }
 
+/// Per-job telemetry selection, three-way so a job can both opt *into*
+/// a private [`TraceSink`] and opt back *out* of a session-level one
+/// (the same shape as [`DiskChoice`] / [`ClusterChoice`]).
+#[derive(Debug, Clone, Default)]
+pub enum TraceChoice {
+    /// Use the session's trace sink (which may itself be absent). The
+    /// default.
+    #[default]
+    Inherit,
+    /// Emit no telemetry even when the session traces by default.
+    Off,
+    /// Emit into this sink regardless of the session default.
+    Sink(Arc<TraceSink>),
+}
+
+impl TraceChoice {
+    /// The effective trace sink given the session default.
+    #[must_use]
+    pub fn resolve(&self, session_default: Option<&Arc<TraceSink>>) -> Option<Arc<TraceSink>> {
+        match self {
+            TraceChoice::Inherit => session_default.map(Arc::clone),
+            TraceChoice::Off => None,
+            TraceChoice::Sink(sink) => Some(Arc::clone(sink)),
+        }
+    }
+}
+
 /// What to run — one variant per evaluated application (plus the WCC
 /// extension).
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +156,9 @@ pub struct Job {
     /// Per-job cluster-execution selection (inherit the session's, force
     /// single-node, or force a specific cluster).
     pub cluster: ClusterChoice,
+    /// Per-job telemetry selection (inherit the session's sink, force
+    /// tracing off, or emit into a job-private sink).
+    pub trace: TraceChoice,
 }
 
 impl Job {
@@ -140,6 +172,7 @@ impl Job {
             config: None,
             disk: DiskChoice::default(),
             cluster: ClusterChoice::default(),
+            trace: TraceChoice::default(),
         }
     }
 
@@ -189,6 +222,25 @@ impl Job {
     #[must_use]
     pub fn single_node(mut self) -> Self {
         self.cluster = ClusterChoice::SingleNode;
+        self
+    }
+
+    /// Emits this job's telemetry into `sink`: the drivers' per-iteration
+    /// snapshots plus the engines' span events land there as one traced
+    /// job (see [`graphr_core::trace`]). Overrides any session default.
+    /// Tracing only observes the run — results and [`Metrics`] stay
+    /// bit-identical to an untraced submission.
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = TraceChoice::Sink(sink);
+        self
+    }
+
+    /// Forces tracing off for this job, even when the session traces by
+    /// default (mirrors `--disk none` / `nodes single`).
+    #[must_use]
+    pub fn untraced(mut self) -> Self {
+        self.trace = TraceChoice::Off;
         self
     }
 }
@@ -266,12 +318,46 @@ pub struct JobReport {
     pub cache_misses: u64,
 }
 
+/// The derived quantities both report forms present, computed once in
+/// [`JobReport::derived`] so the text rendering and the JSON form can
+/// never drift apart.
+struct ReportDerived {
+    /// Subgraphs the plans named (processed + streamed-but-inactive).
+    subgraphs_planned: u64,
+    /// Edges streamed from memory ReRAM, from the byte counter.
+    edges_streamed: u64,
+    /// `Some(true)` when the overlapped disk time dominates compute;
+    /// `None` when no disk model priced the job (or the per-node overlap
+    /// was composed into a cluster total instead).
+    disk_bound: Option<bool>,
+    /// `Some(true)` when the exchange time dominates the bottleneck
+    /// node's compute; `None` off-cluster.
+    network_bound: Option<bool>,
+}
+
 impl JobReport {
     /// Edges the job's scans streamed from memory ReRAM (cumulative across
     /// iterations), derived from the byte counter.
     #[must_use]
     pub fn edges_streamed(&self) -> u64 {
         self.output.metrics().events.bytes_streamed / graphr_graph::BYTES_PER_EDGE
+    }
+
+    /// The shared derived quantities (single source of truth for
+    /// [`JobReport::render`] and [`JobReport::to_json`]).
+    fn derived(&self) -> ReportDerived {
+        let m = self.output.metrics();
+        let ev = &m.events;
+        ReportDerived {
+            subgraphs_planned: ev.subgraphs_processed + ev.subgraphs_skipped_inactive,
+            edges_streamed: self.edges_streamed(),
+            disk_bound: (m.disk.is_active() && !m.net.is_active())
+                .then(|| m.disk.is_disk_bound(m.total_time())),
+            network_bound: m
+                .net
+                .is_active()
+                .then(|| m.net.is_network_bound(m.total_time() - m.net.time)),
+        }
     }
 
     /// Renders the standard multi-line report block. The `plan:` line
@@ -290,8 +376,9 @@ impl JobReport {
     pub fn render(&self) -> String {
         let m = self.output.metrics();
         let ev = &m.events;
-        let subgraphs_planned = ev.subgraphs_processed + ev.subgraphs_skipped_inactive;
-        let streamed = self.edges_streamed();
+        let d = self.derived();
+        let subgraphs_planned = d.subgraphs_planned;
+        let streamed = d.edges_streamed;
         let mut report = format!(
             "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  plan:       {} subgraphs planned / {} pruned; {} edges streamed / {} pruned; {} delta patches / {} rebuilds, {} units reused, planning {} (cache: {} hits / {} misses)",
             self.app,
@@ -315,7 +402,7 @@ impl JobReport {
             self.cache_misses,
         );
         if m.disk.is_active() {
-            let d = &m.disk;
+            let dc = &m.disk;
             if m.net.is_active() {
                 // On a cluster, the disk counters are sums over nodes:
                 // comparing them against the composed cluster wall-clock
@@ -324,25 +411,25 @@ impl JobReport {
                 // node's disk overlap is the net line's cluster total.
                 report.push_str(&format!(
                     "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past (summed over cluster nodes); disk {} across nodes, per-node overlap composed into the cluster total below",
-                    d.bytes_loaded / 1024,
-                    d.blocks_loaded,
-                    d.blocks_seeked,
-                    d.time,
+                    dc.bytes_loaded / 1024,
+                    dc.blocks_loaded,
+                    dc.blocks_seeked,
+                    dc.time,
                 ));
             } else {
                 report.push_str(&format!(
                     "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past; disk {} vs compute {} → {}-bound, overlapped {}",
-                    d.bytes_loaded / 1024,
-                    d.blocks_loaded,
-                    d.blocks_seeked,
-                    d.time,
+                    dc.bytes_loaded / 1024,
+                    dc.blocks_loaded,
+                    dc.blocks_seeked,
+                    dc.time,
                     m.total_time(),
-                    if d.is_disk_bound(m.total_time()) {
+                    if d.disk_bound == Some(true) {
                         "disk"
                     } else {
                         "compute"
                     },
-                    d.overlapped,
+                    dc.overlapped,
                 ));
             }
         }
@@ -354,7 +441,7 @@ impl JobReport {
                 net.exchanges,
                 net.time,
                 m.total_time() - net.time,
-                if net.is_network_bound(m.total_time() - net.time) {
+                if d.network_bound == Some(true) {
                     "network"
                 } else {
                     "compute"
@@ -368,6 +455,40 @@ impl JobReport {
             if self.cache_hits > 0 { "warm" } else { "cold" },
         ));
         report
+    }
+
+    /// The machine-readable form of the report: one JSON object carrying
+    /// the same facts as [`JobReport::render`] — result summary, full
+    /// [`Metrics`] (via [`Metrics::to_json`]), the derived planning/IO
+    /// quantities, and the service-level accounting. `host_wall_ms` and
+    /// the metrics' `plan.host_time_ns` are the only host-measured
+    /// fields. Hand-written (the vendored `serde` is an offline marker
+    /// stub).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let d = self.derived();
+        let opt_bool = |b: Option<bool>| match b {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"app\":\"{}\",\"graph\":\"{}\",\"result\":\"{}\",\
+             \"subgraphs_planned\":{},\"edges_streamed\":{},\
+             \"disk_bound\":{},\"network_bound\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"host_wall_ms\":{},\
+             \"metrics\":{}}}",
+            json_escape(self.app),
+            json_escape(&self.graph),
+            json_escape(&self.output.summary()),
+            d.subgraphs_planned,
+            d.edges_streamed,
+            opt_bool(d.disk_bound),
+            opt_bool(d.network_bound),
+            self.cache_hits,
+            self.cache_misses,
+            self.wall.as_secs_f64() * 1e3,
+            self.output.metrics().to_json(),
+        )
     }
 }
 

@@ -32,7 +32,11 @@
 //!   scan plan is sharded by destination-strip ownership across simulated
 //!   GraphR nodes of the job's execution mode, with the plan-aware
 //!   property exchange charged into `Metrics::net` (see
-//!   `graphr_core::multinode`).
+//!   `graphr_core::multinode`); and an optional telemetry sink
+//!   ([`Session::with_trace`](session::Session::with_trace) /
+//!   [`Job::with_trace`](job::Job::with_trace)) collecting every run's
+//!   per-iteration trace events on the simulated clock, exportable as
+//!   JSONL or a Chrome/Perfetto timeline (see `graphr_core::trace`).
 //! * [`job`] — [`JobSpec`] covers all five evaluated
 //!   applications (PageRank, SpMV, BFS, SSSP, CF) plus the WCC extension;
 //!   [`JobReport`] carries the functional result, the
@@ -75,6 +79,8 @@ pub mod parallel;
 pub mod pool;
 pub mod session;
 
-pub use job::{ClusterChoice, DiskChoice, ExecMode, Job, JobOutput, JobReport, JobSpec};
+pub use job::{
+    ClusterChoice, DiskChoice, ExecMode, Job, JobOutput, JobReport, JobSpec, TraceChoice,
+};
 pub use parallel::ParallelExecutor;
 pub use session::{CacheStats, GraphVariant, RuntimeError, Session};

@@ -26,6 +26,7 @@ use graphr_core::exec::planner::Planner;
 use graphr_core::exec::strip::{mac_rego_capacity, StripScanner};
 use graphr_core::exec::{EdgeValueFn, ScanEngine};
 use graphr_core::outofcore::{DiskAccountant, DiskModel};
+use graphr_core::trace::{SpanMark, TraceHandle};
 use graphr_core::{GraphRConfig, Metrics, TiledGraph};
 use graphr_units::FixedSpec;
 
@@ -41,6 +42,11 @@ pub struct ParallelExecutor<'a> {
     threads: usize,
     metrics: Metrics,
     disk: Option<DiskAccountant>,
+    /// Attached telemetry emitter (observation only; never feeds back
+    /// into `metrics`).
+    trace: Option<TraceHandle>,
+    /// Where the last emitted compute span ended.
+    span_mark: SpanMark,
 }
 
 impl<'a> ParallelExecutor<'a> {
@@ -102,6 +108,8 @@ impl<'a> ParallelExecutor<'a> {
             threads: threads.max(1),
             metrics: Metrics::new(),
             disk: None,
+            trace: None,
+            span_mark: SpanMark::default(),
         }
     }
 
@@ -132,8 +140,14 @@ impl<'a> ParallelExecutor<'a> {
     /// accounting window first).
     #[must_use]
     pub fn into_metrics(mut self) -> Metrics {
+        if let Some(trace) = &self.trace {
+            trace.record_compute(&mut self.span_mark, &self.metrics);
+        }
         if let Some(disk) = &mut self.disk {
-            disk.commit(&mut self.metrics);
+            let window = disk.commit(&mut self.metrics);
+            if let Some(trace) = &self.trace {
+                trace.record_disk(&window);
+            }
         }
         self.metrics
     }
@@ -141,8 +155,14 @@ impl<'a> ParallelExecutor<'a> {
 
 impl ScanEngine for ParallelExecutor<'_> {
     fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan> {
-        self.planner
-            .plan_for(self.config, active, &mut self.metrics.plan)
+        let before = self.metrics.plan;
+        let plan = self
+            .planner
+            .plan_for(self.config, active, &mut self.metrics.plan);
+        if let Some(trace) = &self.trace {
+            trace.record_plan(&before, &self.metrics.plan);
+        }
+        plan
     }
 
     fn scan_mac_planned(
@@ -280,15 +300,35 @@ impl ScanEngine for ParallelExecutor<'_> {
 
     fn set_disk(&mut self, disk: Option<DiskModel>) {
         if let Some(acc) = &mut self.disk {
-            acc.commit(&mut self.metrics);
+            let window = acc.commit(&mut self.metrics);
+            if let Some(trace) = &self.trace {
+                trace.record_disk(&window);
+            }
         }
         self.disk = disk.map(|model| DiskAccountant::new(model, self.metrics.elapsed));
     }
 
+    fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        // Anchor the next compute span at the current state, so a handle
+        // attached mid-run does not backdate a span to time zero.
+        self.span_mark = SpanMark::at(&self.metrics);
+        self.trace = trace;
+    }
+
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
+    }
+
     fn end_iteration(&mut self) {
         self.metrics.charge_iteration(self.config.ge_cycle());
+        if let Some(trace) = &self.trace {
+            trace.record_compute(&mut self.span_mark, &self.metrics);
+        }
         if let Some(disk) = &mut self.disk {
-            disk.commit(&mut self.metrics);
+            let window = disk.commit(&mut self.metrics);
+            if let Some(trace) = &self.trace {
+                trace.record_disk(&window);
+            }
         }
     }
 
@@ -297,10 +337,19 @@ impl ScanEngine for ParallelExecutor<'_> {
     }
 
     fn take_metrics(&mut self) -> Metrics {
+        // A trailing span covers scans since the last iteration boundary
+        // (e.g. CF's transposed pass, which never calls end_iteration).
+        if let Some(trace) = &self.trace {
+            trace.record_compute(&mut self.span_mark, &self.metrics);
+        }
         if let Some(disk) = &mut self.disk {
-            disk.commit(&mut self.metrics);
+            let window = disk.commit(&mut self.metrics);
+            if let Some(trace) = &self.trace {
+                trace.record_disk(&window);
+            }
             disk.reset();
         }
+        self.span_mark = SpanMark::default();
         std::mem::take(&mut self.metrics)
     }
 }

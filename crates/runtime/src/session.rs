@@ -31,6 +31,7 @@ use graphr_core::sim::{
     self, cf_config_for, run_bfs_with, run_cf_with, run_pagerank_with, run_spmv_with,
     run_sssp_with, run_wcc_with, CfMatrix, SimError,
 };
+use graphr_core::trace::{TraceHandle, TraceSink};
 use graphr_core::{GraphRConfig, TiledGraph};
 use graphr_graph::{EdgeList, GraphHandle, GraphId};
 use graphr_units::FixedSpec;
@@ -154,6 +155,7 @@ pub struct Session {
     threads: usize,
     disk: Option<DiskModel>,
     cluster: Option<MultiNodeConfig>,
+    trace: Option<Arc<TraceSink>>,
     tilings: Mutex<HashMap<TileKey, CachedTiling>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -168,6 +170,7 @@ impl Session {
             threads: pool::available_threads(),
             disk: None,
             cluster: None,
+            trace: None,
             tilings: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -215,6 +218,26 @@ impl Session {
     #[must_use]
     pub fn cluster(&self) -> Option<&MultiNodeConfig> {
         self.cluster.as_ref()
+    }
+
+    /// Collects every job's telemetry into `sink` by default: each
+    /// submission opens one job in the sink (named `"<app> on <graph>"`)
+    /// and the drivers' per-iteration snapshots plus the engines' span
+    /// events land there (see [`graphr_core::trace`]). A job's own
+    /// [`Job::with_trace`] / [`Job::untraced`] still overrides this
+    /// session default. Tracing only observes the runs — results and
+    /// [`Metrics`](graphr_core::Metrics) stay bit-identical to an
+    /// untraced session.
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// The session's default trace sink, if telemetry is on.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// The session's architectural configuration.
@@ -364,6 +387,7 @@ impl Session {
         scan_threads: usize,
         disk: Option<DiskModel>,
         cluster: Option<MultiNodeConfig>,
+        trace: Option<TraceHandle>,
     ) -> Box<dyn ScanEngine + 'a> {
         let mut engine: Box<dyn ScanEngine + 'a> = match cluster {
             // Cluster nodes execute one after another on the host, so each
@@ -378,6 +402,7 @@ impl Session {
             None => Self::node_engine(mode, tiling, config, spec, scan_threads),
         };
         engine.set_disk(disk);
+        engine.set_trace(trace);
         engine
     }
 
@@ -404,6 +429,14 @@ impl Session {
         let config = job.config.as_ref().unwrap_or(&self.config);
         let disk = job.disk.resolve(self.disk);
         let cluster = job.cluster.resolve(self.cluster);
+        // One sink job per submission: every event this run emits is
+        // tagged with the index `begin_job` hands out, so batch jobs
+        // sharing a sink stay separable.
+        let trace = job.trace.resolve(self.trace.as_ref()).map(|sink| {
+            let index =
+                sink.begin_job(&format!("{} on {}", job.spec.name(), job.graph.id().name()));
+            TraceHandle::for_job(sink, index)
+        });
         let graph = job.graph.graph();
         let output = match &job.spec {
             JobSpec::PageRank(opts) => {
@@ -422,6 +455,7 @@ impl Session {
                     scan_threads,
                     disk,
                     cluster,
+                    trace.clone(),
                 );
                 JobOutput::Scalar(run_pagerank_with(graph, exec.as_mut(), opts)?)
             }
@@ -441,6 +475,7 @@ impl Session {
                     scan_threads,
                     disk,
                     cluster,
+                    trace.clone(),
                 );
                 JobOutput::Scalar(run_spmv_with(graph, exec.as_mut(), opts)?)
             }
@@ -460,6 +495,7 @@ impl Session {
                     scan_threads,
                     disk,
                     cluster,
+                    trace.clone(),
                 );
                 JobOutput::Traversal(run_bfs_with(graph, exec.as_mut(), opts)?)
             }
@@ -479,6 +515,7 @@ impl Session {
                     scan_threads,
                     disk,
                     cluster,
+                    trace.clone(),
                 );
                 JobOutput::Traversal(run_sssp_with(graph, exec.as_mut(), opts)?)
             }
@@ -491,8 +528,16 @@ impl Session {
                     &mut cache_misses,
                 )?;
                 let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
-                let mut exec =
-                    self.engine(job.mode, &tiling, config, spec, scan_threads, disk, cluster);
+                let mut exec = self.engine(
+                    job.mode,
+                    &tiling,
+                    config,
+                    spec,
+                    scan_threads,
+                    disk,
+                    cluster,
+                    trace.clone(),
+                );
                 JobOutput::Wcc(run_wcc_with(graph, exec.as_mut())?)
             }
             JobSpec::Cf(opts) => {
@@ -530,6 +575,7 @@ impl Session {
                         scan_threads,
                         disk,
                         cluster,
+                        trace.clone(),
                     )
                 })?;
                 JobOutput::Cf(run)

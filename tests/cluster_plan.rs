@@ -63,6 +63,11 @@ fn one_node_cluster_is_bit_identical_for_every_app() {
             spec.name()
         );
         assert!(!cluster.output.metrics().net.is_active());
+        cluster
+            .output
+            .metrics()
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: inconsistent cluster metrics: {e}", spec.name()));
     }
 }
 
@@ -122,6 +127,8 @@ fn cluster_results_identical_across_node_counts_and_modes() {
             );
             assert_eq!(m.iterations, single_m.iterations);
             assert!(m.net.is_active(), "{nodes} nodes must exchange properties");
+            m.validate()
+                .unwrap_or_else(|e| panic!("inconsistent metrics ({nodes} nodes, {mode:?}): {e}"));
         }
     }
 }
@@ -210,6 +217,8 @@ fn cluster_disk_bytes_sum_to_the_single_node_loading() {
     let s = single.output.metrics();
     let c = cluster.output.metrics();
     assert!(c.disk.is_active() && c.net.is_active());
+    s.validate().expect("single-node disk metrics consistent");
+    c.validate().expect("cluster disk metrics consistent");
     assert_eq!(
         c.disk.bytes_loaded, s.disk.bytes_loaded,
         "per-node loads must partition the planned bytes"

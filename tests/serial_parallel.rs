@@ -48,6 +48,16 @@ fn assert_modes_agree(handle: &GraphHandle, spec: JobSpec) -> JobOutput {
         "{}: serial and parallel runs must be bit-identical",
         spec.name()
     );
+    serial
+        .output
+        .metrics()
+        .validate()
+        .unwrap_or_else(|e| panic!("{}: inconsistent serial metrics: {e}", spec.name()));
+    parallel
+        .output
+        .metrics()
+        .validate()
+        .unwrap_or_else(|e| panic!("{}: inconsistent parallel metrics: {e}", spec.name()));
     parallel.output
 }
 
@@ -189,6 +199,8 @@ fn pruned_plans_are_bit_identical_under_the_parallel_executor() {
         ms.events.subgraphs_pruned > 0,
         "the sparse frontier must actually prune"
     );
+    ms.validate()
+        .expect("pruned-run metrics must be consistent");
     for threads in [1, 2, 5] {
         let mut par = ParallelExecutor::with_threads(&tiled, &cfg, spec, threads);
         let (dp, rp, mp) = run(&mut par);

@@ -1,0 +1,565 @@
+//! Integration tests of the run telemetry subsystem: attaching a trace
+//! sink never changes results or `Metrics` (null-sink identity), the
+//! simulated-clock event stream is **bit-identical** across the serial
+//! engine, the parallel engine, and a one-node cluster (Chrome-export
+//! bytes included), delta-patched and scratch-rebuilt planning differ
+//! only in their `Plan` events, and — proptested — the per-iteration
+//! deltas sum back to the final aggregate `Metrics` for every app on
+//! serial, parallel, and 4-node-cluster execution.
+
+use std::sync::Arc;
+
+use graphr_repro::core::exec::{PlanSkeleton, ScanEngine, StreamingExecutor};
+use graphr_repro::core::metrics::EventCounters;
+use graphr_repro::core::multinode::MultiNodeConfig;
+use graphr_repro::core::outofcore::DiskModel;
+use graphr_repro::core::sim::{CfOptions, PageRankOptions, SpmvOptions, TraversalOptions};
+use graphr_repro::core::trace::{TraceData, TraceEvent, TraceHandle, TraceSink};
+use graphr_repro::core::{GraphRConfig, Metrics, TiledGraph};
+use graphr_repro::graph::generators::bipartite::RatingMatrix;
+use graphr_repro::graph::generators::rmat::Rmat;
+use graphr_repro::graph::generators::structured::grid;
+use graphr_repro::graph::GraphHandle;
+use graphr_repro::units::FixedSpec;
+use graphr_runtime::{ExecMode, Job, JobReport, JobSpec, Session};
+use proptest::prelude::*;
+
+fn test_config() -> GraphRConfig {
+    GraphRConfig::builder()
+        .crossbar_size(4)
+        .crossbars_per_ge(8)
+        .num_ges(2)
+        .build()
+        .expect("valid test geometry")
+}
+
+fn rmat_handle() -> GraphHandle {
+    GraphHandle::new(
+        "rmat-250",
+        Rmat::new(250, 1500).seed(42).max_weight(9).generate(),
+    )
+}
+
+fn cf_handle(seed: u64) -> GraphHandle {
+    let m = RatingMatrix::new(12, 6, 40).seed(seed).generate();
+    GraphHandle::bipartite("ratings", m.graph().clone(), 12, 6)
+}
+
+/// The five graph applications (CF rides on a bipartite handle and is
+/// exercised separately where needed).
+fn graph_specs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::PageRank(PageRankOptions::default()),
+        JobSpec::Spmv(SpmvOptions::default()),
+        JobSpec::Bfs(TraversalOptions::default()),
+        JobSpec::Sssp(TraversalOptions::default()),
+        JobSpec::Wcc,
+    ]
+}
+
+/// Submits one job on a fresh session wearing a fresh sink; returns the
+/// sink and the report.
+fn traced_submit(
+    handle: &GraphHandle,
+    spec: &JobSpec,
+    mode: ExecMode,
+    threads: usize,
+    cluster_nodes: Option<usize>,
+) -> (Arc<TraceSink>, JobReport) {
+    let sink = TraceSink::shared();
+    let mut session = Session::new(test_config())
+        .with_threads(threads)
+        .with_trace(Arc::clone(&sink));
+    if let Some(nodes) = cluster_nodes {
+        session = session.with_cluster(MultiNodeConfig::pcie_cluster(nodes));
+    }
+    let report = session
+        .submit(&Job::new(handle.clone(), spec.clone()).with_mode(mode))
+        .expect("traced run");
+    (sink, report)
+}
+
+/// Attaching a sink must be a pure observation: results **and** `Metrics`
+/// (`JobOutput`'s `PartialEq` covers both) are bit-identical to the
+/// untraced run, for every application.
+#[test]
+fn tracing_never_changes_results_or_metrics() {
+    let handle = rmat_handle();
+    let mut specs = graph_specs();
+    specs.push(JobSpec::Cf(CfOptions {
+        features: 4,
+        epochs: 2,
+        ..CfOptions::default()
+    }));
+    for spec in specs {
+        let h = if matches!(spec, JobSpec::Cf(_)) {
+            cf_handle(5)
+        } else {
+            handle.clone()
+        };
+        let plain = Session::new(test_config())
+            .submit(&Job::new(h.clone(), spec.clone()))
+            .expect("untraced run");
+        let (sink, traced) = traced_submit(&h, &spec, ExecMode::Serial, 1, None);
+        assert_eq!(
+            plain.output,
+            traced.output,
+            "{}: tracing must not perturb the run",
+            spec.name()
+        );
+        assert!(
+            !sink.is_empty(),
+            "{}: the sink must see events",
+            spec.name()
+        );
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| matches!(e.data, TraceData::Iteration(_))),
+            "{}: drivers must emit per-iteration snapshots",
+            spec.name()
+        );
+    }
+}
+
+/// Per-job overrides: `Job::untraced` keeps a session-default sink dark,
+/// and `Job::with_trace` attaches one to a session without a default.
+#[test]
+fn per_job_trace_choice_overrides_the_session_default() {
+    let handle = rmat_handle();
+    let spec = JobSpec::PageRank(PageRankOptions::default());
+
+    let session_sink = TraceSink::shared();
+    Session::new(test_config())
+        .with_trace(Arc::clone(&session_sink))
+        .submit(&Job::new(handle.clone(), spec.clone()).untraced())
+        .expect("untraced job");
+    assert!(
+        session_sink.is_empty(),
+        "untraced() must suppress the default sink"
+    );
+
+    let job_sink = TraceSink::shared();
+    Session::new(test_config())
+        .submit(&Job::new(handle, spec).with_trace(Arc::clone(&job_sink)))
+        .expect("per-job traced run");
+    assert!(
+        !job_sink.is_empty(),
+        "with_trace() must attach without a session default"
+    );
+    assert_eq!(job_sink.job_names().len(), 1);
+}
+
+/// The determinism contract, extended to telemetry: the simulated-clock
+/// event stream — and therefore the exported Chrome trace, byte for byte
+/// — is identical across the serial engine, the parallel engine, and a
+/// one-node cluster, for every application.
+#[test]
+fn event_streams_identical_across_serial_parallel_and_one_node_cluster() {
+    let handle = rmat_handle();
+    for spec in graph_specs() {
+        let (serial, _) = traced_submit(&handle, &spec, ExecMode::Serial, 1, None);
+        let (parallel, _) = traced_submit(&handle, &spec, ExecMode::Parallel, 4, None);
+        let (cluster, _) = traced_submit(&handle, &spec, ExecMode::Serial, 1, Some(1));
+        let evs = serial.events();
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e.data, TraceData::Compute { .. })),
+            "{}: engines must emit compute spans",
+            spec.name()
+        );
+        // `TraceEvent`'s `PartialEq` ignores host-measured fields, so this
+        // is exactly the simulated part of the stream.
+        assert_eq!(
+            evs,
+            parallel.events(),
+            "{}: serial and parallel event streams must be bit-identical",
+            spec.name()
+        );
+        assert_eq!(
+            evs,
+            cluster.events(),
+            "{}: a one-node cluster's event stream must be bit-identical",
+            spec.name()
+        );
+        // The Chrome export omits host fields entirely, so the bytes
+        // agree too — the `graphr-run --trace` acceptance bar.
+        let chrome = serial.to_chrome_trace();
+        assert_eq!(chrome, parallel.to_chrome_trace(), "{}", spec.name());
+        assert_eq!(chrome, cluster.to_chrome_trace(), "{}", spec.name());
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.ends_with("]}"));
+    }
+}
+
+/// The same contract under a disk model: per-iteration `Disk` windows
+/// appear in the stream and the exported bytes still agree across all
+/// three execution shapes.
+#[test]
+fn disk_windows_trace_identically_across_modes() {
+    let handle = rmat_handle();
+    let spec = JobSpec::Sssp(TraversalOptions::default());
+    let run = |mode, threads, nodes: Option<usize>| {
+        let sink = TraceSink::shared();
+        let mut session = Session::new(test_config())
+            .with_threads(threads)
+            .with_disk(DiskModel::nvme())
+            .with_trace(Arc::clone(&sink));
+        if let Some(n) = nodes {
+            session = session.with_cluster(MultiNodeConfig::pcie_cluster(n));
+        }
+        session
+            .submit(&Job::new(handle.clone(), spec.clone()).with_mode(mode))
+            .expect("traced disk run");
+        sink
+    };
+    let serial = run(ExecMode::Serial, 1, None);
+    let parallel = run(ExecMode::Parallel, 4, None);
+    let cluster = run(ExecMode::Serial, 1, Some(1));
+    assert!(
+        serial
+            .events()
+            .iter()
+            .any(|e| matches!(e.data, TraceData::Disk(_))),
+        "an out-of-core run must emit disk windows"
+    );
+    assert_eq!(serial.events(), parallel.events());
+    assert_eq!(serial.events(), cluster.events());
+    assert_eq!(serial.to_chrome_trace(), parallel.to_chrome_trace());
+    assert_eq!(serial.to_chrome_trace(), cluster.to_chrome_trace());
+    // JSONL keeps host fields, so only spot-check its shape.
+    let jsonl = serial.to_jsonl();
+    assert!(jsonl.starts_with("{\"type\":\"job\""));
+    assert!(jsonl.contains("\"type\":\"disk\""));
+}
+
+/// Delta-patched vs scratch-rebuilt planning: the engine-planned loop's
+/// stream equals the scratch-planned loop's stream once the `Plan` events
+/// — which report planning *cost*, exactly like `PlanCounters` — are set
+/// aside.
+#[test]
+fn patched_and_scratch_planned_streams_agree_modulo_plan_events() {
+    let g = grid(30, 30);
+    let config = test_config();
+    let tiled = TiledGraph::preprocess(&g, &config).expect("grid tiles");
+    let skeleton = Arc::new(PlanSkeleton::build(&tiled));
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    let n = tiled.num_vertices();
+
+    // A masked SSSP loop; `engine_plans` switches between planning through
+    // the engine (delta patching) and the stateless scratch skeleton.
+    let run = |engine_plans: bool| {
+        let sink = TraceSink::shared();
+        let mut exec = StreamingExecutor::new(&tiled, &config, spec);
+        exec.set_trace(Some(TraceHandle::new(Arc::clone(&sink))));
+        let inf = spec.max_value();
+        let mut dist = vec![inf; n];
+        dist[0] = 0.0;
+        let mut active = vec![false; n];
+        active[0] = true;
+        for _ in 0..n {
+            let engine_plan = engine_plans.then(|| exec.plan(Some(&active)));
+            let scratch_plan;
+            let plan = match &engine_plan {
+                Some(p) => &**p,
+                None => {
+                    scratch_plan = skeleton.pruned_plan(&tiled, &active);
+                    &scratch_plan
+                }
+            };
+            let mut frontier = dist.clone();
+            let mut updated = vec![false; n];
+            exec.scan_add_op_planned(
+                plan,
+                &|w, _, _| f64::from(w),
+                &|du, w| du + w,
+                &dist,
+                &active,
+                &mut frontier,
+                &mut updated,
+            );
+            exec.end_iteration();
+            dist = frontier;
+            active = updated;
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+        }
+        (dist, exec.take_metrics(), sink.events())
+    };
+
+    let (dist_patched, m_patched, evs_patched) = run(true);
+    let (dist_scratch, m_scratch, evs_scratch) = run(false);
+    assert_eq!(dist_patched, dist_scratch);
+    assert!(
+        m_patched.plan.delta_patches > 0,
+        "the engine-planned loop must actually patch"
+    );
+    assert!(
+        evs_patched
+            .iter()
+            .any(|e| matches!(e.data, TraceData::Plan { .. })),
+        "the engine-planned loop must emit Plan events"
+    );
+    assert!(
+        !evs_scratch
+            .iter()
+            .any(|e| matches!(e.data, TraceData::Plan { .. })),
+        "scratch planning bypasses the engine and emits none"
+    );
+    assert_eq!(m_patched.events, m_scratch.events);
+    let without_plans: Vec<&TraceEvent> = evs_patched
+        .iter()
+        .filter(|e| !matches!(e.data, TraceData::Plan { .. }))
+        .collect();
+    let scratch_refs: Vec<&TraceEvent> = evs_scratch.iter().collect();
+    assert_eq!(
+        without_plans, scratch_refs,
+        "modulo Plan events the streams must be bit-identical"
+    );
+}
+
+/// The fourteen pure-sum `EventCounters` fields in declaration order
+/// (`rego_capacity_required` is a running maximum, handled separately).
+fn event_fields(e: &EventCounters) -> [u64; 14] {
+    [
+        e.subgraphs_processed,
+        e.subgraphs_skipped_empty,
+        e.subgraphs_skipped_inactive,
+        e.subgraphs_pruned,
+        e.edges_pruned,
+        e.tiles_loaded,
+        e.edges_loaded,
+        e.mvm_scans,
+        e.rows_activated,
+        e.adc_conversions,
+        e.salu_ops,
+        e.register_reads,
+        e.register_writes,
+        e.bytes_streamed,
+    ]
+}
+
+/// Asserts that the `Iteration` deltas in `events` sum back to the final
+/// aggregate: u64 counters exactly (rego capacity via max), simulated
+/// `Nanos`/`Joules` to f64 telescoping precision. Host-measured
+/// `plan.time` is exempt — `Metrics`' own equality excludes it, so the
+/// tail snapshot legitimately may not cover it.
+fn assert_deltas_sum_to(events: &[TraceEvent], m: &Metrics, label: &str) {
+    let approx = |sum: f64, total: f64, what: &str| {
+        let tol = 1e-9 * sum.abs().max(total.abs()).max(1.0);
+        assert!(
+            (sum - total).abs() <= tol,
+            "{label}: {what} deltas sum to {sum}, final metrics say {total}"
+        );
+    };
+    let mut count = 0usize;
+    let mut elapsed = 0.0f64;
+    let mut times = [0.0f64; 4];
+    let mut event_sums = [0u64; 14];
+    let mut rego_max = 0u64;
+    let mut disk_sums = [0u64; 4];
+    let mut disk_times = [0.0f64; 2];
+    let mut net_sums = [0u64; 2];
+    let mut net_times = [0.0f64; 3];
+    let mut plan_sums = [0u64; 4];
+    for ev in events {
+        let TraceData::Iteration(snap) = &ev.data else {
+            continue;
+        };
+        let (de, time, e, d, nc, p) = (
+            &snap.elapsed,
+            &snap.time,
+            &snap.events,
+            &snap.disk,
+            &snap.net,
+            &snap.plan,
+        );
+        count += 1;
+        elapsed += de.as_nanos();
+        for (acc, v) in times
+            .iter_mut()
+            .zip([time.program, time.compute, time.memory, time.apply])
+        {
+            *acc += v.as_nanos();
+        }
+        for (acc, v) in event_sums.iter_mut().zip(event_fields(e)) {
+            *acc += v;
+        }
+        rego_max = rego_max.max(e.rego_capacity_required);
+        for (acc, v) in disk_sums.iter_mut().zip([
+            d.bytes_loaded,
+            d.blocks_loaded,
+            d.blocks_seeked,
+            d.io_segments,
+        ]) {
+            *acc += v;
+        }
+        disk_times[0] += d.time.as_nanos();
+        disk_times[1] += d.overlapped.as_nanos();
+        for (acc, v) in net_sums.iter_mut().zip([nc.bytes_exchanged, nc.exchanges]) {
+            *acc += v;
+        }
+        net_times[0] += nc.time.as_nanos();
+        net_times[1] += nc.overlapped.as_nanos();
+        net_times[2] += nc.energy.as_joules();
+        for (acc, v) in plan_sums.iter_mut().zip([
+            p.full_rebuilds,
+            p.delta_patches,
+            p.units_reused,
+            p.units_patched,
+        ]) {
+            *acc += v;
+        }
+    }
+    // One snapshot per end_iteration, plus at most one tail for post-loop
+    // controller charges.
+    assert!(
+        count == m.iterations || count == m.iterations + 1,
+        "{label}: {count} iteration events for {} iterations",
+        m.iterations
+    );
+    assert_eq!(
+        event_sums,
+        event_fields(&m.events),
+        "{label}: event-counter deltas must sum exactly"
+    );
+    assert_eq!(
+        rego_max, m.events.rego_capacity_required,
+        "{label}: rego max"
+    );
+    assert_eq!(
+        disk_sums,
+        [
+            m.disk.bytes_loaded,
+            m.disk.blocks_loaded,
+            m.disk.blocks_seeked,
+            m.disk.io_segments
+        ],
+        "{label}: disk-counter deltas must sum exactly"
+    );
+    assert_eq!(
+        net_sums,
+        [m.net.bytes_exchanged, m.net.exchanges],
+        "{label}: net-counter deltas must sum exactly"
+    );
+    assert_eq!(
+        plan_sums,
+        [
+            m.plan.full_rebuilds,
+            m.plan.delta_patches,
+            m.plan.units_reused,
+            m.plan.units_patched
+        ],
+        "{label}: planner-counter deltas must sum exactly"
+    );
+    approx(elapsed, m.elapsed.as_nanos(), "elapsed");
+    approx(
+        times[0],
+        m.time_breakdown.program.as_nanos(),
+        "time.program",
+    );
+    approx(
+        times[1],
+        m.time_breakdown.compute.as_nanos(),
+        "time.compute",
+    );
+    approx(times[2], m.time_breakdown.memory.as_nanos(), "time.memory");
+    approx(times[3], m.time_breakdown.apply.as_nanos(), "time.apply");
+    approx(disk_times[0], m.disk.time.as_nanos(), "disk.time");
+    approx(
+        disk_times[1],
+        m.disk.overlapped.as_nanos(),
+        "disk.overlapped",
+    );
+    approx(net_times[0], m.net.time.as_nanos(), "net.time");
+    approx(net_times[1], m.net.overlapped.as_nanos(), "net.overlapped");
+    approx(net_times[2], m.net.energy.as_joules(), "net.energy");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite 3: for any graph, every application's per-iteration
+    /// trace deltas sum back to its final aggregate `Metrics` — on the
+    /// serial engine, the parallel engine, and a 4-node cluster.
+    #[test]
+    fn iteration_deltas_sum_to_final_metrics(
+        n in 8usize..80,
+        m in 0usize..300,
+        seed in 0u64..12,
+    ) {
+        let handle = GraphHandle::new(
+            "prop",
+            Rmat::new(n, m).seed(seed).max_weight(9).generate(),
+        );
+        let mut specs = graph_specs();
+        if let Some(JobSpec::PageRank(opts)) = specs.first_mut() {
+            *opts = PageRankOptions {
+                max_iterations: 5,
+                tolerance: 0.0,
+                ..PageRankOptions::default()
+            };
+        }
+        specs.push(JobSpec::Cf(CfOptions {
+            features: 4,
+            epochs: 2,
+            ..CfOptions::default()
+        }));
+        for spec in specs {
+            let h = if matches!(spec, JobSpec::Cf(_)) {
+                cf_handle(seed)
+            } else {
+                handle.clone()
+            };
+            let shapes = [
+                ("serial", ExecMode::Serial, 1, None),
+                ("parallel", ExecMode::Parallel, 4, None),
+                ("cluster-4", ExecMode::Serial, 1, Some(4)),
+            ];
+            for (shape, mode, threads, nodes) in shapes {
+                let (sink, report) = traced_submit(&h, &spec, mode, threads, nodes);
+                let metrics = report.output.metrics();
+                metrics
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} {shape}: invalid metrics: {e}", spec.name()));
+                assert_deltas_sum_to(
+                    &sink.events(),
+                    metrics,
+                    &format!("{} {shape}", spec.name()),
+                );
+            }
+        }
+    }
+}
+
+/// The machine-readable `JobReport` serialisation is one balanced JSON
+/// object carrying the same aggregate the text report derives from.
+#[test]
+fn job_report_to_json_is_wellformed() {
+    let handle = rmat_handle();
+    let report = Session::new(test_config())
+        .submit(&Job::new(
+            handle,
+            JobSpec::Sssp(TraversalOptions::default()),
+        ))
+        .expect("run");
+    let json = report.to_json();
+    assert!(json.starts_with("{\"app\":\"sssp\""));
+    assert!(json.contains("\"metrics\":{"));
+    assert!(json.contains("\"iterations\":"));
+    assert!(json.contains("\"subgraphs_planned\":"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    // The text rendering derives from the same numbers: the planned
+    // subgraph count appears in both.
+    let text = format!("{report}");
+    let planned = json
+        .split("\"subgraphs_planned\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .expect("field present");
+    assert!(
+        text.contains(planned),
+        "text report must quote the same planned count ({planned})"
+    );
+}
