@@ -11,6 +11,7 @@
 
 use std::time::Instant;
 
+use graphr_core::exec::mask::{FrontierDelta, FrontierMask};
 use graphr_core::exec::{ScanEngine, StreamingExecutor};
 use graphr_core::multinode::{ClusterExecutor, MultiNodeConfig, MultiNodeEstimate};
 use graphr_core::outofcore::{estimate_out_of_core, DiskModel};
@@ -106,6 +107,7 @@ fn main() {
 
     sparse_frontier_case();
     incremental_planner_case();
+    frontier_mask_case();
     out_of_core_sparse_frontier_case(threads);
     cluster_sparse_frontier_case();
     tracing_overhead_case();
@@ -136,16 +138,19 @@ fn bfs_rounds_on(
     let inf = spec.max_value();
     let mut dist = vec![inf; n];
     dist[0] = 0.0;
-    let mut active = vec![false; n];
-    active[0] = true;
+    let mut active = FrontierMask::new(n);
+    active.set(0);
+    let mut delta: Option<FrontierDelta> = None;
     for _ in 0..n {
-        let plan = if pruned {
-            exec.plan(Some(&active))
-        } else {
+        let plan = if !pruned {
             exec.plan(None)
+        } else if let Some(d) = &delta {
+            exec.plan_with_delta(&active, d)
+        } else {
+            exec.plan(Some(&active))
         };
         let mut frontier = dist.clone();
-        let mut updated = vec![false; n];
+        let mut updated = FrontierMask::new(n);
         exec.scan_add_op_planned(
             &plan,
             &|_w, _, _| 1.0,
@@ -157,7 +162,47 @@ fn bfs_rounds_on(
         );
         exec.end_iteration();
         dist = frontier;
+        delta = Some(FrontierDelta::between(&active, &updated));
         active = updated;
+        if active.is_empty() {
+            break;
+        }
+    }
+    (dist, exec.take_metrics())
+}
+
+/// The legacy dense driver: frontier state lives in a `Vec<bool>`, so
+/// every round converts it into a mask before planning (a full `O(|V|)`
+/// re-scan for the planner to diff) and recounts it densely afterwards —
+/// what every sim driver did before hierarchical masks became the native
+/// representation. Kept as the baseline for `frontier_mask_case`.
+fn bfs_rounds_dense(
+    exec: &mut dyn ScanEngine,
+    spec: FixedSpec,
+    n: usize,
+) -> (Vec<f64>, graphr_core::Metrics) {
+    let inf = spec.max_value();
+    let mut dist = vec![inf; n];
+    dist[0] = 0.0;
+    let mut active = vec![false; n];
+    active[0] = true;
+    for _ in 0..n {
+        let mask = FrontierMask::from_slice(&active);
+        let plan = exec.plan(Some(&mask));
+        let mut frontier = dist.clone();
+        let mut updated = FrontierMask::new(n);
+        exec.scan_add_op_planned(
+            &plan,
+            &|_w, _, _| 1.0,
+            &|du, w| du + w,
+            &dist,
+            &mask,
+            &mut frontier,
+            &mut updated,
+        );
+        exec.end_iteration();
+        dist = frontier;
+        active = updated.to_vec();
         if !active.iter().any(|&a| a) {
             break;
         }
@@ -241,15 +286,15 @@ fn incremental_planner_case() {
         let inf = spec.max_value();
         let mut dist = vec![inf; n];
         dist[0] = 0.0;
-        let mut active = vec![false; n];
-        active[0] = true;
+        let mut active = FrontierMask::new(n);
+        active.set(0);
         let mut planning = std::time::Duration::ZERO;
         for _ in 0..n {
             let t0 = Instant::now();
             let plan = Arc::new(skeleton.pruned_plan(&tiled, &active));
             planning += t0.elapsed();
             let mut frontier = dist.clone();
-            let mut updated = vec![false; n];
+            let mut updated = FrontierMask::new(n);
             exec.scan_add_op_planned(
                 &plan,
                 &|_w, _, _| 1.0,
@@ -262,7 +307,7 @@ fn incremental_planner_case() {
             exec.end_iteration();
             dist = frontier;
             active = updated;
-            if !active.iter().any(|&a| a) {
+            if active.is_empty() {
                 break;
             }
         }
@@ -307,6 +352,88 @@ fn incremental_planner_case() {
         t_delta * 1e3,
         t_scratch * 1e3,
         t_scratch / t_delta.max(1e-9),
+    );
+}
+
+/// The mask representation itself: the same sparse-frontier BFS driven by
+/// the legacy dense `Vec<bool>` frontier (per-round mask conversion, full
+/// mask re-scan in the planner, dense recount) vs the native hierarchical
+/// mask + driver-supplied word deltas. Simulated results and event
+/// accounting are bit-identical — only the planner's host work changes —
+/// and the delta path must popcount fewer mask words and spend less host
+/// planning time.
+fn frontier_mask_case() {
+    // A 240×240 grid: ~57.6 k vertices over ~900 mask words, diameter
+    // ~478 — hundreds of rounds whose thin wavefront touches a handful of
+    // words each, so per-round full mask re-scans are pure waste.
+    let g = grid(240, 240);
+    let config = GraphRConfig::builder()
+        .crossbar_size(8)
+        .crossbars_per_ge(32)
+        .num_ges(4)
+        .build()
+        .expect("valid bench geometry");
+    let tiled = TiledGraph::preprocess(&g, &config).expect("grid tiles");
+    let n = tiled.num_vertices();
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+
+    let dense_run = || {
+        let mut exec = StreamingExecutor::new(&tiled, &config, spec);
+        bfs_rounds_dense(&mut exec, spec, n)
+    };
+    let mask_run = || {
+        let mut exec = StreamingExecutor::new(&tiled, &config, spec);
+        bfs_rounds_on(&mut exec, spec, n, true)
+    };
+    let (d_dense, m_dense) = dense_run();
+    let (d_mask, m_mask) = mask_run();
+
+    assert_eq!(d_dense, d_mask, "the representation must not change labels");
+    // Everything simulated is bit-identical; only the host-side planning
+    // counters (how activity was derived) may differ between the paths.
+    let strip_plan = |m: &graphr_core::Metrics| {
+        let mut m = m.clone();
+        m.plan = graphr_core::metrics::PlanCounters::default();
+        m
+    };
+    assert_eq!(
+        strip_plan(&m_dense),
+        strip_plan(&m_mask),
+        "metrics must be bit-identical modulo plan counters"
+    );
+    assert!(
+        m_mask.plan.delta_words > 0,
+        "the mask path must actually hand deltas to the planner"
+    );
+    assert!(
+        m_mask.plan.mask_words < m_dense.plan.mask_words,
+        "driver deltas must popcount fewer mask words: {} vs {}",
+        m_mask.plan.mask_words,
+        m_dense.plan.mask_words
+    );
+
+    let t_dense = best_of(5, || {
+        std::time::Duration::from_secs_f64(dense_run().1.plan.time.as_secs())
+    });
+    let t_mask = best_of(5, || {
+        std::time::Duration::from_secs_f64(mask_run().1.plan.time.as_secs())
+    });
+    assert!(
+        t_mask < t_dense,
+        "delta planning must cost less host time than full mask re-scans: {:.3} ms vs {:.3} ms",
+        t_mask * 1e3,
+        t_dense * 1e3
+    );
+    println!(
+        "  frontier masks (240x240 grid bfs, {} rounds): dense driver {} mask words / planning {:.3} ms, delta driver {} mask words + {} delta words / planning {:.3} ms → {:.1}x less planning time, {} summary skips",
+        m_mask.iterations,
+        m_dense.plan.mask_words,
+        t_dense * 1e3,
+        m_mask.plan.mask_words,
+        m_mask.plan.delta_words,
+        t_mask * 1e3,
+        t_dense / t_mask.max(1e-9),
+        m_dense.plan.summary_skips,
     );
 }
 

@@ -13,13 +13,20 @@
 //! tiler's source-range index, so work (and every [`Metrics`] charge) is
 //! proportional to planned, not total, edges.
 //!
+//! [`mask`] is the frontier representation every layer shares: a
+//! hierarchical [`mask::FrontierMask`] bitset (packed words plus a
+//! summary level, `O(1)` popcount) and the word-granular
+//! [`mask::FrontierDelta`] a driver records as it flips vertices.
+//!
 //! [`planner`] makes that per-iteration planning *incremental*: every
 //! engine owns a stateful [`planner::Planner`] that diffs each new
 //! frontier against the previous one and patches the previous plan in
 //! `O(|delta|)` instead of rebuilding in `O(units)`, sharing untouched
 //! per-unit state by `Arc` — bit-identical plans, radically cheaper
 //! planning on overlapping traversal frontiers (reported through
-//! [`Metrics::plan`](crate::metrics::PlanCounters)).
+//! [`Metrics::plan`](crate::metrics::PlanCounters)). Drivers that hand
+//! their recorded [`mask::FrontierDelta`] to
+//! [`ScanEngine::plan_with_delta`] skip the mask re-scan entirely.
 //!
 //! [`strip`] exposes the scan's parallel-safe decomposition: one
 //! [`strip::StripUnit`] per global destination strip, executed by a
@@ -38,13 +45,15 @@
 //! [`TiledGraph`]: crate::preprocess::tiler::TiledGraph
 //! [`Metrics`]: crate::metrics::Metrics
 
+pub mod mask;
 pub mod plan;
 pub mod planner;
 pub mod streaming;
 pub mod strip;
 
+pub use mask::{FrontierDelta, FrontierMask};
 pub use plan::{PlanRow, PlanSkeleton, PlanStats, PlanUnit, ScanPlan};
-pub use planner::{FrontierDelta, Planner, PlannerIndex};
+pub use planner::{Planner, PlannerIndex};
 pub use streaming::{EdgeValueFn, StreamingExecutor};
 pub use strip::{mac_rego_capacity, strip_units, StripScanner, StripUnit};
 
@@ -72,7 +81,19 @@ pub trait ScanEngine {
     /// scratch rebuild otherwise) — bit-identical to
     /// [`plan::PlanSkeleton::pruned_plan`] either way, with the planning
     /// cost reported in [`Metrics::plan`](crate::metrics::PlanCounters).
-    fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan>;
+    fn plan(&mut self, active: Option<&FrontierMask>) -> Arc<ScanPlan>;
+
+    /// Builds the pruned plan for `active` from a driver-supplied
+    /// [`FrontierDelta`] describing exactly which mask words flipped since
+    /// the engine's previously planned frontier — the planner re-derives
+    /// activity for only the chunks those words overlap instead of
+    /// re-scanning the whole mask; see [`planner::Planner::plan_for_delta`].
+    /// Bit-identical to `plan(Some(active))`. Defaulted to the full-scan
+    /// path so trait objects and test doubles stay valid.
+    fn plan_with_delta(&mut self, active: &FrontierMask, delta: &FrontierDelta) -> Arc<ScanPlan> {
+        let _ = delta;
+        self.plan(Some(active))
+    }
 
     /// One parallel-MAC pass (§4.1) over a plan; see
     /// [`StreamingExecutor::scan_mac_planned`].
@@ -92,9 +113,9 @@ pub trait ScanEngine {
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
-        active: &[bool],
+        active: &FrontierMask,
         frontier: &mut [f64],
-        updated: &mut [bool],
+        updated: &mut FrontierMask,
     ) -> u64;
 
     /// One parallel-MAC pass over the whole graph (the dense full plan).
@@ -111,9 +132,9 @@ pub trait ScanEngine {
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
-        active: &[bool],
+        active: &FrontierMask,
         frontier: &mut [f64],
-        updated: &mut [bool],
+        updated: &mut FrontierMask,
     ) -> u64 {
         let plan = self.plan(None);
         self.scan_add_op_planned(&plan, value, combine, addend, active, frontier, updated)

@@ -57,8 +57,8 @@
 //! let skeleton = PlanSkeleton::build(&tiled);
 //!
 //! // A sparse frontier: only vertex 3 is active.
-//! let mut active = vec![false; 200];
-//! active[3] = true;
+//! let mut active = graphr_core::exec::mask::FrontierMask::new(200);
+//! active.set(3);
 //! let plan = skeleton.pruned_plan(&tiled, &active);
 //! let stats = plan.stats();
 //! assert!(stats.subgraphs_pruned > 0, "most subgraphs hold no active source");
@@ -76,6 +76,7 @@
 
 use std::sync::Arc;
 
+use crate::exec::mask::FrontierMask;
 use crate::exec::strip::{strip_units, StripUnit};
 use crate::preprocess::tiler::TiledGraph;
 
@@ -242,7 +243,7 @@ impl PlanSkeleton {
         &self,
         tiled: &TiledGraph,
         config: &crate::config::GraphRConfig,
-        active: Option<&[bool]>,
+        active: Option<&FrontierMask>,
     ) -> Arc<ScanPlan> {
         match active {
             Some(mask) if config.skip_empty => Arc::new(self.pruned_plan(tiled, mask)),
@@ -261,13 +262,13 @@ impl PlanSkeleton {
     ///
     /// # Panics
     ///
-    /// Panics if `mask` does not have one entry per (unpadded) vertex.
+    /// Panics if `mask` does not range over the (unpadded) vertex count.
     #[must_use]
-    pub fn pruned_plan(&self, tiled: &TiledGraph, mask: &[bool]) -> ScanPlan {
+    pub fn pruned_plan(&self, tiled: &TiledGraph, mask: &FrontierMask) -> ScanPlan {
         assert_eq!(
-            mask.len(),
+            mask.num_vertices(),
             tiled.num_vertices(),
-            "active mask must have one entry per vertex"
+            "active mask must range over every vertex"
         );
         let per_side = tiled.order().blocks_per_side();
         let strips_per_block = tiled.order().strips_per_block();
@@ -363,7 +364,7 @@ mod tests {
         let g = Rmat::new(90, 400).seed(8).generate();
         let tiled = TiledGraph::preprocess(&g, &small_config()).unwrap();
         let skeleton = PlanSkeleton::build(&tiled);
-        let plan = skeleton.pruned_plan(&tiled, &[true; 90]);
+        let plan = skeleton.pruned_plan(&tiled, &FrontierMask::full(90));
         assert_eq!(plan.stats().subgraphs_pruned, 0);
         assert_eq!(plan.stats().edges_pruned, 0);
         assert_eq!(
@@ -377,7 +378,7 @@ mod tests {
         let g = Rmat::new(90, 400).seed(8).generate();
         let tiled = TiledGraph::preprocess(&g, &small_config()).unwrap();
         let skeleton = PlanSkeleton::build(&tiled);
-        let plan = skeleton.pruned_plan(&tiled, &[false; 90]);
+        let plan = skeleton.pruned_plan(&tiled, &FrontierMask::new(90));
         assert!(plan.units().is_empty());
         assert_eq!(
             plan.stats().subgraphs_pruned,
@@ -392,9 +393,9 @@ mod tests {
         let g = Rmat::new(120, 700).seed(5).generate();
         let tiled = TiledGraph::preprocess(&g, &small_config()).unwrap();
         let skeleton = PlanSkeleton::build(&tiled);
-        let mut mask = vec![false; 120];
+        let mut mask = FrontierMask::new(120);
         for v in (0..120).step_by(17) {
-            mask[v] = true;
+            mask.set(v);
         }
         let plan = skeleton.pruned_plan(&tiled, &mask);
         // Reconstruct the planned set and compare with a direct filter of

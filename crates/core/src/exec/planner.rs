@@ -12,14 +12,20 @@
 //!
 //! A [`Planner`] makes planning *stateful*: it remembers the previous
 //! mask's per-chunk activity and the previous plan's per-unit content,
-//! diffs each new frontier into a [`FrontierDelta`] (source chunks newly
-//! activated / deactivated), and patches only the strip units those
-//! chunks touch — `O(|delta|)` span work instead of `O(units)` — falling
-//! back to a full rebuild when the delta is dense. Untouched units are
-//! carried into the new plan as shared [`Arc`]s, so downstream layers
-//! recognise them by pointer identity: the cluster executor re-shards
-//! and the out-of-core layer re-derives per-unit disk spans only for
-//! touched strips.
+//! and patches only the strip units whose gating chunks flipped —
+//! `O(|delta|)` span work instead of `O(units)` — falling back to a full
+//! rebuild when the delta is dense. Untouched units are carried into the
+//! new plan as shared [`Arc`]s, so downstream layers recognise them by
+//! pointer identity: the cluster executor re-shards and the out-of-core
+//! layer re-derives per-unit disk spans only for touched strips.
+//!
+//! Chunk activity comes from the hierarchical [`FrontierMask`]: the
+//! summary level proves whole word spans inactive without reading dense
+//! bits ([`Planner::plan_for`]), and when the driver supplies the
+//! [`FrontierDelta`] it already built while flipping vertices,
+//! [`Planner::plan_for_delta`] re-derives activity for exactly the
+//! chunks the delta's words overlap — the old `O(|V|)` mask re-scan and
+//! the planner-side chunk diff both disappear from the steady state.
 //!
 //! **Determinism contract:** a delta-patched plan is bit-identical —
 //! units, [`PlanStats`], and therefore all
@@ -39,6 +45,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
+//! use graphr_core::exec::mask::{FrontierDelta, FrontierMask};
 //! use graphr_core::exec::planner::Planner;
 //! use graphr_core::exec::PlanSkeleton;
 //! use graphr_core::metrics::PlanCounters;
@@ -56,18 +63,22 @@
 //! let mut counters = PlanCounters::default();
 //!
 //! // First frontier: a full rebuild (there is nothing to patch yet).
-//! let mut mask = vec![false; tiled.num_vertices()];
-//! mask[0] = true;
+//! let mut mask = FrontierMask::new(tiled.num_vertices());
+//! mask.set(0);
 //! let first = planner.plan_for(&config, Some(&mask), &mut counters);
 //! assert_eq!(counters.full_rebuilds, 1);
 //!
-//! // The frontier advances one step: the overlap is patched, not rebuilt,
-//! // and the result is bit-identical to a scratch rebuild.
-//! mask[0] = false;
-//! mask[1] = true;
-//! let second = planner.plan_for(&config, Some(&mask), &mut counters);
+//! // The frontier advances one step. The driver flipped the vertices, so
+//! // it already knows the delta — the planner patches exactly the chunks
+//! // those words overlap, and the result is bit-identical to a scratch
+//! // rebuild.
+//! let mut next = mask.clone();
+//! next.clear(0);
+//! next.set(1);
+//! let delta = FrontierDelta::between(&mask, &next);
+//! let second = planner.plan_for_delta(&config, &next, &delta, &mut counters);
 //! assert_eq!(counters.delta_patches, 1);
-//! assert_eq!(*second, skeleton.pruned_plan(&tiled, &mask));
+//! assert_eq!(*second, skeleton.pruned_plan(&tiled, &next));
 //! # let _ = first;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -78,6 +89,7 @@ use std::time::Instant;
 use graphr_units::Nanos;
 
 use crate::config::GraphRConfig;
+use crate::exec::mask::{FrontierDelta, FrontierMask, SUMMARY_SPAN, WORD_BITS};
 use crate::exec::plan::{PlanRow, PlanSkeleton, PlanStats, PlanUnit, ScanPlan};
 use crate::exec::strip::StripUnit;
 use crate::metrics::PlanCounters;
@@ -100,19 +112,20 @@ struct UnitSpan {
 /// The frontier diff at source-chunk granularity: which chunks (crossbar
 /// row ranges of the source dimension — the granularity at which a mask
 /// can change a plan at all) became active, and which fell inactive,
-/// between two consecutive masks.
+/// between two consecutive masks. Internal to the planner; drivers speak
+/// the word-granular [`FrontierDelta`] instead.
 #[derive(Debug, Clone, Default)]
-pub struct FrontierDelta {
+struct ChunkDelta {
     /// Chunk ordinals active under the new mask but not the old.
-    pub activated: Vec<u32>,
+    activated: Vec<u32>,
     /// Chunk ordinals active under the old mask but not the new.
-    pub deactivated: Vec<u32>,
+    deactivated: Vec<u32>,
 }
 
-impl FrontierDelta {
+impl ChunkDelta {
     /// Diffs two per-chunk activity vectors (same length).
-    fn between(old: &[bool], new: &[bool]) -> FrontierDelta {
-        let mut delta = FrontierDelta::default();
+    fn between(old: &[bool], new: &[bool]) -> ChunkDelta {
+        let mut delta = ChunkDelta::default();
         for (chunk, (&o, &n)) in old.iter().zip(new).enumerate() {
             if o != n {
                 if n {
@@ -125,15 +138,8 @@ impl FrontierDelta {
         delta
     }
 
-    /// Total flipped chunks.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.activated.len() + self.deactivated.len()
-    }
-
     /// Whether nothing flipped (the previous plan can be reused whole).
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
+    fn is_empty(&self) -> bool {
         self.activated.is_empty() && self.deactivated.is_empty()
     }
 }
@@ -231,21 +237,42 @@ impl PlannerIndex {
     }
 
     /// Per-chunk activity of a mask: a chunk is active when any vertex of
-    /// its source range is. Chunk ranges are disjoint, so this is one
-    /// `O(|V|)` pass.
-    fn chunk_activity(&self, mask: &[bool]) -> Vec<bool> {
-        self.chunks
-            .iter()
-            .map(|&(start, len)| {
-                let lo = start as usize;
-                let hi = (lo + len as usize).min(mask.len());
-                mask[lo..hi].iter().any(|&a| a)
-            })
-            .collect()
+    /// its source range is. Walks the mask at word granularity, and uses
+    /// the summary level to discharge every chunk inside an all-zero
+    /// 4096-vertex span without reading its dense words at all. Charges
+    /// words examined / spans skipped into `counters`.
+    fn chunk_activity(&self, mask: &FrontierMask, counters: &mut PlanCounters) -> Vec<bool> {
+        let mut bits = vec![false; self.chunks.len()];
+        let mut ci = 0usize;
+        while ci < self.chunks.len() {
+            let (start, len) = self.chunks[ci];
+            let lo = start as usize;
+            let hi = lo + len as usize;
+            let span = lo / SUMMARY_SPAN;
+            let span_end = (span + 1) * SUMMARY_SPAN;
+            if hi <= span_end && mask.summary_word(span) == 0 {
+                // The whole summary span is dead: every chunk that ends
+                // inside it is inactive, wholesale.
+                counters.summary_skips += 1;
+                while ci < self.chunks.len() {
+                    let (s, l) = self.chunks[ci];
+                    if (s as usize + l as usize) > span_end {
+                        break;
+                    }
+                    ci += 1;
+                }
+                continue;
+            }
+            let (active, words) = mask.any_in_range_counted(lo, hi);
+            counters.mask_words += words;
+            bits[ci] = active;
+            ci += 1;
+        }
+        bits
     }
 
     /// The units any flipped chunk gates, ascending and deduplicated.
-    fn affected_units(&self, delta: &FrontierDelta) -> Vec<u32> {
+    fn affected_units(&self, delta: &ChunkDelta) -> Vec<u32> {
         let mut affected: Vec<u32> = delta
             .activated
             .iter()
@@ -372,7 +399,7 @@ impl Planner {
     pub fn plan_for(
         &mut self,
         config: &GraphRConfig,
-        active: Option<&[bool]>,
+        active: Option<&FrontierMask>,
         counters: &mut PlanCounters,
     ) -> Arc<ScanPlan> {
         match active {
@@ -381,53 +408,137 @@ impl Planner {
         }
     }
 
+    /// The mask-pruned plan when the driver already knows exactly which
+    /// mask words flipped since the previous planned frontier: re-derives
+    /// activity for only the chunks those words overlap, skipping both the
+    /// `O(|V|)` mask re-scan and the planner-side chunk diff. Falls back
+    /// to [`Planner::plan_for`] semantics when there is no previous state
+    /// to patch against (first plan, or after a dense interleave cleared
+    /// nothing — the delta state survives dense requests). Bit-identical
+    /// to a scratch [`PlanSkeleton::pruned_plan`] of `active` either way.
+    ///
+    /// The delta must describe the transition from the mask this planner
+    /// last planned to `active`; drivers get it for free by recording the
+    /// words they flip (see [`FrontierDelta::between`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` does not range over every (unpadded) vertex.
+    #[must_use]
+    pub fn plan_for_delta(
+        &mut self,
+        config: &GraphRConfig,
+        active: &FrontierMask,
+        delta: &FrontierDelta,
+        counters: &mut PlanCounters,
+    ) -> Arc<ScanPlan> {
+        if !config.skip_empty {
+            return self.skeleton.full_plan();
+        }
+        assert_eq!(
+            active.num_vertices(),
+            self.index.num_vertices,
+            "active mask must range over every vertex"
+        );
+        if self.bits.is_none() {
+            return self.masked_plan(active, counters);
+        }
+        let start = Instant::now();
+        counters.delta_words += delta.len() as u64;
+        let mut bits = self.bits.take().expect("checked above");
+        let mut chunk_delta = ChunkDelta::default();
+        // Words ascending and chunks ascending: a cursor keeps straddler
+        // chunks (overlapping two touched words) from re-deriving twice.
+        let mut rechecked_until = 0usize;
+        for &w in &delta.touched_words() {
+            let lo = w as usize * WORD_BITS;
+            let hi = lo + WORD_BITS;
+            let mut ci = self
+                .index
+                .chunks
+                .partition_point(|&(s, l)| (s as usize + l as usize) <= lo)
+                .max(rechecked_until);
+            while ci < self.index.chunks.len() {
+                let (cs, cl) = self.index.chunks[ci];
+                if (cs as usize) >= hi {
+                    break;
+                }
+                let (act, words) =
+                    active.any_in_range_counted(cs as usize, cs as usize + cl as usize);
+                counters.mask_words += words;
+                if bits[ci] != act {
+                    bits[ci] = act;
+                    if act {
+                        chunk_delta.activated.push(ci as u32);
+                    } else {
+                        chunk_delta.deactivated.push(ci as u32);
+                    }
+                }
+                ci += 1;
+            }
+            rechecked_until = ci;
+        }
+        self.commit(bits, chunk_delta, counters);
+        let plan = self.emit();
+        counters.time += Nanos::new(start.elapsed().as_nanos() as f64);
+        plan
+    }
+
     /// The mask-pruned plan: delta-patched against the previous frontier
     /// when possible, rebuilt from scratch otherwise. Bit-identical to
     /// [`PlanSkeleton::pruned_plan`] for the same mask, either way.
-    fn masked_plan(&mut self, mask: &[bool], counters: &mut PlanCounters) -> Arc<ScanPlan> {
+    fn masked_plan(&mut self, mask: &FrontierMask, counters: &mut PlanCounters) -> Arc<ScanPlan> {
         assert_eq!(
-            mask.len(),
+            mask.num_vertices(),
             self.index.num_vertices,
-            "active mask must have one entry per vertex"
+            "active mask must range over every vertex"
         );
         let start = Instant::now();
-        let new_bits = self.index.chunk_activity(mask);
+        let new_bits = self.index.chunk_activity(mask, counters);
         match self.bits.take() {
             None => {
                 self.rebuild(&new_bits);
                 counters.full_rebuilds += 1;
+                self.bits = Some(new_bits);
             }
             Some(old_bits) => {
-                let delta = FrontierDelta::between(&old_bits, &new_bits);
-                if delta.is_empty() {
-                    counters.delta_patches += 1;
-                    counters.units_reused += self.planned_units as u64;
-                } else {
-                    let affected = self.index.affected_units(&delta);
-                    // A dense delta touches most of the plan anyway; the
-                    // straight rebuild is cheaper than patching.
-                    if affected.len() * 2 > self.index.num_units() {
-                        self.rebuild(&new_bits);
-                        counters.full_rebuilds += 1;
-                    } else {
-                        for &unit in &affected {
-                            self.repatch_unit(unit as usize, &new_bits);
-                        }
-                        counters.delta_patches += 1;
-                        counters.units_patched += affected.len() as u64;
-                        let affected_planned = affected
-                            .iter()
-                            .filter(|&&u| self.unit_table[u as usize].is_some())
-                            .count();
-                        counters.units_reused += (self.planned_units - affected_planned) as u64;
-                    }
-                }
+                let delta = ChunkDelta::between(&old_bits, &new_bits);
+                self.commit(new_bits, delta, counters);
             }
         }
-        self.bits = Some(new_bits);
         let plan = self.emit();
         counters.time += Nanos::new(start.elapsed().as_nanos() as f64);
         plan
+    }
+
+    /// Applies a chunk-level delta to the cached per-unit state — patch,
+    /// whole-plan reuse, or dense-fallback rebuild — charging the outcome
+    /// into `counters`, and stores `bits` as the new planned activity.
+    fn commit(&mut self, bits: Vec<bool>, delta: ChunkDelta, counters: &mut PlanCounters) {
+        if delta.is_empty() {
+            counters.delta_patches += 1;
+            counters.units_reused += self.planned_units as u64;
+        } else {
+            let affected = self.index.affected_units(&delta);
+            // A dense delta touches most of the plan anyway; the
+            // straight rebuild is cheaper than patching.
+            if affected.len() * 2 > self.index.num_units() {
+                self.rebuild(&bits);
+                counters.full_rebuilds += 1;
+            } else {
+                for &unit in &affected {
+                    self.repatch_unit(unit as usize, &bits);
+                }
+                counters.delta_patches += 1;
+                counters.units_patched += affected.len() as u64;
+                let affected_planned = affected
+                    .iter()
+                    .filter(|&&u| self.unit_table[u as usize].is_some())
+                    .count();
+                counters.units_reused += (self.planned_units - affected_planned) as u64;
+            }
+        }
+        self.bits = Some(bits);
     }
 
     /// Rebuilds the whole per-unit state under `bits` (first mask, or a
@@ -503,16 +614,18 @@ mod tests {
             .unwrap()
     }
 
-    fn mask_at(n: usize, seed: u64, density: u64) -> Vec<bool> {
-        (0..n)
-            .map(|v| {
-                let h = (v as u64)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(seed)
-                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                (h >> 60) < density
-            })
-            .collect()
+    fn mask_at(n: usize, seed: u64, density: u64) -> FrontierMask {
+        let mut mask = FrontierMask::new(n);
+        for v in 0..n {
+            let h = (v as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            if (h >> 60) < density {
+                mask.set(v);
+            }
+        }
+        mask
     }
 
     #[test]
@@ -542,7 +655,8 @@ mod tests {
         // A frontier growing one grid row per step: earlier rows stay
         // active, so most planned units sit outside each step's delta.
         for step in 0..12usize {
-            let mask: Vec<bool> = (0..n).map(|v| v / 16 <= step).collect();
+            let dense: Vec<bool> = (0..n).map(|v| v / 16 <= step).collect();
+            let mask = FrontierMask::from_slice(&dense);
             let plan = planner.plan_for(&cfg, Some(&mask), &mut counters);
             assert_eq!(*plan, skeleton.pruned_plan(&tiled, &mask), "step {step}");
         }
@@ -580,10 +694,10 @@ mod tests {
         let n = tiled.num_vertices();
         let mut planner = Planner::new(&tiled, Arc::new(PlanSkeleton::build(&tiled)));
         let mut counters = PlanCounters::default();
-        let mut mask = vec![true; n];
+        let mut mask = FrontierMask::full(n);
         let first = planner.plan_for(&cfg, Some(&mask), &mut counters);
         // Flip one vertex: at most the units its chunk gates re-derive.
-        mask[0] = false;
+        mask.clear(0);
         let second = planner.plan_for(&cfg, Some(&mask), &mut counters);
         let shared = second
             .units()
@@ -605,8 +719,8 @@ mod tests {
         let skeleton = Arc::new(PlanSkeleton::build(&tiled));
         let mut planner = Planner::new(&tiled, Arc::clone(&skeleton));
         let mut counters = PlanCounters::default();
-        let empty = vec![false; 140];
-        let full = vec![true; 140];
+        let empty = FrontierMask::new(140);
+        let full = FrontierMask::full(140);
         let _ = planner.plan_for(&cfg, Some(&empty), &mut counters);
         // empty → full flips every chunk: the dense fallback must trigger
         // and still match scratch.
@@ -652,8 +766,102 @@ mod tests {
         let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
         let mut planner = Planner::new(&tiled, Arc::new(PlanSkeleton::build(&tiled)));
         let mut counters = PlanCounters::default();
-        let plan = planner.plan_for(&cfg, Some(&[true; 80]), &mut counters);
+        let plan = planner.plan_for(&cfg, Some(&FrontierMask::full(80)), &mut counters);
         assert!(plan.is_full());
         assert_eq!(counters.full_rebuilds + counters.delta_patches, 0);
+    }
+
+    #[test]
+    fn driver_deltas_match_mask_scans_and_scratch() {
+        let g = Rmat::new(150, 900).seed(13).generate();
+        let cfg = small_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let n = tiled.num_vertices();
+        let skeleton = Arc::new(PlanSkeleton::build(&tiled));
+        let mut by_delta = Planner::new(&tiled, Arc::clone(&skeleton));
+        let mut by_scan = Planner::new(&tiled, Arc::clone(&skeleton));
+        let mut dc = PlanCounters::default();
+        let mut sc = PlanCounters::default();
+        let mut prev = mask_at(n, 1, 3);
+        let _ = by_delta.plan_for(&cfg, Some(&prev), &mut dc);
+        let _ = by_scan.plan_for(&cfg, Some(&prev), &mut sc);
+        // A mix of sparse flips and wholesale jumps: the delta path must
+        // agree with the full-scan path and with scratch at every step.
+        for step in 0..10u64 {
+            let next = mask_at(n, step * 7 + 2, 1 + (step % 4));
+            let delta = FrontierDelta::between(&prev, &next);
+            let a = by_delta.plan_for_delta(&cfg, &next, &delta, &mut dc);
+            let b = by_scan.plan_for(&cfg, Some(&next), &mut sc);
+            assert_eq!(a, b, "step {step}");
+            assert_eq!(*a, skeleton.pruned_plan(&tiled, &next), "step {step}");
+            prev = next;
+        }
+        assert!(
+            dc.delta_words > 0,
+            "delta path must record its input: {dc:?}"
+        );
+        assert!(
+            dc.mask_words <= sc.mask_words,
+            "delta path may not examine more words than full scans: {dc:?} vs {sc:?}"
+        );
+    }
+
+    #[test]
+    fn delta_with_no_prior_state_falls_back_to_a_rebuild() {
+        let g = Rmat::new(110, 600).seed(8).generate();
+        let cfg = small_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let skeleton = Arc::new(PlanSkeleton::build(&tiled));
+        let mut planner = Planner::new(&tiled, Arc::clone(&skeleton));
+        let mut counters = PlanCounters::default();
+        let mask = mask_at(110, 4, 5);
+        // A delta against the empty mask, handed to a fresh planner: with
+        // nothing to patch it must do the first-mask rebuild, exactly.
+        let delta = FrontierDelta::between(&FrontierMask::new(110), &mask);
+        let plan = planner.plan_for_delta(&cfg, &mask, &delta, &mut counters);
+        assert_eq!(*plan, skeleton.pruned_plan(&tiled, &mask));
+        assert_eq!(counters.full_rebuilds, 1);
+        assert_eq!(counters.delta_patches, 0);
+        assert_eq!(counters.delta_words, 0);
+    }
+
+    #[test]
+    fn empty_driver_delta_reuses_the_whole_plan() {
+        let g = Rmat::new(100, 520).seed(17).generate();
+        let cfg = small_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let mut planner = Planner::new(&tiled, Arc::new(PlanSkeleton::build(&tiled)));
+        let mut counters = PlanCounters::default();
+        let mask = mask_at(100, 6, 6);
+        let first = planner.plan_for(&cfg, Some(&mask), &mut counters);
+        let second = planner.plan_for_delta(&cfg, &mask, &FrontierDelta::default(), &mut counters);
+        assert_eq!(first, second);
+        for (a, b) in first.units().iter().zip(second.units()) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        assert_eq!(counters.delta_patches, 1);
+        assert_eq!(counters.units_patched, 0);
+    }
+
+    #[test]
+    fn summary_skips_fire_on_sparse_tall_graphs() {
+        // 8200 vertices spans three summary words; a frontier confined to
+        // the first word leaves the later spans provably dead.
+        let g = grid(82, 100);
+        let cfg = small_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        let n = tiled.num_vertices();
+        let skeleton = Arc::new(PlanSkeleton::build(&tiled));
+        let mut planner = Planner::new(&tiled, Arc::clone(&skeleton));
+        let mut counters = PlanCounters::default();
+        let mut mask = FrontierMask::new(n);
+        mask.set(0);
+        mask.set(40);
+        let plan = planner.plan_for(&cfg, Some(&mask), &mut counters);
+        assert_eq!(*plan, skeleton.pruned_plan(&tiled, &mask));
+        assert!(
+            counters.summary_skips > 0,
+            "dead 4096-vertex spans must be skipped wholesale: {counters:?}"
+        );
     }
 }

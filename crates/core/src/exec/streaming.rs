@@ -43,6 +43,7 @@
 use std::sync::Arc;
 
 use crate::config::{Fidelity, GraphRConfig};
+use crate::exec::mask::{FrontierDelta, FrontierMask};
 use crate::exec::plan::{PlanSkeleton, ScanPlan};
 use crate::exec::planner::Planner;
 use crate::exec::strip::{mac_rego_capacity, StripScanner};
@@ -244,9 +245,9 @@ impl<'a> StreamingExecutor<'a> {
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
-        active: &[bool],
+        active: &FrontierMask,
         frontier: &mut [f64],
-        updated: &mut [bool],
+        updated: &mut FrontierMask,
     ) -> u64 {
         let plan = self.planner.skeleton().full_plan();
         self.scan_add_op_planned(&plan, value, combine, addend, active, frontier, updated)
@@ -262,22 +263,22 @@ impl<'a> StreamingExecutor<'a> {
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
-        active: &[bool],
+        active: &FrontierMask,
         frontier: &mut [f64],
-        updated: &mut [bool],
+        updated: &mut FrontierMask,
     ) -> u64 {
         let n = self.tiled.num_vertices();
         assert_eq!(addend.len(), n, "addend must have one entry per vertex");
         assert_eq!(
-            active.len(),
+            active.num_vertices(),
             n,
-            "active mask must have one entry per vertex"
+            "active mask must range over every vertex"
         );
         assert_eq!(frontier.len(), n, "frontier must have one entry per vertex");
         assert_eq!(
-            updated.len(),
+            updated.num_vertices(),
             n,
-            "updated mask must have one entry per vertex"
+            "updated mask must range over every vertex"
         );
         let width = self.config.strip_width();
         let mut frontier_local = vec![0.0; width];
@@ -287,7 +288,7 @@ impl<'a> StreamingExecutor<'a> {
             let (ds, dl) = (punit.unit.dst_start, punit.unit.dst_len);
             if dl > 0 {
                 frontier_local[..dl].copy_from_slice(&frontier[ds..ds + dl]);
-                updated_local[..dl].copy_from_slice(&updated[ds..ds + dl]);
+                updated_local[..dl].fill(false);
             }
             let mut unit_metrics = Metrics::new();
             total_rows += self.scanner.scan_add_op_unit(
@@ -303,7 +304,14 @@ impl<'a> StreamingExecutor<'a> {
             self.metrics.merge(&unit_metrics);
             if dl > 0 {
                 frontier[ds..ds + dl].copy_from_slice(&frontier_local[..dl]);
-                updated[ds..ds + dl].copy_from_slice(&updated_local[..dl]);
+                // Units tile the destination axis disjointly and the scan
+                // only ever *sets* bits, so set-only write-back preserves
+                // whatever the caller seeded.
+                for (i, &hit) in updated_local[..dl].iter().enumerate() {
+                    if hit {
+                        updated.set(ds + i);
+                    }
+                }
             }
         }
         self.metrics.charge_plan(plan.stats());
@@ -326,11 +334,22 @@ impl<'a> StreamingExecutor<'a> {
 }
 
 impl ScanEngine for StreamingExecutor<'_> {
-    fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan> {
+    fn plan(&mut self, active: Option<&FrontierMask>) -> Arc<ScanPlan> {
         let before = self.metrics.plan;
         let plan = self
             .planner
             .plan_for(self.config, active, &mut self.metrics.plan);
+        if let Some(trace) = &self.trace {
+            trace.record_plan(&before, &self.metrics.plan);
+        }
+        plan
+    }
+
+    fn plan_with_delta(&mut self, active: &FrontierMask, delta: &FrontierDelta) -> Arc<ScanPlan> {
+        let before = self.metrics.plan;
+        let plan = self
+            .planner
+            .plan_for_delta(self.config, active, delta, &mut self.metrics.plan);
         if let Some(trace) = &self.trace {
             trace.record_plan(&before, &self.metrics.plan);
         }
@@ -352,9 +371,9 @@ impl ScanEngine for StreamingExecutor<'_> {
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
-        active: &[bool],
+        active: &FrontierMask,
         frontier: &mut [f64],
-        updated: &mut [bool],
+        updated: &mut FrontierMask,
     ) -> u64 {
         StreamingExecutor::scan_add_op_planned(
             self, plan, value, combine, addend, active, frontier, updated,
@@ -507,9 +526,9 @@ mod tests {
         let mut exec = StreamingExecutor::new(&tiled, &cfg, spec);
 
         let dist = vec![0.0, inf, inf];
-        let active = vec![true, false, false];
+        let active = FrontierMask::from_slice(&[true, false, false]);
         let mut frontier = dist.clone();
-        let mut updated = vec![false; 3];
+        let mut updated = FrontierMask::new(3);
         let rows = exec.scan_add_op(
             &weights_value,
             &|du, w| du + w,
@@ -520,12 +539,12 @@ mod tests {
         );
         assert_eq!(rows, 1);
         assert_eq!(frontier, vec![0.0, 2.0, inf]);
-        assert_eq!(updated, vec![false, true, false]);
+        assert_eq!(updated.to_vec(), vec![false, true, false]);
 
         // Second round from vertex 1.
         let dist = frontier.clone();
         let active = updated.clone();
-        let mut updated2 = vec![false; 3];
+        let mut updated2 = FrontierMask::new(3);
         let mut frontier2 = dist.clone();
         exec.scan_add_op(
             &weights_value,
@@ -536,7 +555,7 @@ mod tests {
             &mut updated2,
         );
         assert_eq!(frontier2, vec![0.0, 2.0, 5.0]);
-        assert_eq!(updated2, vec![false, false, true]);
+        assert_eq!(updated2.to_vec(), vec![false, false, true]);
     }
 
     #[test]
@@ -548,9 +567,9 @@ mod tests {
         let inf = spec.max_value();
         let mut exec = StreamingExecutor::new(&tiled, &cfg, spec);
         let dist = vec![inf; 64];
-        let active = vec![false; 64]; // nothing active: everything skipped
+        let active = FrontierMask::new(64); // nothing active: everything skipped
         let mut frontier = dist.clone();
-        let mut updated = vec![false; 64];
+        let mut updated = FrontierMask::new(64);
         let rows = exec.scan_add_op(
             &weights_value,
             &|du, w| du + w,

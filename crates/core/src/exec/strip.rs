@@ -371,7 +371,7 @@ impl<'a> StripScanner<'a> {
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
-        active: &[bool],
+        active: &crate::exec::mask::FrontierMask,
         frontier: &mut [f64],
         updated: &mut [bool],
         metrics: &mut Metrics,
@@ -402,7 +402,7 @@ impl<'a> StripScanner<'a> {
                 metrics.energy.memory += self.config.cost.memory_stream_energy(stream_bytes);
                 metrics.events.bytes_streamed += stream_bytes;
                 let active_rows: Vec<usize> = (0..c)
-                    .filter(|&r| src0 + r < n && active[src0 + r])
+                    .filter(|&r| src0 + r < n && active.get(src0 + r))
                     .collect();
                 if active_rows.is_empty() {
                     metrics.events.subgraphs_skipped_inactive += 1;

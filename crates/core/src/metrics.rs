@@ -118,6 +118,17 @@ pub struct PlanCounters {
     pub units_reused: u64,
     /// Units re-derived by delta patches (cumulative).
     pub units_patched: u64,
+    /// Frontier-mask words examined while deriving per-chunk activity
+    /// (full derivations and delta re-checks alike).
+    pub mask_words: u64,
+    /// Word spans proven inactive wholesale through the mask's summary
+    /// level — regions whose chunks were settled without reading a
+    /// single dense word.
+    pub summary_skips: u64,
+    /// Driver-supplied [`FrontierDelta`](crate::exec::mask::FrontierDelta)
+    /// word entries consumed by `plan_with_delta` — the planner's input
+    /// size on the incremental path.
+    pub delta_words: u64,
     /// Host wall-clock spent planning (excluded from equality; see the
     /// type docs).
     pub time: Nanos,
@@ -127,10 +138,15 @@ impl PartialEq for PlanCounters {
     fn eq(&self, other: &Self) -> bool {
         // `time` is host-measured and intentionally ignored: two runs
         // that planned identically are equal regardless of host jitter.
+        // The mask/delta statistics are deterministic functions of the
+        // planned mask sequence and *are* compared.
         self.full_rebuilds == other.full_rebuilds
             && self.delta_patches == other.delta_patches
             && self.units_reused == other.units_reused
             && self.units_patched == other.units_patched
+            && self.mask_words == other.mask_words
+            && self.summary_skips == other.summary_skips
+            && self.delta_words == other.delta_words
     }
 }
 
@@ -145,6 +161,9 @@ impl PlanCounters {
             delta_patches: self.delta_patches - prev.delta_patches,
             units_reused: self.units_reused - prev.units_reused,
             units_patched: self.units_patched - prev.units_patched,
+            mask_words: self.mask_words - prev.mask_words,
+            summary_skips: self.summary_skips - prev.summary_skips,
+            delta_words: self.delta_words - prev.delta_words,
             time: self.time - prev.time,
         }
     }
@@ -425,6 +444,13 @@ impl Metrics {
                 "planner touched units without any delta patch: {p:?}"
             ));
         }
+        if (p.mask_words > 0 || p.summary_skips > 0 || p.delta_words > 0)
+            && p.full_rebuilds + p.delta_patches == 0
+        {
+            return Err(format!(
+                "planner examined mask words without producing any plan: {p:?}"
+            ));
+        }
         let d = &self.disk;
         if !d.is_active() && (d.bytes_loaded > 0 || d.io_segments > 0 || d.time > Nanos::ZERO) {
             return Err(format!(
@@ -518,6 +544,9 @@ impl Metrics {
         p.delta_patches += q.delta_patches;
         p.units_reused += q.units_reused;
         p.units_patched += q.units_patched;
+        p.mask_words += q.mask_words;
+        p.summary_skips += q.summary_skips;
+        p.delta_words += q.delta_words;
         p.time += q.time;
     }
 }
@@ -623,15 +652,22 @@ mod tests {
         a.plan.delta_patches = 5;
         a.plan.units_reused = 40;
         a.plan.time = Nanos::new(100.0);
+        a.plan.mask_words = 12;
+        a.plan.summary_skips = 2;
         let mut b = Metrics::new();
         b.plan.delta_patches = 2;
         b.plan.units_patched = 3;
+        b.plan.mask_words = 5;
+        b.plan.delta_words = 4;
         b.plan.time = Nanos::new(7.0);
         a.merge(&b);
         assert_eq!(a.plan.full_rebuilds, 1);
         assert_eq!(a.plan.delta_patches, 7);
         assert_eq!(a.plan.units_reused, 40);
         assert_eq!(a.plan.units_patched, 3);
+        assert_eq!(a.plan.mask_words, 17);
+        assert_eq!(a.plan.summary_skips, 2);
+        assert_eq!(a.plan.delta_words, 4);
         assert_eq!(a.plan.time.as_nanos(), 107.0);
         // Host planning time is observability, not part of the
         // determinism contract: equality must ignore it.
@@ -640,6 +676,10 @@ mod tests {
         assert_eq!(a, c);
         c.plan.delta_patches += 1;
         assert_ne!(a, c);
+        // The mask statistics are simulated-deterministic and compared.
+        let mut d = a.clone();
+        d.plan.mask_words += 1;
+        assert_ne!(a, d);
     }
 
     #[test]

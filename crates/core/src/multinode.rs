@@ -86,6 +86,7 @@ use graphr_units::{FixedSpec, Joules, Nanos};
 use serde::{Deserialize, Serialize};
 
 use crate::config::GraphRConfig;
+use crate::exec::mask::{FrontierDelta, FrontierMask};
 use crate::exec::plan::{PlanSkeleton, PlanStats, PlanUnit, ScanPlan};
 use crate::exec::planner::Planner;
 use crate::exec::streaming::{EdgeValueFn, StreamingExecutor};
@@ -603,17 +604,15 @@ impl<'a> ClusterExecutor<'a> {
     }
 }
 
-/// Counts the set `updated` flags inside a plan's destination ranges —
-/// the only places a scan of that plan can set them.
-fn planned_updates(plan: &ScanPlan, updated: &[bool]) -> u64 {
+/// Counts the set `updated` bits inside a plan's destination ranges —
+/// the only places a scan of that plan can set them. Word-level popcounts
+/// through the mask; dead 4096-vertex spans cost one summary probe.
+fn planned_updates(plan: &ScanPlan, updated: &FrontierMask) -> u64 {
     plan.units()
         .iter()
         .map(|p| {
             let u = &p.unit;
-            updated[u.dst_start..u.dst_start + u.dst_len]
-                .iter()
-                .filter(|&&b| b)
-                .count() as u64
+            updated.count_range(u.dst_start, u.dst_start + u.dst_len)
         })
         .sum()
 }
@@ -658,7 +657,7 @@ fn count_planned(tiled: &TiledGraph, punit: &PlanUnit) -> (u64, u64) {
 }
 
 impl ScanEngine for ClusterExecutor<'_> {
-    fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan> {
+    fn plan(&mut self, active: Option<&FrontierMask>) -> Arc<ScanPlan> {
         // The cluster plans once, globally; shards are derived from the
         // planned result, so the planning cost lives at cluster level —
         // and so does the plan trace event (inner nodes never plan),
@@ -667,6 +666,18 @@ impl ScanEngine for ClusterExecutor<'_> {
         let plan = self
             .planner
             .plan_for(self.config, active, &mut self.plan_totals);
+        if let Some(trace) = &self.trace {
+            trace.record_plan(&before, &self.plan_totals);
+        }
+        self.metrics.plan = self.plan_totals;
+        plan
+    }
+
+    fn plan_with_delta(&mut self, active: &FrontierMask, delta: &FrontierDelta) -> Arc<ScanPlan> {
+        let before = self.plan_totals;
+        let plan = self
+            .planner
+            .plan_for_delta(self.config, active, delta, &mut self.plan_totals);
         if let Some(trace) = &self.trace {
             trace.record_plan(&before, &self.plan_totals);
         }
@@ -710,9 +721,9 @@ impl ScanEngine for ClusterExecutor<'_> {
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
-        active: &[bool],
+        active: &FrontierMask,
         frontier: &mut [f64],
-        updated: &mut [bool],
+        updated: &mut FrontierMask,
     ) -> u64 {
         // Frontier-delta exchange needs the newly set `updated` flags.
         // Inner engines only write planned units' (disjoint) destination
@@ -1045,14 +1056,14 @@ mod tests {
         let spec = FixedSpec::new(16, 0).unwrap();
         let mut cluster =
             ClusterExecutor::new(&tiled, &cfg, spec, MultiNodeConfig::pcie_cluster(3));
-        let mut mask = vec![false; tiled.num_vertices()];
+        let mut mask = FrontierMask::new(tiled.num_vertices());
         for v in (0..tiled.num_vertices()).step_by(7) {
-            mask[v] = true;
+            mask.set(v);
         }
         for plan in [
             cluster.plan(None),
             cluster.plan(Some(&mask)),
-            cluster.plan(Some(&vec![false; tiled.num_vertices()])),
+            cluster.plan(Some(&FrontierMask::new(tiled.num_vertices()))),
         ] {
             let shards = cluster.shard(&plan);
             assert_eq!(shards.len(), 3);

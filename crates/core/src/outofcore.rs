@@ -62,8 +62,8 @@
 //!
 //! // A sparse frontier prunes most subgraphs; the pruned plan's IoPlan
 //! // loads strictly fewer bytes and seeks past the rest.
-//! let mut mask = vec![false; tiled.num_vertices()];
-//! mask[0] = true;
+//! let mut mask = graphr_core::exec::FrontierMask::new(tiled.num_vertices());
+//! mask.set(0);
 //! let sparse = IoPlan::from_scan_plan(&tiled, &skeleton.pruned_plan(&tiled, &mask));
 //! assert!(sparse.bytes_loaded < full.bytes_loaded);
 //! assert_eq!(sparse.bytes_loaded + sparse.bytes_skipped, full.bytes_loaded);
@@ -592,6 +592,7 @@ pub fn estimate_out_of_core(
 mod tests {
     use super::*;
     use crate::config::GraphRConfig;
+    use crate::exec::mask::FrontierMask;
     use crate::exec::plan::PlanSkeleton;
     use crate::sim::{run_pagerank, PageRankOptions};
     use graphr_graph::generators::rmat::Rmat;
@@ -689,9 +690,9 @@ mod tests {
         let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
         let skeleton = PlanSkeleton::build(&tiled);
         let dense = IoPlan::from_scan_plan(&tiled, &skeleton.full_plan());
-        let mut mask = vec![false; 120];
+        let mut mask = FrontierMask::new(120);
         for v in (0..120).step_by(29) {
-            mask[v] = true;
+            mask.set(v);
         }
         let pruned = IoPlan::from_scan_plan(&tiled, &skeleton.pruned_plan(&tiled, &mask));
         assert_eq!(
@@ -712,7 +713,10 @@ mod tests {
         let g = Rmat::new(90, 400).seed(8).generate();
         let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
         let skeleton = PlanSkeleton::build(&tiled);
-        let io = IoPlan::from_scan_plan(&tiled, &skeleton.pruned_plan(&tiled, &[false; 90]));
+        let io = IoPlan::from_scan_plan(
+            &tiled,
+            &skeleton.pruned_plan(&tiled, &FrontierMask::new(90)),
+        );
         assert_eq!(io.bytes_loaded, 0);
         assert_eq!(io.segments, 0);
         assert_eq!(io.blocks_loaded, 0);
@@ -740,7 +744,7 @@ mod tests {
         );
         for seed in 0u64..12 {
             let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mask: Vec<bool> = (0..140)
+            let dense: Vec<bool> = (0..140)
                 .map(|_| {
                     state = state
                         .wrapping_mul(6_364_136_223_846_793_005)
@@ -748,14 +752,14 @@ mod tests {
                     (state >> 33) % 4 == 0
                 })
                 .collect();
-            let plan = skeleton.pruned_plan(&tiled, &mask);
+            let plan = skeleton.pruned_plan(&tiled, &FrontierMask::from_slice(&dense));
             assert_eq!(
                 index.io_plan(&plan),
                 IoPlan::from_scan_plan(&tiled, &plan),
                 "indexed and walked IoPlans diverged (seed {seed})"
             );
         }
-        let empty = skeleton.pruned_plan(&tiled, &[false; 140]);
+        let empty = skeleton.pruned_plan(&tiled, &FrontierMask::new(140));
         assert_eq!(
             index.io_plan(&empty),
             IoPlan::from_scan_plan(&tiled, &empty)
@@ -789,9 +793,9 @@ mod tests {
 
         // A fragmented pruned plan pays one request per segment — still
         // charged for its fragmentation, never for seeked-past data.
-        let mut mask = vec![false; 120];
+        let mut mask = FrontierMask::new(120);
         for v in (0..120).step_by(29) {
-            mask[v] = true;
+            mask.set(v);
         }
         let pruned = IoPlan::from_scan_plan(&tiled, &skeleton.pruned_plan(&tiled, &mask));
         assert_eq!(
@@ -819,8 +823,9 @@ mod tests {
         // Two overlapping frontiers: the second plan shares untouched
         // units by Arc, and the indexed IoPlan must stay exact for both
         // (cache hits on shared units, re-derivation on patched ones).
-        let mask1: Vec<bool> = (0..n).map(|v| v < n / 2).collect();
-        let mask2: Vec<bool> = (0..n).map(|v| v > 4 && v < n / 2 + 4).collect();
+        let mask1 = FrontierMask::from_slice(&(0..n).map(|v| v < n / 2).collect::<Vec<_>>());
+        let mask2 =
+            FrontierMask::from_slice(&(0..n).map(|v| v > 4 && v < n / 2 + 4).collect::<Vec<_>>());
         for mask in [&mask1, &mask2, &mask1] {
             let plan = planner.plan_for(&cfg, Some(mask), &mut counters);
             assert_eq!(
@@ -851,7 +856,7 @@ mod tests {
         assert_eq!(metrics.disk.overlapped, d1.max(Nanos::new(10.0)));
 
         // Iteration 2: everything pruned, huge compute → compute-bound.
-        let none = skeleton.pruned_plan(&tiled, &[false; 90]);
+        let none = skeleton.pruned_plan(&tiled, &FrontierMask::new(90));
         acc.charge_scan(&tiled, &none, &mut metrics);
         let big = Nanos::from_millis(5.0);
         metrics.elapsed += big;

@@ -92,12 +92,12 @@ pub struct SubgraphSpan {
 }
 
 impl SubgraphSpan {
-    /// Whether any covered source vertex is active under `mask`.
+    /// Whether any covered source vertex is active under `mask`
+    /// (word-level — the span never reads individual bits).
     #[must_use]
-    pub fn intersects(&self, mask: &[bool]) -> bool {
+    pub fn intersects(&self, mask: &crate::exec::mask::FrontierMask) -> bool {
         let lo = self.src_start as usize;
-        let hi = lo + self.src_len as usize;
-        mask[lo..hi.min(mask.len())].iter().any(|&a| a)
+        mask.any_in_range(lo, lo + self.src_len as usize)
     }
 }
 

@@ -38,6 +38,7 @@ use graphr_units::FixedSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ConfigError, GraphRConfig};
+use crate::exec::mask::{FrontierDelta, FrontierMask};
 use crate::exec::streaming::StreamingExecutor;
 use crate::exec::ScanEngine;
 use crate::metrics::Metrics;
@@ -283,7 +284,7 @@ pub struct SpmvOptions {
     /// *validates* that precondition and rejects violating inputs — the
     /// sparse-input case where this legally skips most of the streamed
     /// order.
-    pub source_mask: Option<Vec<bool>>,
+    pub source_mask: Option<FrontierMask>,
     /// Conductance format.
     pub matrix_spec: FixedSpec,
     /// Register format (applied to the output).
@@ -356,13 +357,13 @@ pub fn run_spmv_with(
         None => vec![1.0; n],
     };
     if let Some(mask) = &opts.source_mask {
-        if mask.len() != n {
+        if mask.num_vertices() != n {
             return Err(SimError::Config(ConfigError::new(format!(
-                "source mask has {} entries, graph has {n} vertices",
-                mask.len()
+                "source mask ranges over {} vertices, graph has {n}",
+                mask.num_vertices()
             ))));
         }
-        if let Some(v) = (0..n).find(|&v| !mask[v] && x[v] != 0.0) {
+        if let Some(v) = (0..n).find(|&v| !mask.get(v) && x[v] != 0.0) {
             return Err(SimError::Config(ConfigError::new(format!(
                 "source mask excludes vertex {v} whose input {} is nonzero; \
                  a pruned MAC plan is only exact for inputs that vanish \
@@ -379,13 +380,10 @@ pub fn run_spmv_with(
         .collect();
     let trace = exec.trace().cloned();
     let mut tracer = IterTracer::new();
-    let plan = exec.plan(opts.source_mask.as_deref());
+    let plan = exec.plan(opts.source_mask.as_ref());
     let y = exec.scan_mac_planned(&plan, &value, &[&qx]);
     exec.end_iteration();
-    let frontier = opts
-        .source_mask
-        .as_ref()
-        .map(|m| m.iter().filter(|&&a| a).count() as u64);
+    let frontier = opts.source_mask.as_ref().map(|m| m.len() as u64);
     tracer.record(trace.as_ref(), exec.metrics(), frontier);
     let values = y[0]
         .iter()
@@ -534,22 +532,29 @@ fn run_add_op_with(
     let inf = opts.spec.max_value();
     let mut dist = vec![inf; n];
     dist[opts.source as usize] = 0.0;
-    let mut active = vec![false; n];
-    active[opts.source as usize] = true;
+    let mut active = FrontierMask::new(n);
+    active.set(opts.source as usize);
     let cap = opts.max_iterations.unwrap_or(n.max(1));
 
     let trace = exec.trace().cloned();
     let mut tracer = IterTracer::new();
+    // The words flipped going into this round's `active` — known exactly
+    // because the driver built the mask itself, so after the first round
+    // the planner never re-scans the frontier.
+    let mut delta: Option<FrontierDelta> = None;
     for _round in 0..cap {
         // Re-plan from the frontier: only subgraphs holding an active
         // source are streamed this round, so sparse iterations cost
-        // active work, not O(|E|). The engine's incremental planner
-        // diffs this frontier against the previous round's and patches
-        // the prior plan, so planning itself costs the delta, not a
-        // walk of the whole span table.
-        let plan = exec.plan(Some(&active));
+        // active work, not O(|E|). The first round plans from the mask;
+        // every later round hands the planner the delta recorded while
+        // advancing the frontier, so planning costs the flipped words,
+        // not a walk of the whole mask or span table.
+        let plan = match &delta {
+            Some(d) => exec.plan_with_delta(&active, d),
+            None => exec.plan(Some(&active)),
+        };
         let mut frontier = dist.clone();
-        let mut updated = vec![false; n];
+        let mut updated = FrontierMask::new(n);
         exec.scan_add_op_planned(
             &plan,
             value,
@@ -561,8 +566,9 @@ fn run_add_op_with(
         );
         exec.end_iteration();
         dist = frontier;
+        delta = Some(FrontierDelta::between(&active, &updated));
         active = updated;
-        let frontier_size = active.iter().filter(|&&a| a).count() as u64;
+        let frontier_size = active.len() as u64;
         tracer.record(trace.as_ref(), exec.metrics(), Some(frontier_size));
         if frontier_size == 0 {
             break;
@@ -642,16 +648,21 @@ pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRu
     let combine = |du: f64, _w: f64| du; // forward the label unchanged
 
     let mut labels: Vec<f64> = (0..n).map(|v| v as f64).collect();
-    let mut active = vec![true; n];
+    let mut active = FrontierMask::full(n);
     let trace = exec.trace().cloned();
     let mut tracer = IterTracer::new();
+    let mut delta: Option<FrontierDelta> = None;
     for _round in 0..n.max(1) {
         // Label propagation converges region by region: later rounds have
         // sparse frontiers, which the per-round pruned plan turns into
-        // proportionally small scans.
-        let plan = exec.plan(Some(&active));
+        // proportionally small scans — planned from the recorded delta
+        // after the first round, like the traversal loop.
+        let plan = match &delta {
+            Some(d) => exec.plan_with_delta(&active, d),
+            None => exec.plan(Some(&active)),
+        };
         let mut frontier = labels.clone();
-        let mut updated = vec![false; n];
+        let mut updated = FrontierMask::new(n);
         exec.scan_add_op_planned(
             &plan,
             &value,
@@ -663,8 +674,9 @@ pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRu
         );
         exec.end_iteration();
         labels = frontier;
+        delta = Some(FrontierDelta::between(&active, &updated));
         active = updated;
-        let frontier_size = active.iter().filter(|&&a| a).count() as u64;
+        let frontier_size = active.len() as u64;
         tracer.record(trace.as_ref(), exec.metrics(), Some(frontier_size));
         if frontier_size == 0 {
             break;
@@ -1012,9 +1024,10 @@ mod tests {
         // must produce bit-identical values while legally skipping the
         // subgraphs no active source reaches.
         let g = Rmat::new(120, 600).seed(14).max_weight(8).generate();
-        let mask: Vec<bool> = (0..120).map(|v| v % 11 == 0).collect();
+        let dense: Vec<bool> = (0..120).map(|v| v % 11 == 0).collect();
+        let mask = FrontierMask::from_slice(&dense);
         let input: Vec<f64> = (0..120)
-            .map(|v| if mask[v] { (v % 5) as f64 * 0.5 } else { 0.0 })
+            .map(|v| if dense[v] { (v % 5) as f64 * 0.5 } else { 0.0 })
             .collect();
         let unmasked = run_spmv(
             &g,
@@ -1047,8 +1060,8 @@ mod tests {
     #[test]
     fn masked_spmv_rejects_nonzero_input_outside_mask() {
         let g = Rmat::new(40, 150).seed(2).generate();
-        let mut mask = vec![false; 40];
-        mask[0] = true;
+        let mut mask = FrontierMask::new(40);
+        mask.set(0);
         let err = run_spmv(
             &g,
             &test_config(),

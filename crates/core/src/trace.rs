@@ -756,11 +756,15 @@ fn write_net_counters(out: &mut String, n: &NetCounters) {
 fn write_plan_counters(out: &mut String, p: &PlanCounters) {
     out.push_str(&format!(
         "{{\"full_rebuilds\":{},\"delta_patches\":{},\"units_reused\":{},\
-         \"units_patched\":{},\"host_time_ns\":{}}}",
+         \"units_patched\":{},\"mask_words\":{},\"summary_skips\":{},\
+         \"delta_words\":{},\"host_time_ns\":{}}}",
         p.full_rebuilds,
         p.delta_patches,
         p.units_reused,
         p.units_patched,
+        p.mask_words,
+        p.summary_skips,
+        p.delta_words,
         p.time.as_nanos()
     ));
 }

@@ -326,6 +326,14 @@ struct ReportDerived {
     subgraphs_planned: u64,
     /// Edges streamed from memory ReRAM, from the byte counter.
     edges_streamed: u64,
+    /// Frontier-mask words the planner popcounted across all plans.
+    mask_words: u64,
+    /// Chunk spans the planner skipped wholesale via the mask's summary
+    /// level without touching their payload words.
+    summary_skips: u64,
+    /// Driver-supplied delta words `plan_for_delta` consumed in place of
+    /// full mask re-scans.
+    delta_words: u64,
     /// `Some(true)` when the overlapped disk time dominates compute;
     /// `None` when no disk model priced the job (or the per-node overlap
     /// was composed into a cluster total instead).
@@ -351,6 +359,9 @@ impl JobReport {
         ReportDerived {
             subgraphs_planned: ev.subgraphs_processed + ev.subgraphs_skipped_inactive,
             edges_streamed: self.edges_streamed(),
+            mask_words: m.plan.mask_words,
+            summary_skips: m.plan.summary_skips,
+            delta_words: m.plan.delta_words,
             disk_bound: (m.disk.is_active() && !m.net.is_active())
                 .then(|| m.disk.is_disk_bound(m.total_time())),
             network_bound: m
@@ -365,6 +376,10 @@ impl JobReport {
     /// (subgraphs/edges planned vs pruned), the incremental planner's
     /// reuse counters (delta patches vs full rebuilds, units reused,
     /// host planning time), and the session's skeleton-cache traffic.
+    /// The `frontier:` line tells the mask story: how many mask words the
+    /// planner actually popcounted, how many chunk spans the hierarchical
+    /// summary let it skip wholesale, and how many driver-supplied delta
+    /// words replaced full mask re-scans.
     /// Jobs that ran under a disk model gain a `disk:` line with the
     /// plan-aware out-of-core breakdown: bytes loaded vs seeked past,
     /// disk time vs compute time, and the double-buffered (per-iteration
@@ -380,7 +395,7 @@ impl JobReport {
         let subgraphs_planned = d.subgraphs_planned;
         let streamed = d.edges_streamed;
         let mut report = format!(
-            "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  plan:       {} subgraphs planned / {} pruned; {} edges streamed / {} pruned; {} delta patches / {} rebuilds, {} units reused, planning {} (cache: {} hits / {} misses)",
+            "{} on {}\n  result:     {}\n  sim time:   {} over {} iterations\n  sim energy: {}\n  events:     {} subgraphs, {} edges loaded, {:.1}% slots skipped\n  plan:       {} subgraphs planned / {} pruned; {} edges streamed / {} pruned; {} delta patches / {} rebuilds, {} units reused, planning {} (cache: {} hits / {} misses)\n  frontier:   {} mask words scanned, {} summary skips, {} delta words",
             self.app,
             self.graph,
             self.output.summary(),
@@ -400,6 +415,9 @@ impl JobReport {
             m.plan.time,
             self.cache_hits,
             self.cache_misses,
+            d.mask_words,
+            d.summary_skips,
+            d.delta_words,
         );
         if m.disk.is_active() {
             let dc = &m.disk;
@@ -474,6 +492,7 @@ impl JobReport {
         format!(
             "{{\"app\":\"{}\",\"graph\":\"{}\",\"result\":\"{}\",\
              \"subgraphs_planned\":{},\"edges_streamed\":{},\
+             \"frontier\":{{\"mask_words\":{},\"summary_skips\":{},\"delta_words\":{}}},\
              \"disk_bound\":{},\"network_bound\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"host_wall_ms\":{},\
              \"metrics\":{}}}",
@@ -482,6 +501,9 @@ impl JobReport {
             json_escape(&self.output.summary()),
             d.subgraphs_planned,
             d.edges_streamed,
+            d.mask_words,
+            d.summary_skips,
+            d.delta_words,
             opt_bool(d.disk_bound),
             opt_bool(d.network_bound),
             self.cache_hits,

@@ -21,6 +21,7 @@
 
 use std::sync::Arc;
 
+use graphr_core::exec::mask::{FrontierDelta, FrontierMask};
 use graphr_core::exec::plan::{PlanSkeleton, ScanPlan};
 use graphr_core::exec::planner::Planner;
 use graphr_core::exec::strip::{mac_rego_capacity, StripScanner};
@@ -154,11 +155,22 @@ impl<'a> ParallelExecutor<'a> {
 }
 
 impl ScanEngine for ParallelExecutor<'_> {
-    fn plan(&mut self, active: Option<&[bool]>) -> Arc<ScanPlan> {
+    fn plan(&mut self, active: Option<&FrontierMask>) -> Arc<ScanPlan> {
         let before = self.metrics.plan;
         let plan = self
             .planner
             .plan_for(self.config, active, &mut self.metrics.plan);
+        if let Some(trace) = &self.trace {
+            trace.record_plan(&before, &self.metrics.plan);
+        }
+        plan
+    }
+
+    fn plan_with_delta(&mut self, active: &FrontierMask, delta: &FrontierDelta) -> Arc<ScanPlan> {
+        let before = self.metrics.plan;
+        let plan = self
+            .planner
+            .plan_for_delta(self.config, active, delta, &mut self.metrics.plan);
         if let Some(trace) = &self.trace {
             trace.record_plan(&before, &self.metrics.plan);
         }
@@ -226,27 +238,26 @@ impl ScanEngine for ParallelExecutor<'_> {
         value: &EdgeValueFn<'_>,
         combine: &(dyn Fn(f64, f64) -> f64 + Sync),
         addend: &[f64],
-        active: &[bool],
+        active: &FrontierMask,
         frontier: &mut [f64],
-        updated: &mut [bool],
+        updated: &mut FrontierMask,
     ) -> u64 {
         let n = self.tiled.num_vertices();
         assert_eq!(addend.len(), n, "addend must have one entry per vertex");
         assert_eq!(
-            active.len(),
+            active.num_vertices(),
             n,
-            "active mask must have one entry per vertex"
+            "active mask must range over every vertex"
         );
         assert_eq!(frontier.len(), n, "frontier must have one entry per vertex");
         assert_eq!(
-            updated.len(),
+            updated.num_vertices(),
             n,
-            "updated mask must have one entry per vertex"
+            "updated mask must range over every vertex"
         );
         let (tiled, config, spec) = (self.tiled, self.config, self.spec);
         let punits = plan.units();
         let frontier_in: &[f64] = frontier;
-        let updated_in: &[bool] = updated;
 
         let per_unit = pool::run_indexed(
             punits.len(),
@@ -257,8 +268,7 @@ impl ScanEngine for ParallelExecutor<'_> {
                 let (ds, dl) = (punit.unit.dst_start, punit.unit.dst_len);
                 let mut frontier_local = frontier_in.get(ds..ds + dl).unwrap_or(&[]).to_vec();
                 frontier_local.resize(config.strip_width(), 0.0);
-                let mut updated_local = updated_in.get(ds..ds + dl).unwrap_or(&[]).to_vec();
-                updated_local.resize(config.strip_width(), false);
+                let mut updated_local = vec![false; config.strip_width()];
                 let mut metrics = Metrics::new();
                 let rows = scanner.scan_add_op_unit(
                     punit,
@@ -283,7 +293,14 @@ impl ScanEngine for ParallelExecutor<'_> {
             total_rows += rows;
             if dl > 0 {
                 frontier[ds..ds + dl].copy_from_slice(&frontier_local[..dl]);
-                updated[ds..ds + dl].copy_from_slice(&updated_local[..dl]);
+                // Set-only write-back: units tile the destination axis
+                // disjointly and the scan never clears a bit, so the
+                // caller's seeded bits survive (same contract as serial).
+                for (i, &hit) in updated_local[..dl].iter().enumerate() {
+                    if hit {
+                        updated.set(ds + i);
+                    }
+                }
             }
         }
         self.metrics.charge_plan(plan.stats());
@@ -404,12 +421,12 @@ mod tests {
         let run = |exec: &mut dyn ScanEngine| {
             let mut dist = vec![inf; 200];
             dist[0] = 0.0;
-            let mut active = vec![false; 200];
-            active[0] = true;
+            let mut active = FrontierMask::new(200);
+            active.set(0);
             let mut rows_history = Vec::new();
             for _ in 0..200 {
                 let mut frontier = dist.clone();
-                let mut updated = vec![false; 200];
+                let mut updated = FrontierMask::new(200);
                 rows_history.push(exec.scan_add_op(
                     &value,
                     &combine,
@@ -421,7 +438,7 @@ mod tests {
                 exec.end_iteration();
                 dist = frontier;
                 active = updated;
-                if !active.iter().any(|&a| a) {
+                if active.is_empty() {
                     break;
                 }
             }

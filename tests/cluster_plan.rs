@@ -322,9 +322,11 @@ fn masked_spmv_on_a_cluster_matches_unmasked_single_node() {
     let cfg = test_config();
     // One active source: its handful of out-edges reach at most a couple
     // of destination strips, so almost everything is pruned.
-    let mut mask = vec![false; n];
-    mask[0] = true;
-    let input: Vec<f64> = (0..n).map(|v| if mask[v] { 2.0 } else { 0.0 }).collect();
+    let mut mask = graphr_repro::core::exec::mask::FrontierMask::new(n);
+    mask.set(0);
+    let input: Vec<f64> = (0..n)
+        .map(|v| if mask.get(v) { 2.0 } else { 0.0 })
+        .collect();
     let unmasked = run_spmv(
         &g,
         &cfg,

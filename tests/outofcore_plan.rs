@@ -48,12 +48,13 @@ proptest! {
 
         // A splitmix-ish deterministic mask.
         let mut state = mask_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let mask: Vec<bool> = (0..n)
-            .map(|_| {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-                (state >> 33) & 1 == 1
-            })
-            .collect();
+        let mut mask = graphr_repro::core::exec::mask::FrontierMask::new(n);
+        for v in 0..n {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            if (state >> 33) & 1 == 1 {
+                mask.set(v);
+            }
+        }
         let io = IoPlan::from_scan_plan(&tiled, &skeleton.pruned_plan(&tiled, &mask));
         prop_assert!(io.bytes_loaded <= full.bytes_loaded);
         prop_assert_eq!(io.bytes_loaded + io.bytes_skipped, full.bytes_loaded);
@@ -85,7 +86,7 @@ proptest! {
         // An all-active mask prunes nothing, so it matches too.
         let all = IoPlan::from_scan_plan(
             &tiled,
-            &skeleton.pruned_plan(&tiled, &vec![true; n]),
+            &skeleton.pruned_plan(&tiled, &graphr_repro::core::exec::mask::FrontierMask::full(n)),
         );
         prop_assert_eq!(all, dense);
     }

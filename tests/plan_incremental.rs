@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use graphr_repro::core::exec::mask::{FrontierDelta, FrontierMask};
 use graphr_repro::core::exec::planner::Planner;
 use graphr_repro::core::exec::{PlanSkeleton, ScanEngine, StreamingExecutor};
 use graphr_repro::core::metrics::PlanCounters;
@@ -69,7 +70,8 @@ proptest! {
     /// The core contract: over a random frontier sequence, every plan the
     /// stateful planner emits equals the scratch rebuild — units (content
     /// *and* merge order) and `PlanStats` both, via `ScanPlan`'s
-    /// `PartialEq`.
+    /// `PartialEq` — whether the planner re-scans the mask itself or is
+    /// handed the driver-recorded word delta.
     #[test]
     fn delta_patched_plans_equal_scratch_rebuilt_plans(
         n in 8usize..140,
@@ -81,17 +83,36 @@ proptest! {
         let config = test_config();
         let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
         let skeleton = Arc::new(PlanSkeleton::build(&tiled));
-        let mut planner = Planner::new(&tiled, Arc::clone(&skeleton));
+        let mut by_scan = Planner::new(&tiled, Arc::clone(&skeleton));
+        let mut by_delta = Planner::new(&tiled, Arc::clone(&skeleton));
         let mut counters = PlanCounters::default();
-        for (step, mask) in mask_sequence(n, seed, steps).iter().enumerate() {
-            let plan = planner.plan_for(&config, Some(mask), &mut counters);
-            let scratch = skeleton.pruned_plan(&tiled, mask);
+        let mut delta_counters = PlanCounters::default();
+        let mut prev: Option<FrontierMask> = None;
+        for (step, dense) in mask_sequence(n, seed, steps).iter().enumerate() {
+            let mask = FrontierMask::from_slice(dense);
+            let plan = by_scan.plan_for(&config, Some(&mask), &mut counters);
+            let scratch = skeleton.pruned_plan(&tiled, &mask);
             prop_assert_eq!(&*plan, &scratch, "step {} diverged", step);
+            // The driver-delta path: a second planner fed exactly the
+            // word flips between consecutive masks must stay identical.
+            let delta_plan = match &prev {
+                Some(p) => {
+                    let delta = FrontierDelta::between(p, &mask);
+                    by_delta.plan_for_delta(&config, &mask, &delta, &mut delta_counters)
+                }
+                None => by_delta.plan_for(&config, Some(&mask), &mut delta_counters),
+            };
+            prop_assert_eq!(&*delta_plan, &scratch, "delta step {} diverged", step);
+            prev = Some(mask);
         }
         prop_assert_eq!(
             counters.full_rebuilds + counters.delta_patches,
             steps as u64,
             "every masked request must be accounted as rebuild or patch"
+        );
+        prop_assert_eq!(
+            delta_counters.full_rebuilds + delta_counters.delta_patches,
+            steps as u64
         );
     }
 
@@ -122,16 +143,27 @@ proptest! {
             spec,
             MultiNodeConfig::pcie_cluster(nodes).with_owner(OwnerPolicy::DegreeWeighted),
         );
-        let engines: [(&str, &mut dyn ScanEngine); 3] = [
-            ("serial", &mut serial),
-            ("parallel", &mut parallel),
-            ("cluster", &mut cluster),
+        let mut serial_d = StreamingExecutor::new(&tiled, &config, spec);
+        let mut parallel_d = ParallelExecutor::with_threads(&tiled, &config, spec, 4);
+        let mut cluster_d = ClusterExecutor::new(
+            &tiled,
+            &config,
+            spec,
+            MultiNodeConfig::pcie_cluster(nodes).with_owner(OwnerPolicy::DegreeWeighted),
+        );
+        let engines: [(&str, &mut dyn ScanEngine, bool); 6] = [
+            ("serial", &mut serial, false),
+            ("parallel", &mut parallel, false),
+            ("cluster", &mut cluster, false),
+            ("serial+delta", &mut serial_d, true),
+            ("parallel+delta", &mut parallel_d, true),
+            ("cluster+delta", &mut cluster_d, true),
         ];
-        for (name, exec) in engines {
-            let (dist, rows, metrics) = engine_planned_sssp(exec, spec, n);
+        for (name, exec, driver_delta) in engines {
+            let (dist, rows, metrics) = engine_planned_sssp(exec, spec, n, driver_delta);
             prop_assert_eq!(&dist, &scratch.0, "{} distances diverged", name);
             prop_assert_eq!(&rows, &scratch.1, "{} activations diverged", name);
-            if name == "serial" {
+            if name.starts_with("serial") {
                 // Downstream Metrics must match bit for bit once the
                 // planner's own cost counters are set aside (the two
                 // loops planned differently on purpose).
@@ -165,13 +197,13 @@ fn scratch_planned_sssp(
     let inf = spec.max_value();
     let mut dist = vec![inf; n];
     dist[0] = 0.0;
-    let mut active = vec![false; n];
-    active[0] = true;
+    let mut active = FrontierMask::new(n);
+    active.set(0);
     let mut rows_history = Vec::new();
     for _ in 0..n {
         let plan = skeleton.pruned_plan(tiled, &active);
         let mut frontier = dist.clone();
-        let mut updated = vec![false; n];
+        let mut updated = FrontierMask::new(n);
         rows_history.push(exec.scan_add_op_planned(
             &plan,
             &|w, _, _| f64::from(w),
@@ -184,26 +216,37 @@ fn scratch_planned_sssp(
         exec.end_iteration();
         dist = frontier;
         active = updated;
-        if !active.iter().any(|&a| a) {
+        if active.is_empty() {
             break;
         }
     }
     (dist, rows_history, exec.into_metrics())
 }
 
-/// The same loop planning through the engine (`exec.plan`), i.e. the
-/// incremental planner.
-fn engine_planned_sssp(exec: &mut dyn ScanEngine, spec: FixedSpec, n: usize) -> SsspTrace {
+/// The same loop planning through the engine, i.e. the incremental
+/// planner — either re-scanning the mask each round (`exec.plan`) or
+/// handing over the driver-recorded word delta (`exec.plan_with_delta`),
+/// as the `sim` drivers do.
+fn engine_planned_sssp(
+    exec: &mut dyn ScanEngine,
+    spec: FixedSpec,
+    n: usize,
+    driver_delta: bool,
+) -> SsspTrace {
     let inf = spec.max_value();
     let mut dist = vec![inf; n];
     dist[0] = 0.0;
-    let mut active = vec![false; n];
-    active[0] = true;
+    let mut active = FrontierMask::new(n);
+    active.set(0);
     let mut rows_history = Vec::new();
+    let mut delta: Option<FrontierDelta> = None;
     for _ in 0..n {
-        let plan = exec.plan(Some(&active));
+        let plan = match &delta {
+            Some(d) if driver_delta => exec.plan_with_delta(&active, d),
+            _ => exec.plan(Some(&active)),
+        };
         let mut frontier = dist.clone();
-        let mut updated = vec![false; n];
+        let mut updated = FrontierMask::new(n);
         rows_history.push(exec.scan_add_op_planned(
             &plan,
             &|w, _, _| f64::from(w),
@@ -215,8 +258,9 @@ fn engine_planned_sssp(exec: &mut dyn ScanEngine, spec: FixedSpec, n: usize) -> 
         ));
         exec.end_iteration();
         dist = frontier;
+        delta = Some(FrontierDelta::between(&active, &updated));
         active = updated;
-        if !active.iter().any(|&a| a) {
+        if active.is_empty() {
             break;
         }
     }
@@ -237,9 +281,9 @@ fn grid_bfs_patches_dominate_and_engines_agree() {
     let n = tiled.num_vertices();
 
     let mut serial = StreamingExecutor::new(&tiled, &config, spec);
-    let (dist_s, _, m_serial) = engine_planned_sssp(&mut serial, spec, n);
+    let (dist_s, _, m_serial) = engine_planned_sssp(&mut serial, spec, n, true);
     let mut parallel = ParallelExecutor::with_threads(&tiled, &config, spec, 3);
-    let (dist_p, _, m_parallel) = engine_planned_sssp(&mut parallel, spec, n);
+    let (dist_p, _, m_parallel) = engine_planned_sssp(&mut parallel, spec, n, true);
 
     assert_eq!(dist_s, dist_p);
     assert_eq!(
@@ -266,14 +310,14 @@ fn one_node_cluster_engine_planned_run_is_bit_identical() {
     let n = tiled.num_vertices();
 
     let mut serial = StreamingExecutor::new(&tiled, &config, spec);
-    let single = engine_planned_sssp(&mut serial, spec, n);
+    let single = engine_planned_sssp(&mut serial, spec, n, true);
     let mut cluster = ClusterExecutor::new(
         &tiled,
         &config,
         spec,
         MultiNodeConfig::pcie_cluster(1).with_owner(OwnerPolicy::DegreeWeighted),
     );
-    let clustered = engine_planned_sssp(&mut cluster, spec, n);
+    let clustered = engine_planned_sssp(&mut cluster, spec, n, true);
     assert_eq!(single.0, clustered.0);
     assert_eq!(single.1, clustered.1);
     assert_eq!(single.2, clustered.2, "full Metrics must agree");

@@ -4,6 +4,7 @@
 //! for random graphs and random masks, while streaming no more (and on
 //! sparse frontiers strictly fewer) edges.
 
+use graphr_repro::core::exec::mask::FrontierMask;
 use graphr_repro::core::exec::{PlanSkeleton, ScanEngine, StreamingExecutor};
 use graphr_repro::core::sim::{run_bfs, TraversalOptions};
 use graphr_repro::core::{GraphRConfig, TiledGraph};
@@ -26,7 +27,7 @@ fn small_config() -> GraphRConfig {
 fn add_op_scan(
     tiled: &TiledGraph,
     config: &GraphRConfig,
-    mask: &[bool],
+    mask: &FrontierMask,
     addend: &[f64],
     pruned: bool,
 ) -> (Vec<f64>, Vec<bool>, u64, u64) {
@@ -39,7 +40,7 @@ fn add_op_scan(
         exec.plan(None)
     };
     let mut frontier = addend.to_vec();
-    let mut updated = vec![false; n];
+    let mut updated = FrontierMask::new(n);
     let rows = exec.scan_add_op_planned(
         &plan,
         &|w, _, _| f64::from(w),
@@ -50,7 +51,12 @@ fn add_op_scan(
         &mut updated,
     );
     let metrics = exec.into_metrics();
-    (frontier, updated, rows, metrics.events.bytes_streamed)
+    (
+        frontier,
+        updated.to_vec(),
+        rows,
+        metrics.events.bytes_streamed,
+    )
 }
 
 proptest! {
@@ -72,7 +78,7 @@ proptest! {
         let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
         // Deterministic pseudo-random mask at one of five densities
         // (0 ≈ empty … 4 ≈ full).
-        let mask: Vec<bool> = (0..n)
+        let dense: Vec<bool> = (0..n)
             .map(|v| {
                 let h = (v as u64)
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -81,9 +87,10 @@ proptest! {
                 (h >> 60) < u64::from(density) * 4
             })
             .collect();
+        let mask = FrontierMask::from_slice(&dense);
         let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
         let inf = spec.max_value();
-        let addend: Vec<f64> = (0..n).map(|v| if mask[v] { v as f64 % 7.0 } else { inf }).collect();
+        let addend: Vec<f64> = (0..n).map(|v| if dense[v] { v as f64 % 7.0 } else { inf }).collect();
 
         let (f_full, u_full, r_full, b_full) = add_op_scan(&tiled, &config, &mask, &addend, false);
         let (f_pruned, u_pruned, r_pruned, b_pruned) =
@@ -108,7 +115,8 @@ proptest! {
         let config = small_config();
         let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
         let skeleton = PlanSkeleton::build(&tiled);
-        let mask: Vec<bool> = (0..n).map(|v| v % stride == 0).collect();
+        let dense: Vec<bool> = (0..n).map(|v| v % stride == 0).collect();
+        let mask = FrontierMask::from_slice(&dense);
         let plan = skeleton.pruned_plan(&tiled, &mask);
         let stats = plan.stats();
         prop_assert_eq!(
@@ -137,9 +145,10 @@ fn pruned_mac_scan_is_exact_on_masked_inputs() {
     let tiled = TiledGraph::preprocess(&g, &config).expect("valid geometry");
     let n = tiled.num_vertices();
     let spec = FixedSpec::new(16, 8).expect("Q8.8 is valid");
-    let mask: Vec<bool> = (0..n).map(|v| v % 5 == 0).collect();
+    let dense: Vec<bool> = (0..n).map(|v| v % 5 == 0).collect();
+    let mask = FrontierMask::from_slice(&dense);
     let x: Vec<f64> = (0..n)
-        .map(|v| if mask[v] { (v % 9) as f64 * 0.25 } else { 0.0 })
+        .map(|v| if dense[v] { (v % 9) as f64 * 0.25 } else { 0.0 })
         .collect();
     let value = |w: f32, _: u32, _: u32| f64::from(w);
 
@@ -180,8 +189,8 @@ fn sparse_frontier_streams_strictly_fewer_edges() {
     let n = tiled.num_vertices();
     let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
     let inf = spec.max_value();
-    let mut mask = vec![false; n];
-    mask[0] = true;
+    let mut mask = FrontierMask::new(n);
+    mask.set(0);
     let mut addend = vec![inf; n];
     addend[0] = 0.0;
 

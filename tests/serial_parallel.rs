@@ -164,16 +164,17 @@ fn pruned_plans_are_bit_identical_under_the_parallel_executor() {
     // executors: distances, per-round activations and Metrics must all be
     // bit-identical.
     let run = |exec: &mut dyn ScanEngine| {
+        use graphr_repro::core::exec::mask::FrontierMask;
         let n = 260;
         let mut dist = vec![inf; n];
         dist[0] = 0.0;
-        let mut active = vec![false; n];
-        active[0] = true;
+        let mut active = FrontierMask::new(n);
+        active.set(0);
         let mut rows_history = Vec::new();
         for _ in 0..n {
             let plan = exec.plan(Some(&active));
             let mut frontier = dist.clone();
-            let mut updated = vec![false; n];
+            let mut updated = FrontierMask::new(n);
             rows_history.push(exec.scan_add_op_planned(
                 &plan,
                 &|w, _, _| f64::from(w),
@@ -186,7 +187,7 @@ fn pruned_plans_are_bit_identical_under_the_parallel_executor() {
             exec.end_iteration();
             dist = frontier;
             active = updated;
-            if !active.iter().any(|&a| a) {
+            if active.is_empty() {
                 break;
             }
         }

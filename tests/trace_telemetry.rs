@@ -252,11 +252,12 @@ fn patched_and_scratch_planned_streams_agree_modulo_plan_events() {
         let sink = TraceSink::shared();
         let mut exec = StreamingExecutor::new(&tiled, &config, spec);
         exec.set_trace(Some(TraceHandle::new(Arc::clone(&sink))));
+        use graphr_repro::core::exec::mask::FrontierMask;
         let inf = spec.max_value();
         let mut dist = vec![inf; n];
         dist[0] = 0.0;
-        let mut active = vec![false; n];
-        active[0] = true;
+        let mut active = FrontierMask::new(n);
+        active.set(0);
         for _ in 0..n {
             let engine_plan = engine_plans.then(|| exec.plan(Some(&active)));
             let scratch_plan;
@@ -268,7 +269,7 @@ fn patched_and_scratch_planned_streams_agree_modulo_plan_events() {
                 }
             };
             let mut frontier = dist.clone();
-            let mut updated = vec![false; n];
+            let mut updated = FrontierMask::new(n);
             exec.scan_add_op_planned(
                 plan,
                 &|w, _, _| f64::from(w),
@@ -281,7 +282,7 @@ fn patched_and_scratch_planned_streams_agree_modulo_plan_events() {
             exec.end_iteration();
             dist = frontier;
             active = updated;
-            if !active.iter().any(|&a| a) {
+            if active.is_empty() {
                 break;
             }
         }
@@ -549,10 +550,15 @@ fn job_report_to_json_is_wellformed() {
     assert!(json.contains("\"metrics\":{"));
     assert!(json.contains("\"iterations\":"));
     assert!(json.contains("\"subgraphs_planned\":"));
+    assert!(json.contains("\"frontier\":{\"mask_words\":"));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     // The text rendering derives from the same numbers: the planned
     // subgraph count appears in both.
     let text = format!("{report}");
+    assert!(
+        text.contains("frontier:"),
+        "text report must carry the frontier row"
+    );
     let planned = json
         .split("\"subgraphs_planned\":")
         .nth(1)
