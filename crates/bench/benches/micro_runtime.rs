@@ -108,6 +108,7 @@ fn main() {
     sparse_frontier_case();
     incremental_planner_case();
     frontier_mask_case();
+    fused_wave_case();
     out_of_core_sparse_frontier_case(threads);
     cluster_sparse_frontier_case();
     tracing_overhead_case();
@@ -434,6 +435,101 @@ fn frontier_mask_case() {
         t_mask * 1e3,
         t_dense / t_mask.max(1e-9),
         m_dense.plan.summary_skips,
+    );
+}
+
+/// The serve layer's fusion win: K=16 co-located BFS queries on the
+/// 240×240 grid advanced together as frontier lanes of one machine
+/// execution vs run one at a time. Every lane's labels and attribution
+/// row are bit-identical to its independent run (asserted), but the
+/// fused wave plans the *union* frontier once per round — one plan and
+/// one scan of the shared edge stream instead of sixteen — so it must
+/// stream strictly fewer total edges and spend strictly less host
+/// planning time than the sequential sum.
+fn fused_wave_case() {
+    use graphr_core::sim::{run_bfs_lanes_with, run_bfs_with, LaneTraversalOptions};
+
+    let g = grid(240, 240);
+    let config = GraphRConfig::builder()
+        .crossbar_size(8)
+        .crossbars_per_ge(32)
+        .num_ges(4)
+        .build()
+        .expect("valid bench geometry");
+    let tiled = TiledGraph::preprocess(&g, &config).expect("grid tiles");
+    // Sixteen sources spread along the first row: co-located enough that
+    // the sixteen wavefronts overlap almost immediately.
+    let sources: Vec<u32> = (0..16u32).map(|i| i * 3).collect();
+    let opts = LaneTraversalOptions::new(sources.clone());
+
+    let fused_run = || {
+        let mut exec = StreamingExecutor::new(&tiled, &config, opts.spec);
+        run_bfs_lanes_with(&g, &mut exec, &opts).expect("fused wave")
+    };
+    let solo_runs = || {
+        sources
+            .iter()
+            .map(|&source| {
+                let mut exec = StreamingExecutor::new(&tiled, &config, opts.spec);
+                run_bfs_with(
+                    &g,
+                    &mut exec,
+                    &TraversalOptions {
+                        source,
+                        ..TraversalOptions::default()
+                    },
+                )
+                .expect("solo run")
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let fused = fused_run();
+    let solos = solo_runs();
+    for (q, solo) in solos.iter().enumerate() {
+        assert_eq!(
+            fused.distances[q], solo.distances,
+            "lane {q} must match its independent run"
+        );
+        assert_eq!(
+            fused.metrics.lanes[q], solo.metrics.lanes[0],
+            "lane {q} attribution must match its independent run"
+        );
+    }
+    let solo_bytes: u64 = solos.iter().map(|s| s.metrics.events.bytes_streamed).sum();
+    assert!(
+        fused.metrics.events.bytes_streamed < solo_bytes,
+        "the fused wave must stream fewer edges than the sequential sum: {} vs {} bytes",
+        fused.metrics.events.bytes_streamed,
+        solo_bytes
+    );
+
+    let t_fused_plan = best_of(2, || {
+        std::time::Duration::from_secs_f64(fused_run().metrics.plan.time.as_secs())
+    });
+    let t_solo_plan = best_of(2, || {
+        std::time::Duration::from_secs_f64(
+            solo_runs()
+                .iter()
+                .map(|s| s.metrics.plan.time.as_secs())
+                .sum(),
+        )
+    });
+    assert!(
+        t_fused_plan < t_solo_plan,
+        "one union plan per round must beat sixteen: {:.3} ms vs {:.3} ms",
+        t_fused_plan * 1e3,
+        t_solo_plan * 1e3
+    );
+    println!(
+        "  fused wave (240x240 grid, 16-lane bfs, {} rounds): {:.1} MiB streamed vs {:.1} MiB sequential ({:.1}x less), planning {:.3} ms vs {:.3} ms ({:.1}x less)",
+        fused.metrics.iterations,
+        fused.metrics.events.bytes_streamed as f64 / (1024.0 * 1024.0),
+        solo_bytes as f64 / (1024.0 * 1024.0),
+        solo_bytes as f64 / fused.metrics.events.bytes_streamed.max(1) as f64,
+        t_fused_plan * 1e3,
+        t_solo_plan * 1e3,
+        t_solo_plan / t_fused_plan.max(1e-9),
     );
 }
 

@@ -45,12 +45,14 @@
 //! [`TiledGraph`]: crate::preprocess::tiler::TiledGraph
 //! [`Metrics`]: crate::metrics::Metrics
 
+pub mod lanes;
 pub mod mask;
 pub mod plan;
 pub mod planner;
 pub mod streaming;
 pub mod strip;
 
+pub use lanes::{LaneFrontier, MAX_LANES};
 pub use mask::{FrontierDelta, FrontierMask};
 pub use plan::{PlanRow, PlanSkeleton, PlanStats, PlanUnit, ScanPlan};
 pub use planner::{Planner, PlannerIndex};
@@ -117,6 +119,49 @@ pub trait ScanEngine {
         frontier: &mut [f64],
         updated: &mut FrontierMask,
     ) -> u64;
+
+    /// One fused parallel-add-op pass advancing all K lanes of `active`
+    /// over one plan — normally the *union* plan derived from
+    /// [`LaneFrontier::union`], so one scan of the planned edge stream
+    /// serves every query; see
+    /// [`StreamingExecutor::scan_add_op_lanes_planned`]. `addends` and
+    /// `frontiers` carry one buffer per lane; lowered destinations are
+    /// recorded per lane in `updated`. Returns the per-lane row drives.
+    ///
+    /// Defaulted to K successive single-lane passes so trait objects and
+    /// test doubles stay valid: per-lane results are identical, but the
+    /// fallback charges the machine per lane instead of sharing the
+    /// stream — real engines override with the fused scan.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_add_op_lanes_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addends: &[Vec<f64>],
+        active: &LaneFrontier,
+        frontiers: &mut [Vec<f64>],
+        updated: &mut LaneFrontier,
+    ) -> u64 {
+        let mut total = 0u64;
+        for q in 0..active.num_lanes() {
+            let lane_mask = active.lane(q);
+            let mut lane_updated = FrontierMask::new(active.num_vertices());
+            total += self.scan_add_op_planned(
+                plan,
+                value,
+                combine,
+                &addends[q],
+                &lane_mask,
+                &mut frontiers[q],
+                &mut lane_updated,
+            );
+            for v in lane_updated.iter() {
+                updated.set(q, v);
+            }
+        }
+        total
+    }
 
     /// One parallel-MAC pass over the whole graph (the dense full plan).
     fn scan_mac(&mut self, value: &EdgeValueFn<'_>, inputs: &[&[f64]]) -> Vec<Vec<f64>> {

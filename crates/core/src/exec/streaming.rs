@@ -43,6 +43,7 @@
 use std::sync::Arc;
 
 use crate::config::{Fidelity, GraphRConfig};
+use crate::exec::lanes::LaneFrontier;
 use crate::exec::mask::{FrontierDelta, FrontierMask};
 use crate::exec::plan::{PlanSkeleton, ScanPlan};
 use crate::exec::planner::Planner;
@@ -326,6 +327,122 @@ impl<'a> StreamingExecutor<'a> {
         total_rows
     }
 
+    /// One *fused* parallel-add-op pass advancing all K lanes of `active`
+    /// over one plan — normally the union plan built from
+    /// [`LaneFrontier::union`]. Each planned subgraph is streamed and
+    /// programmed once; union-active rows are driven once per lane holding
+    /// them (every lane needs its own `dist(u)` on the constant line, so
+    /// lanes serialise on the wordline), and each lane min-reduces into its
+    /// own `frontiers[q]` buffer. Lowered destinations are recorded per
+    /// lane in `updated`. Returns the per-lane row drives.
+    ///
+    /// With one lane this delegates to
+    /// [`StreamingExecutor::scan_add_op_planned`], so a K=1 fused run is
+    /// the unfused run — identical results *and* identical machine
+    /// accounting by construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_add_op_lanes_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addends: &[Vec<f64>],
+        active: &LaneFrontier,
+        frontiers: &mut [Vec<f64>],
+        updated: &mut LaneFrontier,
+    ) -> u64 {
+        let n = self.tiled.num_vertices();
+        let k = active.num_lanes();
+        assert_eq!(addends.len(), k, "one addend vector per lane required");
+        assert_eq!(frontiers.len(), k, "one frontier vector per lane required");
+        assert_eq!(updated.num_lanes(), k, "updated must carry the same lanes");
+        assert_eq!(
+            active.num_vertices(),
+            n,
+            "active lanes must range over every vertex"
+        );
+        assert_eq!(
+            updated.num_vertices(),
+            n,
+            "updated lanes must range over every vertex"
+        );
+        for (q, (a, f)) in addends.iter().zip(frontiers.iter()).enumerate() {
+            assert_eq!(a.len(), n, "lane {q} addend must have one entry per vertex");
+            assert_eq!(
+                f.len(),
+                n,
+                "lane {q} frontier must have one entry per vertex"
+            );
+        }
+        if k == 1 {
+            let lane_mask = active.lane(0);
+            let mut lane_updated = FrontierMask::new(n);
+            let rows = self.scan_add_op_planned(
+                plan,
+                value,
+                combine,
+                &addends[0],
+                &lane_mask,
+                &mut frontiers[0],
+                &mut lane_updated,
+            );
+            for v in lane_updated.iter() {
+                updated.set(0, v);
+            }
+            return rows;
+        }
+        let width = self.config.strip_width();
+        let addend_refs: Vec<&[f64]> = addends.iter().map(Vec::as_slice).collect();
+        let mut frontier_locals: Vec<Vec<f64>> = vec![vec![0.0; width]; k];
+        let mut updated_local = vec![0u64; width];
+        let mut total_rows = 0u64;
+        for punit in plan.units() {
+            let (ds, dl) = (punit.unit.dst_start, punit.unit.dst_len);
+            if dl > 0 {
+                for (buf, frontier) in frontier_locals.iter_mut().zip(frontiers.iter()) {
+                    buf[..dl].copy_from_slice(&frontier[ds..ds + dl]);
+                }
+                updated_local[..dl].fill(0);
+            }
+            let mut unit_metrics = Metrics::new();
+            total_rows += self.scanner.scan_add_op_lanes_unit(
+                punit,
+                value,
+                combine,
+                &addend_refs,
+                active,
+                &mut frontier_locals,
+                &mut updated_local,
+                &mut unit_metrics,
+            );
+            self.metrics.merge(&unit_metrics);
+            if dl > 0 {
+                for (buf, frontier) in frontier_locals.iter().zip(frontiers.iter_mut()) {
+                    frontier[ds..ds + dl].copy_from_slice(&buf[..dl]);
+                }
+                // Units tile the destination axis disjointly and the scan
+                // only ever *sets* lane bits, so OR-only write-back
+                // preserves whatever the caller seeded.
+                for (i, &word) in updated_local[..dl].iter().enumerate() {
+                    if word != 0 {
+                        updated.or_lanes(ds + i, word);
+                    }
+                }
+            }
+        }
+        self.metrics.charge_plan(plan.stats());
+        if let Some(disk) = &mut self.disk {
+            disk.charge_scan(self.tiled, plan, &mut self.metrics);
+        }
+        // Every lane keeps its own strip window open in RegO.
+        self.metrics.events.rego_capacity_required = self
+            .metrics
+            .events
+            .rego_capacity_required
+            .max((k * self.config.strip_width()) as u64);
+        total_rows
+    }
+
     /// Whether the executor runs full analog emulation.
     #[must_use]
     pub fn is_analog(&self) -> bool {
@@ -377,6 +494,21 @@ impl ScanEngine for StreamingExecutor<'_> {
     ) -> u64 {
         StreamingExecutor::scan_add_op_planned(
             self, plan, value, combine, addend, active, frontier, updated,
+        )
+    }
+
+    fn scan_add_op_lanes_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addends: &[Vec<f64>],
+        active: &LaneFrontier,
+        frontiers: &mut [Vec<f64>],
+        updated: &mut LaneFrontier,
+    ) -> u64 {
+        StreamingExecutor::scan_add_op_lanes_planned(
+            self, plan, value, combine, addends, active, frontiers, updated,
         )
     }
 

@@ -325,6 +325,43 @@ impl NetCounters {
     }
 }
 
+/// Per-query attribution of a traversal run: one row per frontier lane,
+/// recovered from the lane masks by the `sim` drivers (see
+/// [`LaneFrontier`](crate::exec::lanes::LaneFrontier)).
+///
+/// A fused K-query run carries K rows; the single-query traversal
+/// drivers fill exactly one, so a fused run's attribution is comparable
+/// row-for-row against K independent runs — that equality is part of the
+/// fusion determinism contract. Machine-level accounting (time, energy,
+/// events) stays *fused*: the point of lane fusion is that one scan of
+/// the edge stream serves every query, so those costs are charged once
+/// and only the per-query frontier statistics are attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LaneCounters {
+    /// Iterations in which this lane's frontier was active going in (for
+    /// a single-query run this equals [`Metrics::iterations`]; a fused
+    /// lane may settle earlier than the batch).
+    pub iterations: u64,
+    /// Sum of the lane's post-iteration frontier populations.
+    pub frontier_total: u64,
+    /// Largest post-iteration frontier population the lane reached.
+    pub frontier_peak: u64,
+    /// Vertices settled by the query: reached for BFS/SSSP (labelled
+    /// below the format maximum), relabelled below their own id for WCC.
+    pub settled: u64,
+}
+
+impl LaneCounters {
+    /// Merges another lane's row into this one (used when metrics of
+    /// multi-scan runs are composed): counts add, the peak is maxed.
+    pub fn merge(&mut self, other: &LaneCounters) {
+        self.iterations += other.iterations;
+        self.frontier_total += other.frontier_total;
+        self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
+        self.settled += other.settled;
+    }
+}
+
 /// Complete accounting of one GraphR run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Metrics {
@@ -347,6 +384,9 @@ pub struct Metrics {
     /// Incremental-planner accounting (zero unless the run planned from
     /// activity masks).
     pub plan: PlanCounters,
+    /// Per-query lane attribution (empty unless a traversal driver ran —
+    /// single-query drivers fill one row, fused drivers one per lane).
+    pub lanes: Vec<LaneCounters>,
 }
 
 impl Metrics {
@@ -476,6 +516,27 @@ impl Metrics {
                 n.overlapped, n.time
             ));
         }
+        if self.lanes.len() > crate::exec::lanes::MAX_LANES {
+            return Err(format!(
+                "{} lane rows exceed the {}-lane word width",
+                self.lanes.len(),
+                crate::exec::lanes::MAX_LANES
+            ));
+        }
+        for (q, lane) in self.lanes.iter().enumerate() {
+            if lane.iterations > self.iterations as u64 {
+                return Err(format!(
+                    "lane {q} claims {} iterations, run had {}",
+                    lane.iterations, self.iterations
+                ));
+            }
+            if lane.frontier_peak > lane.frontier_total {
+                return Err(format!(
+                    "lane {q} peak {} above its total {}",
+                    lane.frontier_peak, lane.frontier_total
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -548,6 +609,13 @@ impl Metrics {
         p.summary_skips += q.summary_skips;
         p.delta_words += q.delta_words;
         p.time += q.time;
+        if self.lanes.len() < other.lanes.len() {
+            self.lanes
+                .resize(other.lanes.len(), LaneCounters::default());
+        }
+        for (mine, theirs) in self.lanes.iter_mut().zip(&other.lanes) {
+            mine.merge(theirs);
+        }
     }
 }
 
@@ -691,6 +759,64 @@ mod tests {
             apply: Nanos::new(4.0),
         };
         assert_eq!(tb.serial_total().as_nanos(), 10.0);
+    }
+
+    #[test]
+    fn merge_pads_and_combines_lane_rows() {
+        let mut a = Metrics::new();
+        a.iterations = 3;
+        a.lanes.push(LaneCounters {
+            iterations: 2,
+            frontier_total: 10,
+            frontier_peak: 6,
+            settled: 4,
+        });
+        let mut b = Metrics::new();
+        b.iterations = 1;
+        b.lanes = vec![
+            LaneCounters {
+                iterations: 1,
+                frontier_total: 3,
+                frontier_peak: 3,
+                settled: 2,
+            },
+            LaneCounters {
+                iterations: 1,
+                frontier_total: 7,
+                frontier_peak: 7,
+                settled: 5,
+            },
+        ];
+        a.merge(&b);
+        assert_eq!(a.lanes.len(), 2);
+        assert_eq!(a.lanes[0].iterations, 3);
+        assert_eq!(a.lanes[0].frontier_total, 13);
+        assert_eq!(a.lanes[0].frontier_peak, 6);
+        assert_eq!(a.lanes[0].settled, 6);
+        assert_eq!(a.lanes[1].frontier_total, 7);
+        a.validate().expect("merged lane rows stay consistent");
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_lane_rows() {
+        let mut m = Metrics::new();
+        m.iterations = 1;
+        m.lanes.push(LaneCounters {
+            iterations: 5,
+            frontier_total: 5,
+            frontier_peak: 1,
+            settled: 0,
+        });
+        assert!(m.validate().is_err(), "lane iterations exceed the run's");
+        let mut m = Metrics::new();
+        m.iterations = 2;
+        m.lanes.push(LaneCounters {
+            iterations: 1,
+            frontier_total: 1,
+            frontier_peak: 2,
+            settled: 0,
+        });
+        assert!(m.validate().is_err(), "peak above total");
     }
 
     #[test]

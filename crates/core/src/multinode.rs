@@ -86,6 +86,7 @@ use graphr_units::{FixedSpec, Joules, Nanos};
 use serde::{Deserialize, Serialize};
 
 use crate::config::GraphRConfig;
+use crate::exec::lanes::LaneFrontier;
 use crate::exec::mask::{FrontierDelta, FrontierMask};
 use crate::exec::plan::{PlanSkeleton, PlanStats, PlanUnit, ScanPlan};
 use crate::exec::planner::Planner;
@@ -752,6 +753,45 @@ impl ScanEngine for ClusterExecutor<'_> {
         rows
     }
 
+    fn scan_add_op_lanes_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addends: &[Vec<f64>],
+        active: &LaneFrontier,
+        frontiers: &mut [Vec<f64>],
+        updated: &mut LaneFrontier,
+    ) -> u64 {
+        // As in `scan_add_op_planned`, but every node advances all K
+        // lanes over its shard of the *union* plan. The exchange counts
+        // union-updated vertices: a vertex any lane lowered crosses the
+        // interconnect once — lanes share the property exchange exactly
+        // like they share the edge stream.
+        let count = self.cluster.nodes > 1;
+        let before = if count {
+            planned_updates(plan, updated.union())
+        } else {
+            0
+        };
+        let shards = self.shards_for(plan);
+        let mut rows = 0u64;
+        for (node, shard) in self.nodes.iter_mut().zip(shards.iter()) {
+            // Each node writes only its owned destination ranges of the
+            // per-lane `frontiers` / `updated` lane words; the ranges are
+            // disjoint.
+            rows += node.scan_add_op_lanes_planned(
+                shard, value, combine, addends, active, frontiers, updated,
+            );
+        }
+        if count {
+            let after = planned_updates(plan, updated.union());
+            self.net.touch(after - before);
+        }
+        self.resync();
+        rows
+    }
+
     fn set_disk(&mut self, disk: Option<DiskModel>) {
         for node in &mut self.nodes {
             node.set_disk(disk);
@@ -1145,6 +1185,34 @@ mod tests {
         let run = run_pagerank_with(&g, &mut cluster, &opts).unwrap();
         assert_eq!(run.values, single.values);
         assert_eq!(run.metrics, single.metrics);
+    }
+
+    #[test]
+    fn cluster_fused_lanes_match_single_engine() {
+        use crate::sim::{run_sssp_lanes, run_sssp_lanes_with, LaneTraversalOptions};
+        let g = graph();
+        let cfg = config();
+        let opts = LaneTraversalOptions::new(vec![0, 7, 400]);
+        let single = run_sssp_lanes(&g, &cfg, &opts).unwrap();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        for nodes in [1usize, 3] {
+            let mut cluster = ClusterExecutor::new(
+                &tiled,
+                &cfg,
+                opts.spec,
+                MultiNodeConfig::pcie_cluster(nodes),
+            );
+            let run = run_sssp_lanes_with(&g, &mut cluster, &opts).unwrap();
+            assert_eq!(run.distances, single.distances, "{nodes} nodes");
+            assert_eq!(run.metrics.events, single.metrics.events, "{nodes} nodes");
+            assert_eq!(run.metrics.lanes, single.metrics.lanes, "{nodes} nodes");
+            if nodes == 1 {
+                assert_eq!(run.metrics, single.metrics, "one node is bit-identical");
+                assert!(!run.metrics.net.is_active());
+            } else {
+                assert!(run.metrics.net.is_active(), "{nodes} nodes must exchange");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!
 //! They also thread run telemetry: when the engine carries a
 //! [`TraceHandle`] (see [`ScanEngine::set_trace`]), each driver emits one
-//! [`TraceData::Iteration`](crate::trace::TraceData::Iteration) snapshot
+//! [`TraceData::Iteration`](crate::trace::TraceData) snapshot
 //! per algorithm iteration — the frontier size plus the *delta* of every
 //! counter family since the previous snapshot — through an [`IterTracer`].
 //! Tracing only observes the engine's [`Metrics`]; a traced run computes
@@ -38,12 +38,13 @@ use graphr_units::FixedSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ConfigError, GraphRConfig};
+use crate::exec::lanes::{LaneFrontier, MAX_LANES};
 use crate::exec::mask::{FrontierDelta, FrontierMask};
 use crate::exec::streaming::StreamingExecutor;
 use crate::exec::ScanEngine;
-use crate::metrics::Metrics;
+use crate::metrics::{LaneCounters, Metrics};
 use crate::preprocess::tiler::TiledGraph;
-use crate::trace::{IterTracer, TraceHandle};
+use crate::trace::{IterTracer, TraceData, TraceHandle};
 
 /// Errors from the simulation drivers.
 #[derive(Debug)]
@@ -538,6 +539,8 @@ fn run_add_op_with(
 
     let trace = exec.trace().cloned();
     let mut tracer = IterTracer::new();
+    let mut frontier_total = 0u64;
+    let mut frontier_peak = 0u64;
     // The words flipped going into this round's `active` — known exactly
     // because the driver built the mask itself, so after the first round
     // the planner never re-scans the frontier.
@@ -569,18 +572,357 @@ fn run_add_op_with(
         delta = Some(FrontierDelta::between(&active, &updated));
         active = updated;
         let frontier_size = active.len() as u64;
+        frontier_total += frontier_size;
+        frontier_peak = frontier_peak.max(frontier_size);
         tracer.record(trace.as_ref(), exec.metrics(), Some(frontier_size));
         if frontier_size == 0 {
             break;
         }
     }
-    let distances = dist
+    let distances: Vec<Option<f64>> = dist
         .into_iter()
         .map(|d| if d >= inf { None } else { Some(d) })
         .collect();
-    let metrics = exec.take_metrics();
+    let mut metrics = exec.take_metrics();
     tracer.finish(trace.as_ref(), &metrics);
+    // One attribution row for the single query — set after the tracer so
+    // telemetry observes the same Metrics deltas as before. A fused run
+    // produces the exact same row for this query's lane.
+    metrics.lanes = vec![LaneCounters {
+        iterations: metrics.iterations as u64,
+        frontier_total,
+        frontier_peak,
+        settled: distances.iter().filter(|d| d.is_some()).count() as u64,
+    }];
     Ok(TraversalRun { distances, metrics })
+}
+
+// -------------------------------- Fused multi-source traversals (lanes)
+
+/// Options for a fused multi-source traversal: one lane per source, all
+/// advanced by a single scan of each iteration's union-planned edge
+/// stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneTraversalOptions {
+    /// One source vertex per lane (duplicates allowed; lanes stay
+    /// independent). Must hold between 1 and [`MAX_LANES`] entries —
+    /// callers with more queries split them into waves (see
+    /// `graphr-serve`).
+    pub sources: Vec<u32>,
+    /// Iteration cap; `None` = `|V|` rounds (the Bellman-Ford bound).
+    pub max_iterations: Option<usize>,
+    /// Label format, as in [`TraversalOptions::spec`].
+    pub spec: FixedSpec,
+}
+
+impl LaneTraversalOptions {
+    /// Options for `sources` with the defaults of [`TraversalOptions`].
+    #[must_use]
+    pub fn new(sources: Vec<u32>) -> Self {
+        LaneTraversalOptions {
+            sources,
+            max_iterations: None,
+            spec: FixedSpec::new(16, 0).expect("Q16.0 is valid"),
+        }
+    }
+}
+
+/// Result of a fused multi-source traversal run (BFS, SSSP).
+///
+/// The machine-level [`Metrics`] account the *fused* run — one streamed
+/// union plan per iteration serving every lane. Per-query attribution
+/// lives in [`Metrics::lanes`]: row `q` holds exactly the counters an
+/// independent run of query `q` would have produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneRun {
+    /// Per-lane distance labels; `None` = unreachable.
+    pub distances: Vec<Vec<Option<f64>>>,
+    /// Fused accounting, with per-lane attribution in [`Metrics::lanes`].
+    pub metrics: Metrics,
+}
+
+/// Result of a fused connected-components run (K lanes of label
+/// propagation; see [`run_wcc_lanes_with`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WccLaneRun {
+    /// Per-lane component labels.
+    pub labels: Vec<Vec<u32>>,
+    /// Per-lane distinct-component counts.
+    pub num_components: Vec<usize>,
+    /// Fused accounting, with per-lane attribution in [`Metrics::lanes`].
+    pub metrics: Metrics,
+}
+
+/// Validates a lane count for the fused drivers.
+fn check_lane_count(k: usize) -> Result<(), SimError> {
+    if k == 0 || k > MAX_LANES {
+        return Err(SimError::Config(ConfigError::new(format!(
+            "fused runs take 1..={MAX_LANES} lanes, got {k}"
+        ))));
+    }
+    Ok(())
+}
+
+/// Runs K BFS queries fused on GraphR: one lane per source, every
+/// iteration's union plan streamed once for all lanes.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadSource`] for an out-of-range source,
+/// [`SimError::Config`] for invalid configurations or a lane count
+/// outside `1..=`[`MAX_LANES`].
+pub fn run_bfs_lanes(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    opts: &LaneTraversalOptions,
+) -> Result<LaneRun, SimError> {
+    check_lane_count(opts.sources.len())?;
+    let tiled = TiledGraph::preprocess(graph, config)?;
+    let mut exec = StreamingExecutor::new(&tiled, config, opts.spec);
+    run_bfs_lanes_with(graph, &mut exec, opts)
+}
+
+/// Runs K BFS queries fused on any [`ScanEngine`] (the generic core of
+/// [`run_bfs_lanes`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadSource`] for an out-of-range source and
+/// [`SimError::Config`] for a lane count outside `1..=`[`MAX_LANES`].
+pub fn run_bfs_lanes_with(
+    graph: &EdgeList,
+    exec: &mut dyn ScanEngine,
+    opts: &LaneTraversalOptions,
+) -> Result<LaneRun, SimError> {
+    run_add_op_lanes_with(graph, exec, opts, &|_w, _s, _d| 1.0, &|du, w| du + w)
+}
+
+/// Runs K SSSP queries fused on GraphR.
+///
+/// # Errors
+///
+/// As [`run_bfs_lanes`], plus [`SimError::BadWeight`] for weights below 1.
+pub fn run_sssp_lanes(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    opts: &LaneTraversalOptions,
+) -> Result<LaneRun, SimError> {
+    check_lane_count(opts.sources.len())?;
+    check_sssp_weights(graph)?;
+    let tiled = TiledGraph::preprocess(graph, config)?;
+    let mut exec = StreamingExecutor::new(&tiled, config, opts.spec);
+    run_sssp_lanes_with(graph, &mut exec, opts)
+}
+
+/// Runs K SSSP queries fused on any [`ScanEngine`] (the generic core of
+/// [`run_sssp_lanes`]).
+///
+/// # Errors
+///
+/// As [`run_bfs_lanes_with`], plus [`SimError::BadWeight`] for weights
+/// below 1.
+pub fn run_sssp_lanes_with(
+    graph: &EdgeList,
+    exec: &mut dyn ScanEngine,
+    opts: &LaneTraversalOptions,
+) -> Result<LaneRun, SimError> {
+    check_sssp_weights(graph)?;
+    run_add_op_lanes_with(graph, exec, opts, &|w, _s, _d| f64::from(w), &|du, w| {
+        du + w
+    })
+}
+
+fn run_add_op_lanes_with(
+    graph: &EdgeList,
+    exec: &mut dyn ScanEngine,
+    opts: &LaneTraversalOptions,
+    value: &(dyn Fn(f32, u32, u32) -> f64 + Sync),
+    combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+) -> Result<LaneRun, SimError> {
+    let n = graph.num_vertices();
+    let k = opts.sources.len();
+    check_lane_count(k)?;
+    for &source in &opts.sources {
+        if (source as usize) >= n {
+            return Err(SimError::BadSource {
+                source,
+                num_vertices: n,
+            });
+        }
+    }
+    let inf = opts.spec.max_value();
+    let mut dists = vec![vec![inf; n]; k];
+    let mut active = LaneFrontier::new(n, k);
+    for (q, &source) in opts.sources.iter().enumerate() {
+        dists[q][source as usize] = 0.0;
+        active.set(q, source as usize);
+    }
+    let cap = opts.max_iterations.unwrap_or(n.max(1));
+    let (dists, mut metrics) = run_lanes_loop(exec, value, combine, dists, active, cap);
+    let distances: Vec<Vec<Option<f64>>> = dists
+        .into_iter()
+        .map(|d| {
+            d.into_iter()
+                .map(|x| if x >= inf { None } else { Some(x) })
+                .collect()
+        })
+        .collect();
+    for (lane, dist) in metrics.lanes.iter_mut().zip(&distances) {
+        lane.settled = dist.iter().filter(|d| d.is_some()).count() as u64;
+    }
+    Ok(LaneRun { distances, metrics })
+}
+
+/// Runs K fused lanes of connected-components label propagation on
+/// GraphR. WCC takes no source, so the lanes start (and stay) identical —
+/// the point is serving K *queued queries* from one streamed run, with
+/// each query getting its own attribution row.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations, an oversized
+/// graph (see [`run_wcc`]), or a lane count outside `1..=`[`MAX_LANES`].
+pub fn run_wcc_lanes(
+    graph: &EdgeList,
+    config: &GraphRConfig,
+    k: usize,
+) -> Result<WccLaneRun, SimError> {
+    check_lane_count(k)?;
+    let sym = symmetrised(graph);
+    let tiled = TiledGraph::preprocess(&sym, config)?;
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    let mut exec = StreamingExecutor::new(&tiled, config, spec);
+    run_wcc_lanes_with(graph, &mut exec, k)
+}
+
+/// Runs K fused WCC lanes on any [`ScanEngine`] (the generic core of
+/// [`run_wcc_lanes`]). The engine must have been built over a
+/// preprocessing of the [`symmetrised`] graph with a Q16.0 format.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for an oversized graph or a lane count
+/// outside `1..=`[`MAX_LANES`].
+pub fn run_wcc_lanes_with(
+    graph: &EdgeList,
+    exec: &mut dyn ScanEngine,
+    k: usize,
+) -> Result<WccLaneRun, SimError> {
+    check_lane_count(k)?;
+    let n = graph.num_vertices();
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    if n as f64 > spec.max_value() {
+        return Err(SimError::Config(ConfigError::new(format!(
+            "WCC labels vertices by id; {n} vertices exceed the 16-bit format"
+        ))));
+    }
+    let value = |_w: f32, _s: u32, _d: u32| 1.0; // presence marker
+    let combine = |du: f64, _w: f64| du; // forward the label unchanged
+    let init: Vec<f64> = (0..n).map(|v| v as f64).collect();
+    let dists = vec![init; k];
+    let active = LaneFrontier::full(n, k);
+    let (labels_f, mut metrics) = run_lanes_loop(exec, &value, &combine, dists, active, n.max(1));
+    let labels: Vec<Vec<u32>> = labels_f
+        .into_iter()
+        .map(|l| l.iter().map(|&x| x as u32).collect())
+        .collect();
+    let num_components: Vec<usize> = labels
+        .iter()
+        .map(|l| {
+            let mut distinct = l.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            distinct.len()
+        })
+        .collect();
+    for (lane, l) in metrics.lanes.iter_mut().zip(&labels) {
+        lane.settled = l
+            .iter()
+            .enumerate()
+            .filter(|&(v, &label)| (label as usize) < v)
+            .count() as u64;
+    }
+    Ok(WccLaneRun {
+        labels,
+        num_components,
+        metrics,
+    })
+}
+
+/// The shared fused iteration loop: plans the *union* frontier (with the
+/// same delta protocol as the single-query loops), advances every lane
+/// through one [`ScanEngine::scan_add_op_lanes_planned`] call per round,
+/// and recovers per-lane attribution from the lane masks. A lane
+/// participates in a round iff its pre-scan frontier is nonempty — the
+/// exact rounds an independent run of that query would have executed, so
+/// its [`LaneCounters`] row (and its [`TraceData::Lane`] event count)
+/// matches the independent run's.
+fn run_lanes_loop(
+    exec: &mut dyn ScanEngine,
+    value: &(dyn Fn(f32, u32, u32) -> f64 + Sync),
+    combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+    mut dists: Vec<Vec<f64>>,
+    mut active: LaneFrontier,
+    cap: usize,
+) -> (Vec<Vec<f64>>, Metrics) {
+    let n = active.num_vertices();
+    let k = active.num_lanes();
+    let trace = exec.trace().cloned();
+    let mut tracer = IterTracer::new();
+    let mut counters = vec![LaneCounters::default(); k];
+    let mut delta: Option<FrontierDelta> = None;
+    for round in 0..cap {
+        let plan = match &delta {
+            Some(d) => exec.plan_with_delta(active.union(), d),
+            None => exec.plan(Some(active.union())),
+        };
+        let participating: Vec<bool> = (0..k).map(|q| !active.lane_is_empty(q)).collect();
+        let mut frontiers = dists.clone();
+        let mut updated = LaneFrontier::new(n, k);
+        exec.scan_add_op_lanes_planned(
+            &plan,
+            value,
+            combine,
+            &dists,
+            &active,
+            &mut frontiers,
+            &mut updated,
+        );
+        exec.end_iteration();
+        dists = frontiers;
+        delta = Some(FrontierDelta::between(active.union(), updated.union()));
+        active = updated;
+        for (q, counter) in counters.iter_mut().enumerate() {
+            if participating[q] {
+                counter.iterations += 1;
+            }
+            let size = active.lane_len(q);
+            counter.frontier_total += size;
+            counter.frontier_peak = counter.frontier_peak.max(size);
+        }
+        let union_size = active.union().len() as u64;
+        tracer.record(trace.as_ref(), exec.metrics(), Some(union_size));
+        if let Some(trace) = &trace {
+            for (q, &went) in participating.iter().enumerate() {
+                if went {
+                    trace.emit(TraceData::Lane {
+                        lane: q as u32,
+                        iteration: round as u64,
+                        frontier: active.lane_len(q),
+                    });
+                }
+            }
+        }
+        if union_size == 0 {
+            break;
+        }
+    }
+    let mut metrics = exec.take_metrics();
+    tracer.finish(trace.as_ref(), &metrics);
+    // Attribution rows go in after the tracer, like the single-query
+    // drivers' — telemetry deltas never see them.
+    metrics.lanes = counters;
+    (dists, metrics)
 }
 
 // -------------------------------------------------------------------- WCC
@@ -651,6 +993,8 @@ pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRu
     let mut active = FrontierMask::full(n);
     let trace = exec.trace().cloned();
     let mut tracer = IterTracer::new();
+    let mut frontier_total = 0u64;
+    let mut frontier_peak = 0u64;
     let mut delta: Option<FrontierDelta> = None;
     for _round in 0..n.max(1) {
         // Label propagation converges region by region: later rounds have
@@ -677,6 +1021,8 @@ pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRu
         delta = Some(FrontierDelta::between(&active, &updated));
         active = updated;
         let frontier_size = active.len() as u64;
+        frontier_total += frontier_size;
+        frontier_peak = frontier_peak.max(frontier_size);
         tracer.record(trace.as_ref(), exec.metrics(), Some(frontier_size));
         if frontier_size == 0 {
             break;
@@ -686,8 +1032,21 @@ pub fn run_wcc_with(graph: &EdgeList, exec: &mut dyn ScanEngine) -> Result<WccRu
     let mut distinct = labels.clone();
     distinct.sort_unstable();
     distinct.dedup();
-    let metrics = exec.take_metrics();
+    let mut metrics = exec.take_metrics();
     tracer.finish(trace.as_ref(), &metrics);
+    // One attribution row, set after the tracer (see `run_add_op_with`).
+    // "Settled" for label propagation = vertices relabelled below their
+    // own id.
+    metrics.lanes = vec![LaneCounters {
+        iterations: metrics.iterations as u64,
+        frontier_total,
+        frontier_peak,
+        settled: labels
+            .iter()
+            .enumerate()
+            .filter(|&(v, &l)| (l as usize) < v)
+            .count() as u64,
+    }];
     Ok(WccRun {
         num_components: distinct.len(),
         labels,
@@ -1189,6 +1548,70 @@ mod tests {
         assert_eq!(dense.distances, pruned.distances);
         assert!(dense.metrics.events.bytes_streamed > pruned.metrics.events.bytes_streamed);
         assert!(dense.metrics.elapsed > pruned.metrics.elapsed);
+    }
+
+    #[test]
+    fn fused_bfs_matches_independent_runs() {
+        let g = Rmat::new(80, 400).seed(3).generate();
+        let cfg = test_config();
+        let sources = vec![0u32, 5, 17, 17, 42];
+        let fused = run_bfs_lanes(&g, &cfg, &LaneTraversalOptions::new(sources.clone())).unwrap();
+        assert_eq!(fused.metrics.lanes.len(), sources.len());
+        let mut solo_bytes = 0u64;
+        for (q, &s) in sources.iter().enumerate() {
+            let solo = run_bfs(
+                &g,
+                &cfg,
+                &TraversalOptions {
+                    source: s,
+                    ..TraversalOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(fused.distances[q], solo.distances, "lane {q}");
+            assert_eq!(fused.metrics.lanes[q], solo.metrics.lanes[0], "lane {q}");
+            solo_bytes += solo.metrics.events.bytes_streamed;
+        }
+        assert!(
+            fused.metrics.events.bytes_streamed < solo_bytes,
+            "fusing must share the streamed union plan: {} vs {solo_bytes}",
+            fused.metrics.events.bytes_streamed
+        );
+    }
+
+    #[test]
+    fn fused_sssp_single_lane_is_the_unfused_run() {
+        let g = Rmat::new(70, 350).seed(8).max_weight(32).generate();
+        let cfg = test_config();
+        let fused = run_sssp_lanes(&g, &cfg, &LaneTraversalOptions::new(vec![0])).unwrap();
+        let solo = run_sssp(&g, &cfg, &TraversalOptions::default()).unwrap();
+        assert_eq!(fused.distances[0], solo.distances);
+        assert_eq!(fused.metrics, solo.metrics, "K=1 must be the unfused run");
+    }
+
+    #[test]
+    fn fused_wcc_lanes_match_single_run() {
+        let g = Rmat::new(60, 150).seed(7).generate();
+        let cfg = test_config();
+        let fused = run_wcc_lanes(&g, &cfg, 3).unwrap();
+        let solo = run_wcc(&g, &cfg).unwrap();
+        for q in 0..3 {
+            assert_eq!(fused.labels[q], solo.labels);
+            assert_eq!(fused.num_components[q], solo.num_components);
+            assert_eq!(fused.metrics.lanes[q], solo.metrics.lanes[0]);
+        }
+    }
+
+    #[test]
+    fn fused_rejects_zero_and_oversized_lane_counts() {
+        let g = cycle(6);
+        let cfg = test_config();
+        let err = run_bfs_lanes(&g, &cfg, &LaneTraversalOptions::new(vec![])).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+        let err = run_bfs_lanes(&g, &cfg, &LaneTraversalOptions::new(vec![0; 65])).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+        let err = run_bfs_lanes(&g, &cfg, &LaneTraversalOptions::new(vec![0, 99])).unwrap_err();
+        assert!(matches!(err, SimError::BadSource { .. }));
     }
 
     #[test]

@@ -127,6 +127,20 @@ pub enum TraceData {
     /// carries every counter family and would otherwise dominate the
     /// size of every event in the sink).
     Iteration(Box<IterationSnapshot>),
+    /// One lane's post-iteration frontier population in a fused
+    /// multi-query traversal (see
+    /// [`LaneFrontier`](crate::exec::lanes::LaneFrontier)): emitted per
+    /// active lane per iteration by the fused drivers, so per-query
+    /// iteration counts are recoverable from the trace alone.
+    Lane {
+        /// Lane (query) index within the fused batch.
+        lane: u32,
+        /// Iteration index within the run (0-based, matching the
+        /// surrounding [`TraceData::Iteration`] events).
+        iteration: u64,
+        /// The lane's frontier population after the iteration.
+        frontier: u64,
+    },
 }
 
 /// The payload of a [`TraceData::Iteration`] event: one iteration's
@@ -392,9 +406,11 @@ impl TraceSink {
                         );
                     }
                 }
-                // Plan events cost host time only; they have no simulated
-                // extent, so the simulated timeline omits them.
-                TraceData::Plan { .. } => {}
+                // Plan events cost host time only, and lane events are
+                // per-query annotations of the surrounding iteration;
+                // neither has a simulated extent of its own, so the
+                // simulated timeline omits them.
+                TraceData::Plan { .. } | TraceData::Lane { .. } => {}
             }
         }
         out.push_str("]}");
@@ -670,9 +686,24 @@ impl Metrics {
         write_net_counters(&mut out, &self.net);
         out.push_str(",\"plan\":");
         write_plan_counters(&mut out, &self.plan);
-        out.push('}');
+        out.push_str(",\"lanes\":[");
+        for (q, lane) in self.lanes.iter().enumerate() {
+            if q > 0 {
+                out.push(',');
+            }
+            write_lane_counters(&mut out, lane);
+        }
+        out.push_str("]}");
         out
     }
+}
+
+fn write_lane_counters(out: &mut String, l: &crate::metrics::LaneCounters) {
+    out.push_str(&format!(
+        "{{\"iterations\":{},\"frontier_total\":{},\"frontier_peak\":{},\
+         \"settled\":{}}}",
+        l.iterations, l.frontier_total, l.frontier_peak, l.settled
+    ));
 }
 
 fn write_cost_breakdown(out: &mut String, c: &graphr_reram::CostBreakdown) {
@@ -812,6 +843,13 @@ fn write_jsonl_event(out: &mut String, ev: &TraceEvent) {
             "\"type\":\"exchange\",\"start_ns\":{},\"duration_ns\":{},\"bytes\":{bytes}",
             start.as_nanos(),
             duration.as_nanos()
+        )),
+        TraceData::Lane {
+            lane,
+            iteration,
+            frontier,
+        } => out.push_str(&format!(
+            "\"type\":\"lane\",\"lane\":{lane},\"iteration\":{iteration},\"frontier\":{frontier}"
         )),
         TraceData::Iteration(snap) => {
             out.push_str(&format!(

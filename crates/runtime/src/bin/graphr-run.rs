@@ -1,7 +1,7 @@
 //! `graphr-run` — execute a job file against a GraphR runtime session and
 //! print a metrics report.
 //!
-//! Usage: `graphr-run <JOBFILE> [--threads N] [--serial]
+//! Usage: `graphr-run <JOBFILE> [--threads N] [--serial] [--batch]
 //! [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N|single]
 //! [--owner rr|degree] [--trace PATH] [--report text|json]`
 //!
@@ -13,6 +13,7 @@
 //! dataset <name> table3 <TAG> <scale>
 //! threads <n>
 //! mode serial|parallel
+//! batch on|off
 //! disk sata|nvme|sata-seg|nvme-seg|none
 //! nodes <n>|single
 //! owner rr|degree
@@ -21,7 +22,17 @@
 //! ```
 //!
 //! Apps: `pagerank` (damping=, iterations=, tolerance=), `spmv`,
-//! `bfs`/`sssp` (source=), `wcc`, `cf` (features=, epochs=). The `disk`
+//! `bfs`/`sssp` (source= or sources=a,b,c — a comma list expands to one
+//! query per source), `wcc`, `cf` (features=, epochs=). The `batch`
+//! directive (or `--batch`) runs the file through the `graphr-serve`
+//! scheduler instead of one submission per job: every query enters the
+//! serve queue and a single drain coalesces compatible queued traversals
+//! (same graph, app, options, and execution settings) into **fused
+//! waves** — one frontier lane per query, one scan of each iteration's
+//! union plan for all of them — printing which wave ran each query and
+//! how many lanes it shared. Results are bit-identical to the unbatched
+//! run; fused reports show the wave's machine totals plus the query's
+//! own `query:` attribution line. The `disk`
 //! directive (overridable with `--disk`) runs every job in the
 //! out-of-core regime: scans price their disk loading plan-aware and the
 //! reports gain a disk-vs-compute breakdown (the `-seg` variants charge
@@ -57,7 +68,7 @@ use graphr_core::GraphRConfig;
 use graphr_graph::generators::bipartite::RatingMatrix;
 use graphr_graph::generators::rmat::Rmat;
 use graphr_graph::{DatasetSpec, GraphHandle};
-use graphr_runtime::{ExecMode, Job, JobSpec, Session};
+use graphr_runtime::{ExecMode, Job, JobSpec, ServeConfig, Server, Session};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,12 +82,13 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    const USAGE: &str = "usage: graphr-run <JOBFILE> [--threads N] [--serial] \
+    const USAGE: &str = "usage: graphr-run <JOBFILE> [--threads N] [--serial] [--batch] \
                          [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N] \
                          [--owner rr|degree] [--trace PATH] [--report text|json]";
     let mut path = None;
     let mut threads_override = None;
     let mut force_serial = false;
+    let mut force_batch = false;
     let mut disk_override = None;
     let mut nodes_override = None;
     let mut owner_override = None;
@@ -90,6 +102,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 threads_override = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
             }
             "--serial" => force_serial = true,
+            "--batch" => force_batch = true,
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a path (or 'off')")?;
                 trace_override = Some(parse_trace(v));
@@ -155,14 +168,16 @@ fn run(args: &[String]) -> Result<(), String> {
         plan.mode
     };
 
+    let batch = force_batch || plan.batch;
     if !report_json {
         println!(
-            "session: {} worker threads, {} mode, {} storage, {}, {} datasets, {} jobs",
+            "session: {} worker threads, {} mode{}, {} storage, {}, {} datasets, {} jobs",
             session.threads(),
             match mode {
                 ExecMode::Serial => "serial",
                 ExecMode::Parallel => "parallel",
             },
+            if batch { " (serve batch)" } else { "" },
             match disk {
                 None => "in-core".to_owned(),
                 Some(d) => format!("out-of-core ({:.1} GB/s disk)", d.sequential_gbps),
@@ -178,32 +193,92 @@ fn run(args: &[String]) -> Result<(), String> {
     let start = Instant::now();
     let mut failures = 0usize;
     let mut jobs_json: Vec<String> = Vec::new();
-    for (index, job) in plan.jobs.iter().enumerate() {
-        let job = job.clone().with_mode(mode);
-        match session.submit(&job) {
-            Ok(report) => {
-                if report_json {
-                    jobs_json.push(report.to_json());
-                } else {
-                    println!("\n[{}] {report}", index + 1);
+    let mut serve_stats = None;
+    if batch {
+        // Serve mode: every query enters the scheduler's queue, one drain
+        // coalesces compatible traversals into fused waves. Results come
+        // back in submission order either way.
+        let mut server = Server::new(ServeConfig::default());
+        for job in &plan.jobs {
+            server
+                .enqueue(job.clone().with_mode(mode))
+                .map_err(|e| e.to_string())?;
+        }
+        for result in server.drain(&session) {
+            let index = result.id as usize;
+            let job = &plan.jobs[index];
+            match &result.report {
+                Ok(report) => {
+                    if report_json {
+                        jobs_json.push(format!(
+                            "{{\"wave\":{},\"lanes\":{},\"report\":{}}}",
+                            result.wave,
+                            result.lanes,
+                            report.to_json()
+                        ));
+                    } else {
+                        println!(
+                            "\n[{}] wave {} ({} lane{}) {report}",
+                            index + 1,
+                            result.wave,
+                            result.lanes,
+                            if result.lanes == 1 { "" } else { "s" }
+                        );
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    if report_json {
+                        jobs_json.push(format!(
+                            "{{\"wave\":{},\"lanes\":{},\"report\":{{\"app\":\"{}\",\
+                             \"graph\":\"{}\",\"error\":\"{}\"}}}}",
+                            result.wave,
+                            result.lanes,
+                            json_escape(job.spec.name()),
+                            json_escape(&job.graph.id().to_string()),
+                            json_escape(&e.to_string())
+                        ));
+                    } else {
+                        println!(
+                            "\n[{}] wave {} {} on {} FAILED: {e}",
+                            index + 1,
+                            result.wave,
+                            job.spec.name(),
+                            job.graph.id()
+                        );
+                    }
                 }
             }
-            Err(e) => {
-                failures += 1;
-                if report_json {
-                    jobs_json.push(format!(
-                        "{{\"app\":\"{}\",\"graph\":\"{}\",\"error\":\"{}\"}}",
-                        json_escape(job.spec.name()),
-                        json_escape(&job.graph.id().to_string()),
-                        json_escape(&e.to_string())
-                    ));
-                } else {
-                    println!(
-                        "\n[{}] {} on {} FAILED: {e}",
-                        index + 1,
-                        job.spec.name(),
-                        job.graph.id()
-                    );
+        }
+        serve_stats = Some(server.stats());
+    } else {
+        for (index, job) in plan.jobs.iter().enumerate() {
+            let job = job.clone().with_mode(mode);
+            match session.submit(&job) {
+                Ok(report) => {
+                    if report_json {
+                        jobs_json.push(report.to_json());
+                    } else {
+                        println!("\n[{}] {report}", index + 1);
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    if report_json {
+                        jobs_json.push(format!(
+                            "{{\"app\":\"{}\",\"graph\":\"{}\",\"error\":\"{}\"}}",
+                            json_escape(job.spec.name()),
+                            json_escape(&job.graph.id().to_string()),
+                            json_escape(&e.to_string())
+                        ));
+                    } else {
+                        println!(
+                            "\n[{}] {} on {} FAILED: {e}",
+                            index + 1,
+                            job.spec.name(),
+                            job.graph.id()
+                        );
+                    }
                 }
             }
         }
@@ -228,9 +303,16 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     let stats = session.cache_stats();
     if report_json {
+        let serve_json = match &serve_stats {
+            Some(s) => format!(
+                ",\"serve\":{{\"waves\":{},\"fused\":{},\"solo\":{}}}",
+                s.waves, s.fused, s.solo
+            ),
+            None => String::new(),
+        };
         println!(
             "{{\"jobs\":[{}],\"failures\":{failures},\"host_wall_s\":{},\
-             \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}}}",
+             \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}{serve_json}}}",
             jobs_json.join(","),
             elapsed.as_secs_f64(),
             stats.hits,
@@ -238,6 +320,12 @@ fn run(args: &[String]) -> Result<(), String> {
             stats.entries
         );
     } else {
+        if let Some(s) = &serve_stats {
+            println!(
+                "\nserve: {} fused wave(s); {} quer(ies) fused / {} solo",
+                s.waves, s.fused, s.solo
+            );
+        }
         println!(
             "\ntotal: {} jobs in {:.3} s; tiler cache {} hits / {} misses / {} entries",
             plan.jobs.len(),
@@ -258,6 +346,7 @@ struct Plan {
     jobs: Vec<Job>,
     threads: Option<usize>,
     mode: ExecMode,
+    batch: bool,
     disk: Option<DiskModel>,
     nodes: Option<usize>,
     owner: OwnerPolicy,
@@ -319,6 +408,7 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
         jobs: Vec::new(),
         threads: None,
         mode: ExecMode::Parallel,
+        batch: false,
         disk: None,
         nodes: None,
         owner: OwnerPolicy::default(),
@@ -347,6 +437,11 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
                 Some("parallel") => plan.mode = ExecMode::Parallel,
                 other => return Err(err(format!("unknown mode {other:?}"))),
             },
+            "batch" => match fields.get(1).copied() {
+                Some("on") | None => plan.batch = true,
+                Some("off") => plan.batch = false,
+                other => return Err(err(format!("unknown batch setting {other:?} (on|off)"))),
+            },
             "disk" => {
                 let v = fields.get(1).ok_or_else(|| {
                     err("disk needs a value (sata|nvme|sata-seg|nvme-seg|none)".into())
@@ -372,8 +467,8 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
                 plan.trace = parse_trace(v);
             }
             "job" => {
-                let job = parse_job(&fields, &plan.datasets).map_err(err)?;
-                plan.jobs.push(job);
+                let jobs = parse_job(&fields, &plan.datasets).map_err(err)?;
+                plan.jobs.extend(jobs);
             }
             other => return Err(err(format!("unknown directive '{other}'"))),
         }
@@ -436,7 +531,10 @@ fn parse_dataset(fields: &[&str]) -> Result<(String, GraphHandle), String> {
     Ok((name, handle))
 }
 
-fn parse_job(fields: &[&str], datasets: &HashMap<String, GraphHandle>) -> Result<Job, String> {
+/// Parses one `job` line into the queries it declares. Most lines are a
+/// single job; `bfs`/`sssp` lines may say `sources=a,b,c` to expand into
+/// one query per source (what the serve scheduler fuses in batch mode).
+fn parse_job(fields: &[&str], datasets: &HashMap<String, GraphHandle>) -> Result<Vec<Job>, String> {
     let app = fields.get(1).copied().ok_or("job needs an app")?;
     let dataset = fields.get(2).copied().ok_or("job needs a dataset")?;
     let handle = datasets
@@ -460,47 +558,62 @@ fn parse_job(fields: &[&str], datasets: &HashMap<String, GraphHandle>) -> Result
             v.parse().map_err(|e| format!("{key}: {e}"))
         })
     };
-    let spec = match app {
+    let specs = match app {
         "pagerank" => {
             let defaults = PageRankOptions::default();
-            JobSpec::PageRank(PageRankOptions {
+            vec![JobSpec::PageRank(PageRankOptions {
                 damping: f64_opt("damping", defaults.damping)?,
                 max_iterations: usize_opt("iterations", defaults.max_iterations)?,
                 tolerance: f64_opt("tolerance", defaults.tolerance)?,
                 ..defaults
-            })
+            })]
         }
-        "spmv" => JobSpec::Spmv(SpmvOptions::default()),
+        "spmv" => vec![JobSpec::Spmv(SpmvOptions::default())],
         "bfs" | "sssp" => {
             let defaults = TraversalOptions::default();
-            let traversal = TraversalOptions {
-                source: usize_opt("source", defaults.source as usize)? as u32,
-                ..defaults
-            };
-            if app == "bfs" {
-                JobSpec::Bfs(traversal)
-            } else {
-                JobSpec::Sssp(traversal)
+            if opts.contains_key("source") && opts.contains_key("sources") {
+                return Err("give either source= or sources=, not both".into());
             }
+            let sources: Vec<u32> = match opts.get("sources") {
+                Some(list) => list
+                    .split(',')
+                    .map(|v| v.parse().map_err(|e| format!("sources: '{v}': {e}")))
+                    .collect::<Result<_, String>>()?,
+                None => vec![usize_opt("source", defaults.source as usize)? as u32],
+            };
+            if sources.is_empty() {
+                return Err("sources= names no source".into());
+            }
+            sources
+                .into_iter()
+                .map(|source| {
+                    let traversal = TraversalOptions { source, ..defaults };
+                    if app == "bfs" {
+                        JobSpec::Bfs(traversal)
+                    } else {
+                        JobSpec::Sssp(traversal)
+                    }
+                })
+                .collect()
         }
-        "wcc" => JobSpec::Wcc,
+        "wcc" => vec![JobSpec::Wcc],
         "cf" => {
             let defaults = CfOptions::default();
-            JobSpec::Cf(CfOptions {
+            vec![JobSpec::Cf(CfOptions {
                 features: usize_opt("features", defaults.features)?,
                 epochs: usize_opt("epochs", defaults.epochs)?,
                 learning_rate: f64_opt("learning_rate", defaults.learning_rate)?,
                 ..defaults
-            })
+            })]
         }
         other => return Err(format!("unknown app '{other}'")),
     };
     // A typo'd option must be an error, not a silent fall-back to the
     // default value.
-    let allowed: &[&str] = match &spec {
+    let allowed: &[&str] = match &specs[0] {
         JobSpec::PageRank(_) => &["damping", "iterations", "tolerance"],
         JobSpec::Spmv(_) | JobSpec::Wcc => &[],
-        JobSpec::Bfs(_) | JobSpec::Sssp(_) => &["source"],
+        JobSpec::Bfs(_) | JobSpec::Sssp(_) => &["source", "sources"],
         JobSpec::Cf(_) => &["features", "epochs", "learning_rate"],
     };
     for key in opts.keys() {
@@ -515,5 +628,8 @@ fn parse_job(fields: &[&str], datasets: &HashMap<String, GraphHandle>) -> Result
             ));
         }
     }
-    Ok(Job::new(handle, spec))
+    Ok(specs
+        .into_iter()
+        .map(|spec| Job::new(handle.clone(), spec))
+        .collect())
 }

@@ -102,6 +102,18 @@ impl TraceChoice {
             TraceChoice::Sink(sink) => Some(Arc::clone(sink)),
         }
     }
+
+    /// Whether two choices route telemetry identically (sinks compare by
+    /// identity, not contents — two distinct sinks never coalesce).
+    #[must_use]
+    pub fn same_route(&self, other: &TraceChoice) -> bool {
+        match (self, other) {
+            (TraceChoice::Inherit, TraceChoice::Inherit) => true,
+            (TraceChoice::Off, TraceChoice::Off) => true,
+            (TraceChoice::Sink(a), TraceChoice::Sink(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
 /// What to run — one variant per evaluated application (plus the WCC
@@ -242,6 +254,38 @@ impl Job {
     pub fn untraced(mut self) -> Self {
         self.trace = TraceChoice::Off;
         self
+    }
+
+    /// Whether this job's application can ride a fused multi-source wave
+    /// at all: only the parallel-add-op traversals (BFS, SSSP, WCC) map
+    /// onto frontier lanes. PageRank/SpMV/CF always run alone.
+    #[must_use]
+    pub fn is_fusable(&self) -> bool {
+        matches!(self.spec, JobSpec::Bfs(_) | JobSpec::Sssp(_) | JobSpec::Wcc)
+    }
+
+    /// Whether `other` may share one fused run with this job: both must
+    /// be fusable, on the same graph, running the same application with
+    /// the same non-source options, under identical execution settings
+    /// (mode, architectural config, disk, cluster, and telemetry route).
+    /// Only the source vertex may differ — that is what the lanes carry.
+    #[must_use]
+    pub fn fusable_with(&self, other: &Job) -> bool {
+        let same_spec = match (&self.spec, &other.spec) {
+            (JobSpec::Bfs(a), JobSpec::Bfs(b)) | (JobSpec::Sssp(a), JobSpec::Sssp(b)) => {
+                a.max_iterations == b.max_iterations && a.spec == b.spec
+            }
+            (JobSpec::Wcc, JobSpec::Wcc) => true,
+            _ => false,
+        };
+        same_spec
+            && self.is_fusable()
+            && self.graph.id() == other.graph.id()
+            && self.mode == other.mode
+            && self.config == other.config
+            && self.disk == other.disk
+            && self.cluster == other.cluster
+            && self.trace.same_route(&other.trace)
     }
 }
 
@@ -419,6 +463,15 @@ impl JobReport {
             d.summary_skips,
             d.delta_words,
         );
+        if let [lane] = m.lanes.as_slice() {
+            // Traversal reports carry the query's own attribution row —
+            // under a fused wave this is the only per-query accounting
+            // (the machine-level counters above are the wave's totals).
+            report.push_str(&format!(
+                "\n  query:      {} iterations, frontier Σ {} / peak {}, {} settled",
+                lane.iterations, lane.frontier_total, lane.frontier_peak, lane.settled,
+            ));
+        }
         if m.disk.is_active() {
             let dc = &m.disk;
             if m.net.is_active() {

@@ -37,6 +37,13 @@
 //!   [`Job::with_trace`](job::Job::with_trace)) collecting every run's
 //!   per-iteration trace events on the simulated clock, exportable as
 //!   JSONL or a Chrome/Perfetto timeline (see `graphr_core::trace`).
+//! * [`serve`] — the `graphr-serve` scheduler on top of the session: a
+//!   bounded FIFO query queue with admission control whose
+//!   [`Server::drain`](serve::Server::drain) coalesces compatible queued
+//!   traversal queries into **fused waves** — one frontier lane per
+//!   query, one scan of each iteration's union plan for all of them
+//!   ([`Session::submit_fused`](session::Session::submit_fused)), with
+//!   per-query attribution and answers bit-identical to solo runs.
 //! * [`job`] — [`JobSpec`] covers all five evaluated
 //!   applications (PageRank, SpMV, BFS, SSSP, CF) plus the WCC extension;
 //!   [`JobReport`] carries the functional result, the
@@ -77,10 +84,12 @@
 pub mod job;
 pub mod parallel;
 pub mod pool;
+pub mod serve;
 pub mod session;
 
 pub use job::{
     ClusterChoice, DiskChoice, ExecMode, Job, JobOutput, JobReport, JobSpec, TraceChoice,
 };
 pub use parallel::ParallelExecutor;
+pub use serve::{AdmissionError, QueryResult, ServeConfig, ServeStats, Server};
 pub use session::{CacheStats, GraphVariant, RuntimeError, Session};

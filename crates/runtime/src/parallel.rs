@@ -21,6 +21,7 @@
 
 use std::sync::Arc;
 
+use graphr_core::exec::lanes::LaneFrontier;
 use graphr_core::exec::mask::{FrontierDelta, FrontierMask};
 use graphr_core::exec::plan::{PlanSkeleton, ScanPlan};
 use graphr_core::exec::planner::Planner;
@@ -315,6 +316,127 @@ impl ScanEngine for ParallelExecutor<'_> {
         total_rows
     }
 
+    fn scan_add_op_lanes_planned(
+        &mut self,
+        plan: &ScanPlan,
+        value: &EdgeValueFn<'_>,
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+        addends: &[Vec<f64>],
+        active: &LaneFrontier,
+        frontiers: &mut [Vec<f64>],
+        updated: &mut LaneFrontier,
+    ) -> u64 {
+        let n = self.tiled.num_vertices();
+        let k = active.num_lanes();
+        assert_eq!(addends.len(), k, "one addend vector per lane required");
+        assert_eq!(frontiers.len(), k, "one frontier vector per lane required");
+        assert_eq!(updated.num_lanes(), k, "updated must carry the same lanes");
+        assert_eq!(
+            active.num_vertices(),
+            n,
+            "active lanes must range over every vertex"
+        );
+        assert_eq!(
+            updated.num_vertices(),
+            n,
+            "updated lanes must range over every vertex"
+        );
+        for (q, (a, f)) in addends.iter().zip(frontiers.iter()).enumerate() {
+            assert_eq!(a.len(), n, "lane {q} addend must have one entry per vertex");
+            assert_eq!(
+                f.len(),
+                n,
+                "lane {q} frontier must have one entry per vertex"
+            );
+        }
+        if k == 1 {
+            // Delegate to the single-query path (as the serial executor
+            // does), so a K=1 fused run is the unfused run bit for bit.
+            let lane_mask = active.lane(0);
+            let mut lane_updated = FrontierMask::new(n);
+            let rows = self.scan_add_op_planned(
+                plan,
+                value,
+                combine,
+                &addends[0],
+                &lane_mask,
+                &mut frontiers[0],
+                &mut lane_updated,
+            );
+            for v in lane_updated.iter() {
+                updated.set(0, v);
+            }
+            return rows;
+        }
+        let (tiled, config, spec) = (self.tiled, self.config, self.spec);
+        let punits = plan.units();
+
+        let per_unit = {
+            let frontier_in: Vec<&[f64]> = frontiers.iter().map(Vec::as_slice).collect();
+            let addend_refs: Vec<&[f64]> = addends.iter().map(Vec::as_slice).collect();
+            pool::run_indexed(
+                punits.len(),
+                self.threads,
+                || StripScanner::new(tiled, config, spec),
+                |scanner, idx| {
+                    let punit = &punits[idx];
+                    let (ds, dl) = (punit.unit.dst_start, punit.unit.dst_len);
+                    let mut locals: Vec<Vec<f64>> = frontier_in
+                        .iter()
+                        .map(|f| {
+                            let mut local = f.get(ds..ds + dl).unwrap_or(&[]).to_vec();
+                            local.resize(config.strip_width(), 0.0);
+                            local
+                        })
+                        .collect();
+                    let mut updated_local = vec![0u64; config.strip_width()];
+                    let mut metrics = Metrics::new();
+                    let rows = scanner.scan_add_op_lanes_unit(
+                        punit,
+                        value,
+                        combine,
+                        &addend_refs,
+                        active,
+                        &mut locals,
+                        &mut updated_local,
+                        &mut metrics,
+                    );
+                    (locals, updated_local, metrics, rows)
+                },
+            )
+        };
+
+        let mut total_rows = 0u64;
+        for (punit, (locals, updated_local, unit_metrics, rows)) in punits.iter().zip(&per_unit) {
+            let (ds, dl) = (punit.unit.dst_start, punit.unit.dst_len);
+            self.metrics.merge(unit_metrics);
+            total_rows += rows;
+            if dl > 0 {
+                for (frontier, local) in frontiers.iter_mut().zip(locals) {
+                    frontier[ds..ds + dl].copy_from_slice(&local[..dl]);
+                }
+                // OR-only write-back in plan order — identical to the
+                // serial fused scan (same contract as `scan_add_op_planned`).
+                for (i, &word) in updated_local[..dl].iter().enumerate() {
+                    if word != 0 {
+                        updated.or_lanes(ds + i, word);
+                    }
+                }
+            }
+        }
+        self.metrics.charge_plan(plan.stats());
+        if let Some(disk) = &mut self.disk {
+            disk.charge_scan(self.tiled, plan, &mut self.metrics);
+        }
+        // Every lane keeps its own strip window open in RegO.
+        self.metrics.events.rego_capacity_required = self
+            .metrics
+            .events
+            .rego_capacity_required
+            .max((k * self.config.strip_width()) as u64);
+        total_rows
+    }
+
     fn set_disk(&mut self, disk: Option<DiskModel>) {
         if let Some(acc) = &mut self.disk {
             let window = acc.commit(&mut self.metrics);
@@ -452,5 +574,24 @@ mod tests {
         assert_eq!(ds, dp);
         assert_eq!(rs, rp);
         assert_eq!(ms, mp);
+    }
+
+    #[test]
+    fn parallel_fused_lanes_are_bit_identical_to_serial() {
+        use graphr_core::sim::{run_sssp_lanes_with, LaneTraversalOptions};
+        let g = Rmat::new(200, 1200).seed(5).max_weight(9).generate();
+        let cfg = small_config();
+        let tiled = TiledGraph::preprocess(&g, &cfg).unwrap();
+        for sources in [vec![0u32], vec![0, 3, 50, 199]] {
+            let opts = LaneTraversalOptions::new(sources);
+            let mut serial = StreamingExecutor::new(&tiled, &cfg, opts.spec);
+            let gold = run_sssp_lanes_with(&g, &mut serial, &opts).unwrap();
+            for threads in [1, 4] {
+                let mut par = ParallelExecutor::with_threads(&tiled, &cfg, opts.spec, threads);
+                let run = run_sssp_lanes_with(&g, &mut par, &opts).unwrap();
+                assert_eq!(run.distances, gold.distances, "{threads} threads");
+                assert_eq!(run.metrics, gold.metrics, "{threads} threads");
+            }
+        }
     }
 }

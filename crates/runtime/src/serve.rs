@@ -1,0 +1,371 @@
+//! `graphr-serve`: a long-lived query service with admission control and
+//! fused batching over a [`Session`].
+//!
+//! The session executes jobs; the server decides *which* jobs to run
+//! *together*. Queries enter a bounded FIFO queue ([`Server::enqueue`],
+//! rejected with [`AdmissionError::QueueFull`] past capacity) and are
+//! executed by [`Server::drain`], which walks the queue in submission
+//! order and **coalesces compatible traversal queries into fused waves**:
+//! queued BFS/SSSP/WCC queries on the same graph with the same
+//! application, options, and execution settings (see
+//! [`Job::fusable_with`]) become one [`Session::submit_fused`] run — one
+//! frontier lane per query, one scan of each iteration's union plan for
+//! all of them. Queries that cannot fuse (PageRank/SpMV/CF, or a
+//! traversal with no compatible neighbour) run alone through
+//! [`Session::submit`].
+//!
+//! Scheduling is FIFO-fair: waves execute in the order of their earliest
+//! member, a wave never takes more than [`ServeConfig::max_lanes`]
+//! queries (more than [`MAX_LANES`] compatible queries split into
+//! successive waves), and results always come back in submission order.
+//! Fusion never changes answers — each query's results and per-lane
+//! attribution are bit-identical to a solo submission (the determinism
+//! contract extended; see `tests/lane_fusion.rs`).
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use graphr_core::exec::MAX_LANES;
+
+use crate::job::{Job, JobReport};
+use crate::session::{RuntimeError, Session};
+
+/// Service-level policy of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Admission control: queries beyond this many queued are rejected.
+    pub queue_capacity: usize,
+    /// Widest fused wave the scheduler builds (clamped to
+    /// `1..=`[`MAX_LANES`]).
+    pub max_lanes: usize,
+    /// Whether to coalesce compatible queries at all; `false` runs every
+    /// query alone (the ablation / debugging mode).
+    pub coalesce: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 1024,
+            max_lanes: MAX_LANES,
+            coalesce: true,
+        }
+    }
+}
+
+/// Why [`Server::enqueue`] refused a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The queue is at capacity; retry after a drain.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "serve queue full ({capacity} queries); drain first")
+            }
+        }
+    }
+}
+
+impl Error for AdmissionError {}
+
+/// Service observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Queries admitted into the queue.
+    pub admitted: u64,
+    /// Queries refused by admission control.
+    pub rejected: u64,
+    /// Fused waves executed (two or more lanes each).
+    pub waves: u64,
+    /// Queries that rode a fused wave.
+    pub fused: u64,
+    /// Queries executed alone.
+    pub solo: u64,
+}
+
+/// One completed query: its report plus how the scheduler ran it.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The ticket [`Server::enqueue`] returned for this query.
+    pub id: u64,
+    /// Index of the execution wave within the drain that ran it.
+    pub wave: u64,
+    /// Queries that shared the fused run (1 = ran alone).
+    pub lanes: usize,
+    /// The per-query report — for a fused query, machine metrics are the
+    /// wave's totals and the single `lanes` row is this query's own
+    /// attribution (see [`Session::submit_fused`]).
+    pub report: Result<JobReport, RuntimeError>,
+}
+
+/// One queued query awaiting execution.
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    job: Job,
+}
+
+/// The serve-layer scheduler: a bounded FIFO query queue that drains
+/// through a [`Session`], fusing compatible traversals into waves.
+#[derive(Debug, Default)]
+pub struct Server {
+    config: ServeConfig,
+    queue: VecDeque<Pending>,
+    next_id: u64,
+    stats: ServeStats,
+}
+
+impl Server {
+    /// A server with the given policy.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        Server {
+            config,
+            ..Server::default()
+        }
+    }
+
+    /// The configured policy.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Queries currently queued.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters accumulated over the server's lifetime.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Admits one query, returning its ticket; results of a later
+    /// [`Server::drain`] carry the same id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmissionError::QueueFull`] when the queue is at
+    /// [`ServeConfig::queue_capacity`].
+    pub fn enqueue(&mut self, job: Job) -> Result<u64, AdmissionError> {
+        if self.queue.len() >= self.config.queue_capacity.max(1) {
+            self.stats.rejected += 1;
+            return Err(AdmissionError::QueueFull {
+                capacity: self.config.queue_capacity.max(1),
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stats.admitted += 1;
+        self.queue.push_back(Pending { id, job });
+        Ok(id)
+    }
+
+    /// Executes everything queued and returns one result per query, in
+    /// submission order.
+    ///
+    /// The scheduler walks the queue front to back. Each unclaimed query
+    /// starts a wave; when coalescing is on and the query is fusable, the
+    /// rest of the queue is scanned (in order) for compatible queries
+    /// until the wave is [`ServeConfig::max_lanes`] wide — later
+    /// compatible queries are pulled *forward into the wave's execution*
+    /// but never reordered in the returned results. A wave that fails as
+    /// a whole (e.g. one lane's source is out of range) is retried one
+    /// query at a time, so a poisoned query only fails itself.
+    pub fn drain(&mut self, session: &Session) -> Vec<QueryResult> {
+        let pending: Vec<Pending> = self.queue.drain(..).collect();
+        let mut claimed = vec![false; pending.len()];
+        let mut results: Vec<Option<QueryResult>> = Vec::new();
+        results.resize_with(pending.len(), || None);
+        let max_lanes = self.config.max_lanes.clamp(1, MAX_LANES);
+        let mut wave = 0u64;
+        for head in 0..pending.len() {
+            if claimed[head] {
+                continue;
+            }
+            claimed[head] = true;
+            let mut members = vec![head];
+            if self.config.coalesce && pending[head].job.is_fusable() {
+                for cand in head + 1..pending.len() {
+                    if members.len() >= max_lanes {
+                        break;
+                    }
+                    if !claimed[cand] && pending[head].job.fusable_with(&pending[cand].job) {
+                        claimed[cand] = true;
+                        members.push(cand);
+                    }
+                }
+            }
+            if members.len() > 1 {
+                let jobs: Vec<Job> = members.iter().map(|&i| pending[i].job.clone()).collect();
+                match session.submit_fused(&jobs) {
+                    Ok(reports) => {
+                        self.stats.waves += 1;
+                        self.stats.fused += members.len() as u64;
+                        for (&i, report) in members.iter().zip(reports) {
+                            results[i] = Some(QueryResult {
+                                id: pending[i].id,
+                                wave,
+                                lanes: members.len(),
+                                report: Ok(report),
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        // One lane poisoned the wave; isolate the failure
+                        // by retrying each member alone.
+                        for &i in &members {
+                            self.stats.solo += 1;
+                            results[i] = Some(QueryResult {
+                                id: pending[i].id,
+                                wave,
+                                lanes: 1,
+                                report: session.submit(&pending[i].job),
+                            });
+                        }
+                    }
+                }
+            } else {
+                self.stats.solo += 1;
+                results[head] = Some(QueryResult {
+                    id: pending[head].id,
+                    wave,
+                    lanes: 1,
+                    report: session.submit(&pending[head].job),
+                });
+            }
+            wave += 1;
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every pending query is claimed by exactly one wave"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobOutput, JobSpec};
+    use graphr_core::sim::TraversalOptions;
+    use graphr_core::GraphRConfig;
+    use graphr_graph::generators::rmat::Rmat;
+    use graphr_graph::GraphHandle;
+
+    fn small_config() -> GraphRConfig {
+        GraphRConfig::builder()
+            .crossbar_size(4)
+            .crossbars_per_ge(8)
+            .num_ges(2)
+            .build()
+            .unwrap()
+    }
+
+    fn bfs(handle: &GraphHandle, source: u32) -> Job {
+        Job::new(
+            handle.clone(),
+            JobSpec::Bfs(TraversalOptions {
+                source,
+                ..TraversalOptions::default()
+            }),
+        )
+    }
+
+    #[test]
+    fn admission_control_bounds_the_queue() {
+        let handle = GraphHandle::new("adm", Rmat::new(64, 300).seed(1).generate());
+        let mut server = Server::new(ServeConfig {
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        assert_eq!(server.enqueue(bfs(&handle, 0)).unwrap(), 0);
+        assert_eq!(server.enqueue(bfs(&handle, 1)).unwrap(), 1);
+        assert_eq!(
+            server.enqueue(bfs(&handle, 2)).unwrap_err(),
+            AdmissionError::QueueFull { capacity: 2 }
+        );
+        let stats = server.stats();
+        assert_eq!((stats.admitted, stats.rejected), (2, 1));
+
+        let session = Session::new(small_config());
+        let results = server.drain(&session);
+        assert_eq!(results.len(), 2);
+        assert_eq!(server.queued(), 0, "drain empties the queue");
+        // Freed capacity admits again.
+        assert_eq!(server.enqueue(bfs(&handle, 2)).unwrap(), 2);
+    }
+
+    #[test]
+    fn compatible_queries_fuse_into_one_wave() {
+        let handle = GraphHandle::new("fuse", Rmat::new(100, 600).seed(2).generate());
+        let session = Session::new(small_config());
+        let mut server = Server::new(ServeConfig::default());
+        for source in [0, 3, 9, 40] {
+            server.enqueue(bfs(&handle, source)).unwrap();
+        }
+        let results = server.drain(&session);
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.wave == 0 && r.lanes == 4));
+        let stats = server.stats();
+        assert_eq!((stats.waves, stats.fused, stats.solo), (1, 4, 0));
+        // Fused answers and attribution are bit-identical to solo
+        // submissions (machine-level metrics are the wave's totals, so
+        // only the functional result and the lanes row compare).
+        for (result, source) in results.iter().zip([0u32, 3, 9, 40]) {
+            let solo = session.submit(&bfs(&handle, source)).unwrap();
+            let fused = result.report.as_ref().unwrap();
+            match (&fused.output, &solo.output) {
+                (JobOutput::Traversal(f), JobOutput::Traversal(s)) => {
+                    assert_eq!(f.distances, s.distances);
+                    assert_eq!(f.metrics.lanes, s.metrics.lanes);
+                }
+                other => panic!("unexpected outputs {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_off_runs_every_query_alone() {
+        let handle = GraphHandle::new("solo", Rmat::new(80, 400).seed(3).generate());
+        let session = Session::new(small_config());
+        let mut server = Server::new(ServeConfig {
+            coalesce: false,
+            ..ServeConfig::default()
+        });
+        server.enqueue(bfs(&handle, 0)).unwrap();
+        server.enqueue(bfs(&handle, 1)).unwrap();
+        let results = server.drain(&session);
+        assert!(results.iter().all(|r| r.lanes == 1));
+        assert_eq!(results[0].wave, 0);
+        assert_eq!(results[1].wave, 1);
+    }
+
+    #[test]
+    fn poisoned_wave_fails_only_the_bad_query() {
+        let handle = GraphHandle::new("poison", Rmat::new(60, 250).seed(4).generate());
+        let session = Session::new(small_config());
+        let mut server = Server::new(ServeConfig::default());
+        server.enqueue(bfs(&handle, 0)).unwrap();
+        server.enqueue(bfs(&handle, 10_000)).unwrap(); // out of range
+        server.enqueue(bfs(&handle, 5)).unwrap();
+        let results = server.drain(&session);
+        assert!(results[0].report.is_ok());
+        assert!(results[1].report.is_err());
+        assert!(results[2].report.is_ok());
+        assert!(
+            results.iter().all(|r| r.lanes == 1),
+            "the wave fell back to solo retries"
+        );
+    }
+}

@@ -24,15 +24,16 @@ use std::time::Instant;
 use graphr_core::config::StreamingOrder;
 use graphr_core::exec::plan::PlanSkeleton;
 use graphr_core::exec::planner::{Planner, PlannerIndex};
-use graphr_core::exec::{ScanEngine, StreamingExecutor};
+use graphr_core::exec::{ScanEngine, StreamingExecutor, MAX_LANES};
 use graphr_core::multinode::{ClusterExecutor, MultiNodeConfig};
 use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{
-    self, cf_config_for, run_bfs_with, run_cf_with, run_pagerank_with, run_spmv_with,
-    run_sssp_with, run_wcc_with, CfMatrix, SimError,
+    self, cf_config_for, run_bfs_lanes_with, run_bfs_with, run_cf_with, run_pagerank_with,
+    run_spmv_with, run_sssp_lanes_with, run_sssp_with, run_wcc_lanes_with, run_wcc_with, CfMatrix,
+    LaneRun, LaneTraversalOptions, SimError, TraversalRun, WccLaneRun, WccRun,
 };
 use graphr_core::trace::{TraceHandle, TraceSink};
-use graphr_core::{GraphRConfig, TiledGraph};
+use graphr_core::{GraphRConfig, Metrics, TiledGraph};
 use graphr_graph::{EdgeList, GraphHandle, GraphId};
 use graphr_units::FixedSpec;
 use parking_lot::Mutex;
@@ -51,6 +52,12 @@ pub enum RuntimeError {
         /// Name of the offending graph.
         graph: String,
     },
+    /// A fused wave was submitted whose jobs cannot share one run (see
+    /// [`Job::fusable_with`]).
+    NotFusable {
+        /// Why the wave cannot fuse.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -60,6 +67,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NotBipartite { graph } => {
                 write!(f, "graph '{graph}' carries no user/item split for CF")
             }
+            RuntimeError::NotFusable { reason } => {
+                write!(f, "wave cannot fuse: {reason}")
+            }
         }
     }
 }
@@ -68,7 +78,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Sim(e) => Some(e),
-            RuntimeError::NotBipartite { .. } => None,
+            RuntimeError::NotBipartite { .. } | RuntimeError::NotFusable { .. } => None,
         }
     }
 }
@@ -226,7 +236,7 @@ impl Session {
     /// events land there (see [`graphr_core::trace`]). A job's own
     /// [`Job::with_trace`] / [`Job::untraced`] still overrides this
     /// session default. Tracing only observes the runs — results and
-    /// [`Metrics`](graphr_core::Metrics) stay bit-identical to an
+    /// [`Metrics`] stay bit-identical to an
     /// untraced session.
     #[must_use]
     pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
@@ -588,6 +598,176 @@ impl Session {
             wall: start.elapsed(),
             cache_hits,
             cache_misses,
+        })
+    }
+
+    /// Executes a wave of compatible traversal jobs as **one fused run**:
+    /// each job becomes one frontier lane
+    /// ([`LaneFrontier`](graphr_core::exec::LaneFrontier)), every
+    /// iteration plans the *union* frontier, and one scan of the planned
+    /// edge stream advances all lanes at once — K queries for roughly one
+    /// query's streaming cost when their frontiers overlap.
+    ///
+    /// Returns one [`JobReport`] per job, in wave order, functionally
+    /// bit-identical to submitting each job alone. Machine-level
+    /// [`Metrics`] in each report are the *fused
+    /// run's* totals (shared by the whole wave — summing reports
+    /// double-counts), while the single
+    /// [`Metrics::lanes`](graphr_core::metrics::LaneCounters) row is the
+    /// query's own attribution: its iterations, frontier population, and
+    /// settled-vertex count, equal to what an independent run would
+    /// report. Wall time and cache counters are likewise the wave's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NotFusable`] for an empty wave, a wave
+    /// over [`MAX_LANES`] lanes, a non-traversal application, or jobs
+    /// that disagree on anything but the source vertex (see
+    /// [`Job::fusable_with`]); [`RuntimeError::Sim`] for simulation-level
+    /// failures (e.g. an out-of-range source).
+    pub fn submit_fused(&self, jobs: &[Job]) -> Result<Vec<JobReport>, RuntimeError> {
+        let template = jobs.first().ok_or_else(|| RuntimeError::NotFusable {
+            reason: "empty wave".to_owned(),
+        })?;
+        if !template.is_fusable() {
+            return Err(RuntimeError::NotFusable {
+                reason: format!(
+                    "'{}' does not map onto frontier lanes",
+                    template.spec.name()
+                ),
+            });
+        }
+        if jobs.len() > MAX_LANES {
+            return Err(RuntimeError::NotFusable {
+                reason: format!(
+                    "wave of {} exceeds {MAX_LANES} lanes; split into waves",
+                    jobs.len()
+                ),
+            });
+        }
+        if let Some(bad) = jobs[1..].iter().find(|job| !template.fusable_with(job)) {
+            return Err(RuntimeError::NotFusable {
+                reason: format!(
+                    "'{}' on '{}' does not match the wave's '{}' on '{}'",
+                    bad.spec.name(),
+                    bad.graph.id().name(),
+                    template.spec.name(),
+                    template.graph.id().name()
+                ),
+            });
+        }
+
+        let start = Instant::now();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let k = jobs.len();
+        let config = template.config.as_ref().unwrap_or(&self.config);
+        let disk = template.disk.resolve(self.disk);
+        let cluster = template.cluster.resolve(self.cluster);
+        // One sink job for the whole wave: the fused run is one machine
+        // execution, so its spans and per-lane events share one timeline.
+        let trace = template.trace.resolve(self.trace.as_ref()).map(|sink| {
+            let index = sink.begin_job(&format!(
+                "{}[x{k}] on {}",
+                template.spec.name(),
+                template.graph.id().name()
+            ));
+            TraceHandle::for_job(sink, index)
+        });
+        let graph = template.graph.graph();
+        let (variant, spec) = match &template.spec {
+            JobSpec::Bfs(opts) | JobSpec::Sssp(opts) => (GraphVariant::Forward, opts.spec),
+            JobSpec::Wcc => (
+                GraphVariant::Symmetrised,
+                FixedSpec::new(16, 0).expect("Q16.0 is valid"),
+            ),
+            _ => unreachable!("is_fusable admits only traversals"),
+        };
+        let tiling = self.tiling_counted(
+            &template.graph,
+            variant,
+            config,
+            &mut cache_hits,
+            &mut cache_misses,
+        )?;
+        let mut exec = self.engine(
+            template.mode,
+            &tiling,
+            config,
+            spec,
+            self.threads,
+            disk,
+            cluster,
+            trace,
+        );
+        enum FusedOut {
+            Traversal(LaneRun),
+            Wcc(WccLaneRun),
+        }
+        let out = match &template.spec {
+            JobSpec::Bfs(opts) | JobSpec::Sssp(opts) => {
+                let lane_opts = LaneTraversalOptions {
+                    sources: jobs
+                        .iter()
+                        .map(|job| match &job.spec {
+                            JobSpec::Bfs(o) | JobSpec::Sssp(o) => o.source,
+                            _ => unreachable!("wave verified homogeneous"),
+                        })
+                        .collect(),
+                    max_iterations: opts.max_iterations,
+                    spec: opts.spec,
+                };
+                let run = if matches!(template.spec, JobSpec::Bfs(_)) {
+                    run_bfs_lanes_with(graph, exec.as_mut(), &lane_opts)?
+                } else {
+                    run_sssp_lanes_with(graph, exec.as_mut(), &lane_opts)?
+                };
+                FusedOut::Traversal(run)
+            }
+            JobSpec::Wcc => FusedOut::Wcc(run_wcc_lanes_with(graph, exec.as_mut(), k)?),
+            _ => unreachable!("is_fusable admits only traversals"),
+        };
+        drop(exec);
+        let wall = start.elapsed();
+        // One report per lane: shared fused metrics, narrowed to the
+        // lane's own attribution row.
+        let lane_metrics = |shared: &Metrics, q: usize| {
+            let mut metrics = shared.clone();
+            metrics.lanes = vec![shared.lanes[q]];
+            metrics
+        };
+        let report = |output: JobOutput| JobReport {
+            app: template.spec.name(),
+            graph: template.graph.id().name().to_owned(),
+            output,
+            wall,
+            cache_hits,
+            cache_misses,
+        };
+        Ok(match out {
+            FusedOut::Traversal(run) => run
+                .distances
+                .iter()
+                .enumerate()
+                .map(|(q, distances)| {
+                    report(JobOutput::Traversal(TraversalRun {
+                        distances: distances.clone(),
+                        metrics: lane_metrics(&run.metrics, q),
+                    }))
+                })
+                .collect(),
+            FusedOut::Wcc(run) => run
+                .labels
+                .iter()
+                .enumerate()
+                .map(|(q, labels)| {
+                    report(JobOutput::Wcc(WccRun {
+                        labels: labels.clone(),
+                        num_components: run.num_components[q],
+                        metrics: lane_metrics(&run.metrics, q),
+                    }))
+                })
+                .collect(),
         })
     }
 

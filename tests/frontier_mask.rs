@@ -7,6 +7,7 @@
 //!
 //! [`FrontierMask`]: graphr_repro::core::exec::mask::FrontierMask
 
+use graphr_repro::core::exec::lanes::{LaneFrontier, MAX_LANES};
 use graphr_repro::core::exec::mask::{FrontierDelta, FrontierMask, SUMMARY_SPAN, WORD_BITS};
 use proptest::prelude::*;
 
@@ -164,6 +165,140 @@ proptest! {
         }
         prop_assert_eq!(&patched, &new);
         prop_assert_eq!(patched.len(), new.len());
+    }
+}
+
+/// Applies one encoded lane op (0 = set, 1 = clear, 2 = or a lane word
+/// into a vertex) to both representations, checking the changed-report
+/// against the per-lane reference masks.
+fn apply_lanes(lanes: &mut LaneFrontier, masks: &mut [FrontierMask], op: u8, q: usize, v: usize) {
+    let (n, k) = (lanes.num_vertices(), lanes.num_lanes());
+    if n == 0 {
+        return;
+    }
+    let (q, v) = (q % k, v % n);
+    match op % 3 {
+        0 => {
+            let changed = lanes.set(q, v);
+            assert_eq!(changed, !masks[q].get(v), "set({q}, {v}) changed-report");
+            masks[q].set(v);
+        }
+        1 => {
+            let changed = lanes.clear(q, v);
+            assert_eq!(changed, masks[q].get(v), "clear({q}, {v}) changed-report");
+            masks[q].clear(v);
+        }
+        _ => {
+            // A lane word touching every lane at once (the executors'
+            // write-back path), derived from q so the stream stays
+            // deterministic.
+            let word =
+                (0x9E37_79B9_7F4A_7C15u64.rotate_left(q as u32 * 7) ^ v as u64) & lane_mask_bits(k);
+            lanes.or_lanes(v, word);
+            for (lane, mask) in masks.iter_mut().enumerate() {
+                if word >> lane & 1 == 1 {
+                    mask.set(v);
+                }
+            }
+        }
+    }
+}
+
+/// The all-lanes bitmask for `k` lanes.
+fn lane_mask_bits(k: usize) -> u64 {
+    if k == MAX_LANES {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A [`LaneFrontier`] under any interleaving of per-lane set/clear
+    /// and word-wide or ops is observationally identical to K
+    /// independent [`FrontierMask`]s mutated the same way: per-lane
+    /// bits, O(1) per-lane popcounts, the collapsed union mask, lane
+    /// materialization, and per-lane deltas between two states.
+    #[test]
+    fn lane_frontier_tracks_k_independent_masks(
+        n in 1usize..500,
+        k in 1usize..=MAX_LANES,
+        ops in proptest::collection::vec((0u8..3, 0usize..64, 0usize..500), 0..120),
+        more in proptest::collection::vec((0u8..3, 0usize..64, 0usize..500), 0..60),
+    ) {
+        let mut lanes = LaneFrontier::new(n, k);
+        let mut masks = vec![FrontierMask::new(n); k];
+        for &(op, q, v) in &ops {
+            apply_lanes(&mut lanes, &mut masks, op, q, v);
+        }
+        // Per-vertex lane words and per-lane observations.
+        for v in 0..n {
+            let expected = masks
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (q, m)| acc | u64::from(m.get(v)) << q);
+            prop_assert_eq!(lanes.vertex_lanes(v), expected, "vertex {}", v);
+            for (q, mask) in masks.iter().enumerate() {
+                prop_assert_eq!(lanes.get(q, v), mask.get(v));
+            }
+        }
+        for (q, mask) in masks.iter().enumerate() {
+            prop_assert_eq!(lanes.lane_len(q), mask.len() as u64, "lane {} popcount", q);
+            prop_assert_eq!(lanes.lane_is_empty(q), mask.is_empty());
+            prop_assert_eq!(&lanes.lane(q), mask, "lane {} materialization", q);
+        }
+        // The union collapses to the OR of the lanes — the mask the
+        // pruning/planner/disk/cluster machinery consumes unchanged.
+        let mut union = FrontierMask::new(n);
+        for mask in &masks {
+            for v in mask.iter() {
+                union.set(v);
+            }
+        }
+        prop_assert_eq!(lanes.union(), &union);
+        prop_assert_eq!(lanes.is_empty(), union.is_empty());
+        // Reconstructing from the reference masks is the same frontier.
+        let rebuilt = LaneFrontier::from_masks(&masks);
+        for v in 0..n {
+            prop_assert_eq!(rebuilt.vertex_lanes(v), lanes.vertex_lanes(v));
+        }
+        // Per-lane deltas between two states agree with the deltas of
+        // the independent masks (what a fused driver hands the planner).
+        let mut next = {
+            let mut copy = LaneFrontier::new(n, k);
+            for v in 0..n {
+                copy.or_lanes(v, lanes.vertex_lanes(v));
+            }
+            copy
+        };
+        let mut next_masks = masks.clone();
+        for &(op, q, v) in &more {
+            apply_lanes(&mut next, &mut next_masks, op, q, v);
+        }
+        for q in 0..k {
+            let lane_delta = FrontierDelta::between(&lanes.lane(q), &next.lane(q));
+            let mask_delta = FrontierDelta::between(&masks[q], &next_masks[q]);
+            prop_assert_eq!(lane_delta.activated, mask_delta.activated, "lane {}", q);
+            prop_assert_eq!(lane_delta.deactivated, mask_delta.deactivated, "lane {}", q);
+        }
+    }
+}
+
+/// `LaneFrontier::full` agrees with K full masks at lane-word and
+/// mask-word boundaries, where off-by-ones live.
+#[test]
+fn full_lane_frontier_covers_boundaries() {
+    for n in [1, 63, 64, 65, 128] {
+        for k in [1, 2, 63, 64] {
+            let lanes = LaneFrontier::full(n, k);
+            assert_eq!(lanes.union(), &FrontierMask::full(n), "full({n}, {k})");
+            for q in 0..k {
+                assert_eq!(lanes.lane_len(q), n as u64);
+                assert_eq!(lanes.lane(q), FrontierMask::full(n));
+            }
+        }
     }
 }
 
