@@ -11,7 +11,8 @@
 
 use std::time::Instant;
 
-use graphr_core::exec::mask::{FrontierDelta, FrontierMask};
+use graphr_bench::perf::{bfs_rounds_dense, bfs_rounds_on};
+use graphr_core::exec::mask::FrontierMask;
 use graphr_core::exec::{ScanEngine, StreamingExecutor};
 use graphr_core::multinode::{ClusterExecutor, MultiNodeConfig, MultiNodeEstimate};
 use graphr_core::outofcore::{estimate_out_of_core, DiskModel};
@@ -109,9 +110,74 @@ fn main() {
     incremental_planner_case();
     frontier_mask_case();
     fused_wave_case();
+    serve_stats_case();
     out_of_core_sparse_frontier_case(threads);
     cluster_sparse_frontier_case();
     tracing_overhead_case();
+}
+
+/// Observability is passive: draining the same serve batch with and
+/// without stats collection must leave the simulated `Metrics`
+/// bit-identical, and two identical observed drains must render
+/// byte-identical registries (the determinism contract for the
+/// service-level histograms).
+fn serve_stats_case() {
+    use graphr_core::stats::StatsRegistry;
+    use graphr_runtime::{ServeConfig, Server};
+
+    let handle = GraphHandle::new("grid-120", grid(120, 120));
+    let config = GraphRConfig::builder()
+        .crossbar_size(8)
+        .crossbars_per_ge(32)
+        .num_ges(4)
+        .build()
+        .expect("valid bench geometry");
+    let run = |collect: bool| {
+        let session = Session::new(config.clone());
+        let mut server = Server::new(ServeConfig::default());
+        for i in 0..6u32 {
+            let spec = JobSpec::Bfs(TraversalOptions {
+                source: i * 5,
+                ..TraversalOptions::default()
+            });
+            server
+                .enqueue(Job::new(handle.clone(), spec))
+                .expect("admit bfs");
+        }
+        let results = server.drain(&session);
+        let metrics: Vec<graphr_core::Metrics> = results
+            .iter()
+            .map(|r| {
+                r.report
+                    .as_ref()
+                    .expect("serve run")
+                    .output
+                    .metrics()
+                    .clone()
+            })
+            .collect();
+        let rendered = collect.then(|| {
+            let mut registry = StatsRegistry::new();
+            server.collect_stats(&mut registry);
+            registry.render_prometheus()
+        });
+        (metrics, rendered)
+    };
+    let (m_plain, _) = run(false);
+    let (m_observed, r_first) = run(true);
+    let (_, r_second) = run(true);
+    assert_eq!(
+        m_plain, m_observed,
+        "stats collection must not perturb the simulated Metrics"
+    );
+    assert_eq!(
+        r_first, r_second,
+        "identical drains must render byte-identical registries"
+    );
+    println!(
+        "  serve stats (120x120 grid, 6-query batch): collection is passive — Metrics bit-identical, registry render reproducible ({} bytes)",
+        r_first.map_or(0, |r| r.len()),
+    );
 }
 
 /// BFS over a dense-plan scan loop runs every iteration in O(|E|); the
@@ -125,90 +191,6 @@ fn bfs_rounds(
     let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
     let mut exec = StreamingExecutor::new(tiled, config, spec);
     bfs_rounds_on(&mut exec, spec, tiled.num_vertices(), pruned)
-}
-
-/// The BFS iteration loop over any engine (serial or parallel, with or
-/// without a disk model attached). `spec` must be the label format the
-/// engine was built with (its maximum is the "unreached" sentinel).
-fn bfs_rounds_on(
-    exec: &mut dyn ScanEngine,
-    spec: FixedSpec,
-    n: usize,
-    pruned: bool,
-) -> (Vec<f64>, graphr_core::Metrics) {
-    let inf = spec.max_value();
-    let mut dist = vec![inf; n];
-    dist[0] = 0.0;
-    let mut active = FrontierMask::new(n);
-    active.set(0);
-    let mut delta: Option<FrontierDelta> = None;
-    for _ in 0..n {
-        let plan = if !pruned {
-            exec.plan(None)
-        } else if let Some(d) = &delta {
-            exec.plan_with_delta(&active, d)
-        } else {
-            exec.plan(Some(&active))
-        };
-        let mut frontier = dist.clone();
-        let mut updated = FrontierMask::new(n);
-        exec.scan_add_op_planned(
-            &plan,
-            &|_w, _, _| 1.0,
-            &|du, w| du + w,
-            &dist,
-            &active,
-            &mut frontier,
-            &mut updated,
-        );
-        exec.end_iteration();
-        dist = frontier;
-        delta = Some(FrontierDelta::between(&active, &updated));
-        active = updated;
-        if active.is_empty() {
-            break;
-        }
-    }
-    (dist, exec.take_metrics())
-}
-
-/// The legacy dense driver: frontier state lives in a `Vec<bool>`, so
-/// every round converts it into a mask before planning (a full `O(|V|)`
-/// re-scan for the planner to diff) and recounts it densely afterwards —
-/// what every sim driver did before hierarchical masks became the native
-/// representation. Kept as the baseline for `frontier_mask_case`.
-fn bfs_rounds_dense(
-    exec: &mut dyn ScanEngine,
-    spec: FixedSpec,
-    n: usize,
-) -> (Vec<f64>, graphr_core::Metrics) {
-    let inf = spec.max_value();
-    let mut dist = vec![inf; n];
-    dist[0] = 0.0;
-    let mut active = vec![false; n];
-    active[0] = true;
-    for _ in 0..n {
-        let mask = FrontierMask::from_slice(&active);
-        let plan = exec.plan(Some(&mask));
-        let mut frontier = dist.clone();
-        let mut updated = FrontierMask::new(n);
-        exec.scan_add_op_planned(
-            &plan,
-            &|_w, _, _| 1.0,
-            &|du, w| du + w,
-            &dist,
-            &mask,
-            &mut frontier,
-            &mut updated,
-        );
-        exec.end_iteration();
-        dist = frontier;
-        active = updated.to_vec();
-        if !active.iter().any(|&a| a) {
-            break;
-        }
-    }
-    (dist, exec.take_metrics())
 }
 
 fn sparse_frontier_case() {
@@ -704,6 +686,33 @@ fn out_of_core_sparse_frontier_case(threads: usize) {
         m_serial.disk.time,
         m_serial.total_time()
     );
+    // The bottleneck attribution must agree — and flip with the storage
+    // regime: the same pruned BFS is compute-bound in-core and on NVMe
+    // but disk-bound on the SATA-era drive (what `graphr-run`'s `bound:`
+    // row shows between `--disk none` and `--disk sata`).
+    {
+        use graphr_core::analyze::{BottleneckReport, Resource};
+        let (_, m_incore) = bfs_rounds(&tiled, &config, true);
+        let mut sata =
+            StreamingExecutor::new(&tiled, &config, spec).with_disk(DiskModel::sata_ssd());
+        let (_, m_sata) = bfs_rounds_on(&mut sata, spec, n, true);
+        assert_eq!(
+            BottleneckReport::classify(&m_incore).bound,
+            Resource::Compute,
+            "in-core BFS must classify compute-bound"
+        );
+        assert_eq!(
+            BottleneckReport::classify(&m_serial).bound,
+            Resource::Compute,
+            "pruned NVMe BFS must classify compute-bound"
+        );
+        assert_eq!(
+            BottleneckReport::classify(&m_sata).bound,
+            Resource::Disk,
+            "pruned SATA BFS must classify disk-bound: {}",
+            BottleneckReport::classify(&m_sata).summary()
+        );
+    }
     println!(
         "  out-of-core bfs (240x240 grid, NVMe, {} rounds): {:.1} MiB loaded vs {:.1} MiB restreamed ({:.1}x less), plan-aware total {} vs legacy estimate {} → {}-bound instead of {}-bound",
         m_serial.iterations,

@@ -1,0 +1,44 @@
+//! `perf_report` — run the `micro_runtime` scenarios as structured
+//! measurements and write the perf baseline to `BENCH_micro.json`.
+//!
+//! Every scenario's simulated facts (edges streamed, bytes loaded from
+//! disk, bytes exchanged, simulated total, bottleneck classification, and
+//! the serve scenario's latency percentiles) are deterministic; the one
+//! host-measured field is `plan_time_ms`, the planning-time baseline CI
+//! tracks across runs. `GRAPHR_BENCH_OUT` overrides the output path.
+
+use graphr_bench::perf;
+
+fn main() {
+    let rows = perf::run_all();
+    println!("perf_report: {} scenario(s)", rows.len());
+    for row in &rows {
+        print!(
+            "  {}: {} rounds, {:.2} MiB streamed, plan {:.3} ms, {}-bound",
+            row.name,
+            row.iterations,
+            row.bytes_streamed as f64 / (1024.0 * 1024.0),
+            row.plan_time_ms,
+            row.bound,
+        );
+        if row.bytes_loaded > 0 {
+            print!(
+                ", {:.2} MiB loaded",
+                row.bytes_loaded as f64 / (1024.0 * 1024.0)
+            );
+        }
+        if row.bytes_exchanged > 0 {
+            print!(", {:.1} KiB exchanged", row.bytes_exchanged as f64 / 1024.0);
+        }
+        if let Some(serve) = &row.serve {
+            print!(
+                ", latency p50/p95/p99 = {}/{}/{} ns ({} admitted, {} waves)",
+                serve.p50_ns, serve.p95_ns, serve.p99_ns, serve.admitted, serve.waves
+            );
+        }
+        println!();
+    }
+    let out = std::env::var("GRAPHR_BENCH_OUT").unwrap_or_else(|_| "BENCH_micro.json".to_owned());
+    std::fs::write(&out, perf::render_json(&rows)).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("perf_report: baseline written to {out}");
+}

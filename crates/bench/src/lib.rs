@@ -16,6 +16,7 @@
 //! | `fig21_sparsity` | Figure 21 |
 //! | `ablation_*` | DESIGN.md §4 design-choice studies |
 //! | `micro_*` | criterion microbenchmarks of the simulator itself |
+//! | `perf_report` | `BENCH_micro.json` — the [`perf`] scenarios' tracked baseline |
 //!
 //! Scaling: datasets are generated at `GRAPHR_SCALE` (default 1/32) of
 //! their Table 3 size, uniformly, which preserves mean degree and the
@@ -32,6 +33,7 @@ pub mod ablations;
 pub mod apps;
 pub mod context;
 pub mod figures;
+pub mod perf;
 pub mod report;
 
 pub use apps::{App, AppRun, PlatformNumbers};

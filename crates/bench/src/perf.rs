@@ -1,0 +1,410 @@
+//! Perf-baseline scenarios: the `micro_runtime` cases as deterministic,
+//! structured measurements.
+//!
+//! Each scenario runs one of the runtime microbenchmark's workloads and
+//! returns a [`ScenarioRow`] of simulated facts — bytes streamed from
+//! memory ReRAM, bytes loaded from disk, bytes exchanged on the
+//! interconnect, host planning time, the simulated total, and the
+//! bottleneck classification — plus, for the serve scenario, the
+//! simulated latency percentiles. The `perf_report` bench target writes
+//! the rows to `BENCH_micro.json` (the tracked perf baseline CI
+//! regenerates on every run); the `micro_runtime` target narrates the
+//! same workloads with host timings and correctness assertions, sharing
+//! the BFS drivers below so both harnesses measure the same loops.
+
+use graphr_core::analyze::BottleneckReport;
+use graphr_core::exec::mask::{FrontierDelta, FrontierMask};
+use graphr_core::exec::{ScanEngine, StreamingExecutor};
+use graphr_core::multinode::{ClusterExecutor, MultiNodeConfig};
+use graphr_core::outofcore::DiskModel;
+use graphr_core::sim::{run_bfs_lanes_with, LaneTraversalOptions, TraversalOptions};
+use graphr_core::stats::Histogram;
+use graphr_core::{GraphRConfig, Metrics, TiledGraph};
+use graphr_graph::generators::structured::grid;
+use graphr_graph::GraphHandle;
+use graphr_runtime::{Job, JobSpec, ServeConfig, Server, Session};
+use graphr_units::FixedSpec;
+
+/// The small §5.2-derived geometry every micro scenario uses: 8×8
+/// crossbars, 32 per GE, 4 GEs — big enough to exercise strip sharding,
+/// small enough that a full BFS converges in milliseconds of host time.
+#[must_use]
+pub fn bench_config() -> GraphRConfig {
+    GraphRConfig::builder()
+        .crossbar_size(8)
+        .crossbars_per_ge(32)
+        .num_ges(4)
+        .build()
+        .expect("valid bench geometry")
+}
+
+/// The BFS label format (its maximum is the "unreached" sentinel).
+#[must_use]
+pub fn bfs_spec() -> FixedSpec {
+    FixedSpec::new(16, 0).expect("Q16.0 is valid")
+}
+
+/// The BFS iteration loop over any engine (serial or parallel, with or
+/// without a disk model or cluster attached). `spec` must be the label
+/// format the engine was built with. `pruned` selects frontier-pruned
+/// plans patched by driver-supplied deltas; `false` runs every iteration
+/// as a full scan.
+pub fn bfs_rounds_on(
+    exec: &mut dyn ScanEngine,
+    spec: FixedSpec,
+    n: usize,
+    pruned: bool,
+) -> (Vec<f64>, Metrics) {
+    let inf = spec.max_value();
+    let mut dist = vec![inf; n];
+    dist[0] = 0.0;
+    let mut active = FrontierMask::new(n);
+    active.set(0);
+    let mut delta: Option<FrontierDelta> = None;
+    for _ in 0..n {
+        let plan = if !pruned {
+            exec.plan(None)
+        } else if let Some(d) = &delta {
+            exec.plan_with_delta(&active, d)
+        } else {
+            exec.plan(Some(&active))
+        };
+        let mut frontier = dist.clone();
+        let mut updated = FrontierMask::new(n);
+        exec.scan_add_op_planned(
+            &plan,
+            &|_w, _, _| 1.0,
+            &|du, w| du + w,
+            &dist,
+            &active,
+            &mut frontier,
+            &mut updated,
+        );
+        exec.end_iteration();
+        dist = frontier;
+        delta = Some(FrontierDelta::between(&active, &updated));
+        active = updated;
+        if active.is_empty() {
+            break;
+        }
+    }
+    (dist, exec.take_metrics())
+}
+
+/// The legacy dense driver: frontier state lives in a `Vec<bool>`, so
+/// every round converts it into a mask before planning (a full `O(|V|)`
+/// re-scan for the planner to diff) and recounts it densely afterwards —
+/// what every sim driver did before hierarchical masks became the native
+/// representation. Kept as the baseline for the frontier-mask scenario.
+pub fn bfs_rounds_dense(
+    exec: &mut dyn ScanEngine,
+    spec: FixedSpec,
+    n: usize,
+) -> (Vec<f64>, Metrics) {
+    let inf = spec.max_value();
+    let mut dist = vec![inf; n];
+    dist[0] = 0.0;
+    let mut active = vec![false; n];
+    active[0] = true;
+    for _ in 0..n {
+        let mask = FrontierMask::from_slice(&active);
+        let plan = exec.plan(Some(&mask));
+        let mut frontier = dist.clone();
+        let mut updated = FrontierMask::new(n);
+        exec.scan_add_op_planned(
+            &plan,
+            &|_w, _, _| 1.0,
+            &|du, w| du + w,
+            &dist,
+            &mask,
+            &mut frontier,
+            &mut updated,
+        );
+        exec.end_iteration();
+        dist = frontier;
+        active = updated.to_vec();
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+    }
+    (dist, exec.take_metrics())
+}
+
+/// The serve scenario's latency summary: admission counters plus the
+/// simulated end-to-end latency percentiles (whole nanoseconds, exact —
+/// see `graphr_core::stats::Histogram`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLatencySummary {
+    /// Queries admitted to the queue.
+    pub admitted: u64,
+    /// Queries the admission controller rejected.
+    pub rejected: u64,
+    /// Fused waves the drain executed.
+    pub waves: u64,
+    /// Median simulated latency, ns.
+    pub p50_ns: u64,
+    /// 95th-percentile simulated latency, ns.
+    pub p95_ns: u64,
+    /// 99th-percentile simulated latency, ns.
+    pub p99_ns: u64,
+    /// Worst simulated latency, ns.
+    pub max_ns: u64,
+}
+
+impl ServeLatencySummary {
+    fn from_latency(latency: &Histogram, admitted: u64, rejected: u64, waves: u64) -> Self {
+        ServeLatencySummary {
+            admitted,
+            rejected,
+            waves,
+            p50_ns: latency.percentile(50),
+            p95_ns: latency.percentile(95),
+            p99_ns: latency.percentile(99),
+            max_ns: latency.max(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"admitted\":{},\"rejected\":{},\"waves\":{},\"latency_ns\":{{\
+             \"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}}}",
+            self.admitted,
+            self.rejected,
+            self.waves,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.max_ns
+        )
+    }
+}
+
+/// One scenario's measured facts — the `BENCH_micro.json` row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Scenario name (stable across runs; CI validates the full set).
+    pub name: &'static str,
+    /// Iterations the workload converged in.
+    pub iterations: usize,
+    /// Edge bytes streamed out of memory ReRAM.
+    pub bytes_streamed: u64,
+    /// Bytes loaded from the simulated disk (0 when in-core).
+    pub bytes_loaded: u64,
+    /// Property bytes exchanged on the simulated interconnect (0 when
+    /// single-node).
+    pub bytes_exchanged: u64,
+    /// Host planning time, milliseconds (the one host-measured field —
+    /// the perf baseline proper; everything else is simulated and
+    /// deterministic).
+    pub plan_time_ms: f64,
+    /// Simulated total time, ns.
+    pub sim_time_ns: f64,
+    /// The bottleneck classification's dominant resource.
+    pub bound: &'static str,
+    /// Latency summary (serve scenario only).
+    pub serve: Option<ServeLatencySummary>,
+}
+
+impl ScenarioRow {
+    fn from_metrics(name: &'static str, m: &Metrics) -> Self {
+        ScenarioRow {
+            name,
+            iterations: m.iterations,
+            bytes_streamed: m.events.bytes_streamed,
+            bytes_loaded: m.disk.bytes_loaded,
+            bytes_exchanged: m.net.bytes_exchanged,
+            plan_time_ms: m.plan.time.as_secs() * 1e3,
+            sim_time_ns: m.total_time().as_nanos(),
+            bound: BottleneckReport::classify(m).bound.name(),
+            serve: None,
+        }
+    }
+
+    /// Renders the row as one JSON object (hand-rolled; the vendored
+    /// serde is a stub).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let serve = match &self.serve {
+            Some(s) => format!(",\"serve\":{}", s.to_json()),
+            None => String::new(),
+        };
+        format!(
+            "{{\"name\":\"{}\",\"iterations\":{},\"bytes_streamed\":{},\
+             \"bytes_loaded\":{},\"bytes_exchanged\":{},\"plan_time_ms\":{},\
+             \"sim_time_ns\":{},\"bound\":\"{}\"{serve}}}",
+            self.name,
+            self.iterations,
+            self.bytes_streamed,
+            self.bytes_loaded,
+            self.bytes_exchanged,
+            self.plan_time_ms,
+            self.sim_time_ns,
+            self.bound
+        )
+    }
+}
+
+/// Renders the full `BENCH_micro.json` document.
+#[must_use]
+pub fn render_json(rows: &[ScenarioRow]) -> String {
+    let body: Vec<String> = rows.iter().map(ScenarioRow::to_json).collect();
+    format!(
+        "{{\"schema\":\"graphr-bench-micro/v1\",\"scenarios\":[{}]}}\n",
+        body.join(",")
+    )
+}
+
+/// Pruned-plan BFS on the 120×120 grid (the sparse-frontier win).
+#[must_use]
+pub fn sparse_frontier() -> ScenarioRow {
+    let config = bench_config();
+    let tiled = TiledGraph::preprocess(&grid(120, 120), &config).expect("grid tiles");
+    let mut exec = StreamingExecutor::new(&tiled, &config, bfs_spec());
+    let (_, m) = bfs_rounds_on(&mut exec, bfs_spec(), tiled.num_vertices(), true);
+    ScenarioRow::from_metrics("sparse_frontier", &m)
+}
+
+/// The same BFS driven through the legacy dense `Vec<bool>` frontier on
+/// the 240×240 grid — the frontier-mask baseline (its `plan_time_ms`
+/// against [`frontier_mask`]'s is the representation's win).
+#[must_use]
+pub fn frontier_mask_dense() -> ScenarioRow {
+    let config = bench_config();
+    let tiled = TiledGraph::preprocess(&grid(240, 240), &config).expect("grid tiles");
+    let mut exec = StreamingExecutor::new(&tiled, &config, bfs_spec());
+    let (_, m) = bfs_rounds_dense(&mut exec, bfs_spec(), tiled.num_vertices());
+    ScenarioRow::from_metrics("frontier_mask_dense", &m)
+}
+
+/// Hierarchical-mask BFS with driver-supplied deltas on the 240×240 grid.
+#[must_use]
+pub fn frontier_mask() -> ScenarioRow {
+    let config = bench_config();
+    let tiled = TiledGraph::preprocess(&grid(240, 240), &config).expect("grid tiles");
+    let mut exec = StreamingExecutor::new(&tiled, &config, bfs_spec());
+    let (_, m) = bfs_rounds_on(&mut exec, bfs_spec(), tiled.num_vertices(), true);
+    ScenarioRow::from_metrics("frontier_mask", &m)
+}
+
+/// K=16 co-located BFS queries advanced as fused frontier lanes on the
+/// 240×240 grid.
+#[must_use]
+pub fn fused_wave() -> ScenarioRow {
+    let g = grid(240, 240);
+    let config = bench_config();
+    let tiled = TiledGraph::preprocess(&g, &config).expect("grid tiles");
+    let sources: Vec<u32> = (0..16u32).map(|i| i * 3).collect();
+    let opts = LaneTraversalOptions::new(sources);
+    let mut exec = StreamingExecutor::new(&tiled, &config, opts.spec);
+    let fused = run_bfs_lanes_with(&g, &mut exec, &opts).expect("fused wave");
+    ScenarioRow::from_metrics("fused_wave", &fused.metrics)
+}
+
+/// Pruned BFS on the 240×240 grid in the out-of-core regime.
+#[must_use]
+pub fn out_of_core(disk: DiskModel, name: &'static str) -> ScenarioRow {
+    let config = bench_config();
+    let tiled = TiledGraph::preprocess(&grid(240, 240), &config).expect("grid tiles");
+    let mut exec = StreamingExecutor::new(&tiled, &config, bfs_spec()).with_disk(disk);
+    let (_, m) = bfs_rounds_on(&mut exec, bfs_spec(), tiled.num_vertices(), true);
+    ScenarioRow::from_metrics(name, &m)
+}
+
+/// Pruned BFS on the 120×120 grid sharded across a simulated 4-node
+/// PCIe cluster.
+#[must_use]
+pub fn cluster() -> ScenarioRow {
+    let config = bench_config();
+    let tiled = TiledGraph::preprocess(&grid(120, 120), &config).expect("grid tiles");
+    let mut cluster = ClusterExecutor::new(
+        &tiled,
+        &config,
+        bfs_spec(),
+        MultiNodeConfig::pcie_cluster(4),
+    );
+    let (_, m) = bfs_rounds_on(&mut cluster, bfs_spec(), tiled.num_vertices(), true);
+    ScenarioRow::from_metrics("cluster_4node", &m)
+}
+
+/// A serve batch — eight co-located BFS queries plus one PageRank on the
+/// 120×120 grid through the `graphr-serve` scheduler — measured on the
+/// simulated service clock: the row's facts come from the drain's summed
+/// machine executions, the `serve` field from the latency histograms.
+#[must_use]
+pub fn serve_batch() -> ScenarioRow {
+    use graphr_core::sim::PageRankOptions;
+
+    let handle = GraphHandle::new("grid-120", grid(120, 120));
+    let session = Session::new(bench_config());
+    let mut server = Server::new(ServeConfig::default());
+    for i in 0..8u32 {
+        let spec = JobSpec::Bfs(TraversalOptions {
+            source: i * 3,
+            ..TraversalOptions::default()
+        });
+        server
+            .enqueue(Job::new(handle.clone(), spec))
+            .expect("admit bfs");
+    }
+    server
+        .enqueue(Job::new(
+            handle.clone(),
+            JobSpec::PageRank(PageRankOptions {
+                max_iterations: 3,
+                tolerance: 0.0,
+                ..PageRankOptions::default()
+            }),
+        ))
+        .expect("admit pagerank");
+
+    let results = server.drain(&session);
+    let mut iterations = 0usize;
+    let mut bytes_streamed = 0u64;
+    let mut plan_time_ms = 0f64;
+    let mut sim_time_ns = 0f64;
+    let mut seen_waves = std::collections::BTreeSet::new();
+    for result in &results {
+        let report = result.report.as_ref().expect("serve run");
+        let m = report.output.metrics();
+        // Fused waves share one machine execution; count it once.
+        if seen_waves.insert(result.wave) {
+            iterations += m.iterations;
+            bytes_streamed += m.events.bytes_streamed;
+            plan_time_ms += m.plan.time.as_secs() * 1e3;
+            sim_time_ns += m.total_time().as_nanos();
+        }
+    }
+    let stats = server.stats();
+    let latency = &server.latency().latency;
+    ScenarioRow {
+        name: "serve_batch",
+        iterations,
+        bytes_streamed,
+        bytes_loaded: 0,
+        bytes_exchanged: 0,
+        plan_time_ms,
+        sim_time_ns,
+        bound: "compute",
+        serve: Some(ServeLatencySummary::from_latency(
+            latency,
+            stats.admitted,
+            stats.rejected,
+            stats.waves,
+        )),
+    }
+}
+
+/// Runs every scenario in its canonical order.
+#[must_use]
+pub fn run_all() -> Vec<ScenarioRow> {
+    vec![
+        sparse_frontier(),
+        frontier_mask_dense(),
+        frontier_mask(),
+        fused_wave(),
+        out_of_core(DiskModel::nvme(), "out_of_core_nvme"),
+        out_of_core(DiskModel::sata_ssd(), "out_of_core_sata"),
+        cluster(),
+        serve_batch(),
+    ]
+}

@@ -37,7 +37,16 @@
 //! * [`trace`] — run telemetry: per-iteration [`trace::TraceEvent`]s on
 //!   the simulated clock, collected by a [`trace::TraceSink`] any engine
 //!   or driver emits into, exportable as JSONL or a Chrome/Perfetto
-//!   trace-event timeline.
+//!   trace-event timeline,
+//! * [`stats`] — deterministic service-level statistics: [`stats::Counter`],
+//!   [`stats::Gauge`], and the integer-state log₂ [`stats::Histogram`]
+//!   (exact p50/p95/p99/max), collected into a [`stats::StatsRegistry`]
+//!   with Prometheus text and JSON expositions,
+//! * [`analyze`] — bottleneck attribution:
+//!   [`analyze::BottleneckReport::classify`] names the resource that
+//!   bounds a run (compute, disk, or network) with per-resource
+//!   utilization and overlap-efficiency fractions, derived purely from
+//!   the simulated [`metrics::Metrics`].
 //!
 //! # Examples
 //!
@@ -56,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod config;
 pub mod engine;
 pub mod exec;
@@ -65,6 +75,7 @@ pub mod outofcore;
 pub mod preprocess;
 pub mod program;
 pub mod sim;
+pub mod stats;
 pub mod trace;
 
 pub use config::{ConfigError, Fidelity, GraphRConfig, StreamingOrder};

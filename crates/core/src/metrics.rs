@@ -451,7 +451,15 @@ impl Metrics {
     ///   double-buffered overlap is never less than the disk time it
     ///   overlaps (`overlapped = Σ max(compute, disk) ≥ Σ disk = time`),
     /// * net: zero exchanges left every interconnect counter zero, and
-    ///   the composed overlap is never less than the exchange time.
+    ///   the composed overlap is never less than the exchange time,
+    /// * lane attribution rows are self-consistent: at most
+    ///   [`MAX_LANES`](crate::exec::lanes::MAX_LANES) rows, each lane
+    ///   active for no more iterations than the run had, its peak within
+    ///   its total, its total within `iterations × peak` (a settled lane
+    ///   stops accumulating frontier populations — so a never-active lane
+    ///   has no frontier accounting at all), and `settled` within
+    ///   `frontier_total + 1` (every settled vertex except the source
+    ///   appeared in at least one post-iteration frontier).
     ///
     /// Partition checks that need plan context (planned + pruned = graph
     /// totals) live in the integration tests, which hold the plans.
@@ -534,6 +542,22 @@ impl Metrics {
                 return Err(format!(
                     "lane {q} peak {} above its total {}",
                     lane.frontier_peak, lane.frontier_total
+                ));
+            }
+            // ≤ iterations post-iteration populations were recorded, each
+            // ≤ peak; with iterations == 0 this pins the whole frontier
+            // accounting (and, via peak ≤ total, the peak) to zero.
+            if lane.frontier_total > lane.frontier_peak.saturating_mul(lane.iterations) {
+                return Err(format!(
+                    "lane {q} total {} exceeds its {} active iterations x peak {}",
+                    lane.frontier_total, lane.iterations, lane.frontier_peak
+                ));
+            }
+            if lane.settled > lane.frontier_total + 1 {
+                return Err(format!(
+                    "lane {q} settled {} vertices but only {} frontier appearances \
+                     (+1 for the source) account for them",
+                    lane.settled, lane.frontier_total
                 ));
             }
         }
@@ -817,6 +841,39 @@ mod tests {
             settled: 0,
         });
         assert!(m.validate().is_err(), "peak above total");
+        let mut m = Metrics::new();
+        m.iterations = 2;
+        m.lanes.push(LaneCounters {
+            iterations: 1,
+            frontier_total: 5,
+            frontier_peak: 4,
+            settled: 0,
+        });
+        assert!(m.validate().is_err(), "total above iterations x peak");
+        let mut m = Metrics::new();
+        m.iterations = 2;
+        m.lanes.push(LaneCounters {
+            iterations: 0,
+            frontier_total: 1,
+            frontier_peak: 1,
+            settled: 0,
+        });
+        assert!(
+            m.validate().is_err(),
+            "a never-active lane cannot have frontier accounting"
+        );
+        let mut m = Metrics::new();
+        m.iterations = 2;
+        m.lanes.push(LaneCounters {
+            iterations: 2,
+            frontier_total: 3,
+            frontier_peak: 2,
+            settled: 5,
+        });
+        assert!(
+            m.validate().is_err(),
+            "settled must be within frontier_total + 1"
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! Usage: `graphr-run <JOBFILE> [--threads N] [--serial] [--batch]
 //! [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N|single]
-//! [--owner rr|degree] [--trace PATH] [--report text|json]`
+//! [--owner rr|degree] [--trace PATH] [--report text|json]
+//! [--stats PATH|-]`
 //!
 //! Job files are line-oriented; `#` starts a comment. Directives:
 //!
@@ -52,9 +53,16 @@
 //! writes it after the batch: a `.jsonl` path gets the JSONL event log,
 //! anything else the Chrome trace-event timeline on the simulated clock
 //! (a file Perfetto opens directly). `--report json` replaces the text
-//! reports with one machine-readable JSON document on stdout. An example
-//! lives at `examples/demo.jobs`; the full format and every flag are
-//! documented in `docs/running-jobs.md` and `docs/tracing.md`.
+//! reports with one machine-readable JSON document on stdout. `--stats`
+//! dumps the run's statistics registry — the serve layer's simulated
+//! latency/wait/occupancy histograms and admission counters (batch mode)
+//! plus the session cache counters — as the Prometheus text exposition
+//! (`-` writes to stdout; a path ending in `.json` selects the JSON
+//! form). In batch mode the `serve:` summary also reports
+//! admitted/rejected queries and the simulated latency p50/p95/p99. An
+//! example lives at `examples/demo.jobs`; the full format and every flag
+//! are documented in `docs/running-jobs.md`, `docs/tracing.md`, and
+//! `docs/observability.md`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -63,6 +71,7 @@ use std::time::Instant;
 use graphr_core::multinode::{MultiNodeConfig, OwnerPolicy};
 use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{CfOptions, PageRankOptions, SpmvOptions, TraversalOptions};
+use graphr_core::stats::StatsRegistry;
 use graphr_core::trace::{json_escape, TraceSink};
 use graphr_core::GraphRConfig;
 use graphr_graph::generators::bipartite::RatingMatrix;
@@ -84,7 +93,8 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: graphr-run <JOBFILE> [--threads N] [--serial] [--batch] \
                          [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N] \
-                         [--owner rr|degree] [--trace PATH] [--report text|json]";
+                         [--owner rr|degree] [--trace PATH] [--report text|json] \
+                         [--stats PATH|-]";
     let mut path = None;
     let mut threads_override = None;
     let mut force_serial = false;
@@ -94,6 +104,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut owner_override = None;
     let mut trace_override = None;
     let mut report_json = false;
+    let mut stats_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -114,6 +125,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     "text" => false,
                     other => return Err(format!("unknown report format '{other}' (text|json)")),
                 };
+            }
+            "--stats" => {
+                let v = it
+                    .next()
+                    .ok_or("--stats needs a path (or '-' for stdout)")?;
+                stats_out = Some(v.clone());
             }
             "--disk" => {
                 let v = it
@@ -194,6 +211,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut failures = 0usize;
     let mut jobs_json: Vec<String> = Vec::new();
     let mut serve_stats = None;
+    let mut serve_latency = None;
+    let mut registry = StatsRegistry::new();
     if batch {
         // Serve mode: every query enters the scheduler's queue, one drain
         // coalesces compatible traversals into fused waves. Results come
@@ -250,7 +269,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        server.collect_stats(&mut registry);
         serve_stats = Some(server.stats());
+        serve_latency = Some(server.latency().clone());
     } else {
         for (index, job) in plan.jobs.iter().enumerate() {
             let job = job.clone().with_mode(mode);
@@ -302,13 +323,48 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     let stats = session.cache_stats();
+    registry.counter(
+        "graphr_cache_hits_total",
+        "tiler cache hits across the run",
+        stats.hits,
+    );
+    registry.counter(
+        "graphr_cache_misses_total",
+        "tiler cache misses across the run",
+        stats.misses,
+    );
+    registry.gauge(
+        "graphr_cache_entries",
+        "preprocessed graphs resident in the tiler cache",
+        stats.entries as i64,
+    );
+    registry.counter(
+        "graphr_jobs_total",
+        "jobs the job file submitted",
+        plan.jobs.len() as u64,
+    );
+    registry.counter(
+        "graphr_job_failures_total",
+        "jobs that failed validation or execution",
+        failures as u64,
+    );
     if report_json {
-        let serve_json = match &serve_stats {
-            Some(s) => format!(
-                ",\"serve\":{{\"waves\":{},\"fused\":{},\"solo\":{}}}",
-                s.waves, s.fused, s.solo
+        let serve_json = match (&serve_stats, &serve_latency) {
+            (Some(s), Some(l)) => format!(
+                ",\"serve\":{{\"waves\":{},\"fused\":{},\"solo\":{},\
+                 \"admitted\":{},\"rejected\":{},\"latency_ns\":{{\
+                 \"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}}}",
+                s.waves,
+                s.fused,
+                s.solo,
+                s.admitted,
+                s.rejected,
+                l.latency.percentile(50),
+                l.latency.percentile(95),
+                l.latency.percentile(99),
+                l.latency.max()
             ),
-            None => String::new(),
+            _ => String::new(),
         };
         println!(
             "{{\"jobs\":[{}],\"failures\":{failures},\"host_wall_s\":{},\
@@ -320,10 +376,19 @@ fn run(args: &[String]) -> Result<(), String> {
             stats.entries
         );
     } else {
-        if let Some(s) = &serve_stats {
+        if let (Some(s), Some(l)) = (&serve_stats, &serve_latency) {
             println!(
-                "\nserve: {} fused wave(s); {} quer(ies) fused / {} solo",
-                s.waves, s.fused, s.solo
+                "\nserve: {} fused wave(s); {} quer(ies) fused / {} solo; \
+                 {} admitted / {} rejected; \
+                 latency p50/p95/p99 = {}/{}/{} ns",
+                s.waves,
+                s.fused,
+                s.solo,
+                s.admitted,
+                s.rejected,
+                l.latency.percentile(50),
+                l.latency.percentile(95),
+                l.latency.percentile(99)
             );
         }
         println!(
@@ -334,6 +399,24 @@ fn run(args: &[String]) -> Result<(), String> {
             stats.misses,
             stats.entries
         );
+    }
+    if let Some(dest) = &stats_out {
+        let rendered = if dest.ends_with(".json") {
+            registry.to_json()
+        } else {
+            registry.render_prometheus()
+        };
+        if dest == "-" {
+            print!("{rendered}");
+        } else {
+            std::fs::write(dest, &rendered).map_err(|e| format!("{dest}: {e}"))?;
+            if !report_json {
+                println!(
+                    "\nstats: {} metric(s) written to {dest}",
+                    registry.metrics().len()
+                );
+            }
+        }
     }
     if failures > 0 {
         return Err(format!("{failures} job(s) failed"));

@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+use graphr_core::analyze::BottleneckReport;
 use graphr_core::multinode::MultiNodeConfig;
 use graphr_core::outofcore::DiskModel;
 use graphr_core::sim::{
@@ -385,6 +386,10 @@ struct ReportDerived {
     /// `Some(true)` when the exchange time dominates the bottleneck
     /// node's compute; `None` off-cluster.
     network_bound: Option<bool>,
+    /// The full bottleneck attribution (dominant resource, utilization
+    /// and overlap-efficiency fractions), classified once from the
+    /// metrics — the `bound:` row and the JSON `bottleneck` object.
+    bottleneck: BottleneckReport,
 }
 
 impl JobReport {
@@ -412,7 +417,17 @@ impl JobReport {
                 .net
                 .is_active()
                 .then(|| m.net.is_network_bound(m.total_time() - m.net.time)),
+            bottleneck: BottleneckReport::classify(m),
         }
+    }
+
+    /// Bottleneck attribution of the run: which resource (compute, disk,
+    /// network) bounds it, with per-resource utilization fractions. The
+    /// same classification the `bound:` report row and the JSON
+    /// `bottleneck` object carry.
+    #[must_use]
+    pub fn bottleneck(&self) -> BottleneckReport {
+        self.derived().bottleneck
     }
 
     /// Renders the standard multi-line report block. The `plan:` line
@@ -431,6 +446,11 @@ impl JobReport {
     /// `net:` line with the plan-aware interconnect breakdown: property
     /// bytes exchanged, exchange time vs the bottleneck node's compute,
     /// and the composed cluster total.
+    /// Every report ends with a `bound:` line — the bottleneck
+    /// attribution of [`BottleneckReport::classify`]: which resource
+    /// bounds the run, each active resource's utilization of the
+    /// effective wall-clock, and how much of the possible overlap the
+    /// run realized.
     #[must_use]
     pub fn render(&self) -> String {
         let m = self.output.metrics();
@@ -520,6 +540,7 @@ impl JobReport {
                 net.overlapped,
             ));
         }
+        report.push_str(&format!("\n  bound:      {}", d.bottleneck.summary()));
         report.push_str(&format!(
             "\n  host wall:  {:.3} ms (tiler {})",
             self.wall.as_secs_f64() * 1e3,
@@ -546,7 +567,7 @@ impl JobReport {
             "{{\"app\":\"{}\",\"graph\":\"{}\",\"result\":\"{}\",\
              \"subgraphs_planned\":{},\"edges_streamed\":{},\
              \"frontier\":{{\"mask_words\":{},\"summary_skips\":{},\"delta_words\":{}}},\
-             \"disk_bound\":{},\"network_bound\":{},\
+             \"disk_bound\":{},\"network_bound\":{},\"bottleneck\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"host_wall_ms\":{},\
              \"metrics\":{}}}",
             json_escape(self.app),
@@ -559,6 +580,7 @@ impl JobReport {
             d.delta_words,
             opt_bool(d.disk_bound),
             opt_bool(d.network_bound),
+            d.bottleneck.to_json(),
             self.cache_hits,
             self.cache_misses,
             self.wall.as_secs_f64() * 1e3,

@@ -91,5 +91,5 @@ pub use job::{
     ClusterChoice, DiskChoice, ExecMode, Job, JobOutput, JobReport, JobSpec, TraceChoice,
 };
 pub use parallel::ParallelExecutor;
-pub use serve::{AdmissionError, QueryResult, ServeConfig, ServeStats, Server};
+pub use serve::{AdmissionError, QueryResult, ServeConfig, ServeLatency, ServeStats, Server};
 pub use session::{CacheStats, GraphVariant, RuntimeError, Session};

@@ -21,15 +21,47 @@
 //! Fusion never changes answers — each query's results and per-lane
 //! attribution are bit-identical to a solo submission (the determinism
 //! contract extended; see `tests/lane_fusion.rs`).
+//!
+//! # The simulated service clock
+//!
+//! The server keeps a **simulated clock** in whole nanoseconds: queries
+//! are stamped with the clock at [`Server::enqueue`] (their *arrival*),
+//! and during a [`Server::drain`] the clock advances by each executed
+//! run's simulated [`total_time`](graphr_core::Metrics::total_time) in
+//! execution order. That yields, per query,
+//!
+//! * **wait** — wave start − arrival (time spent queued),
+//! * **service** — the executing run's simulated time, and
+//! * **latency** — exactly `wait + service` (integer nanoseconds, so the
+//!   identity is exact, not float-approximate),
+//!
+//! carried on every [`QueryResult`] and recorded into the server's
+//! [`ServeLatency`] histograms (latency, wait, service, plus wave lane
+//! occupancy). Because the clock is driven purely by simulated run time,
+//! every latency statistic inherits the determinism contract: serial,
+//! parallel, and one-node-cluster sessions — and reruns — produce
+//! bit-identical histograms. [`Server::collect_stats`] snapshots the
+//! counters and histograms into a
+//! [`graphr_core::stats::StatsRegistry`] for exposition (the CLI's
+//! `--stats`).
 
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
 use graphr_core::exec::MAX_LANES;
+use graphr_core::stats::{Histogram, StatsRegistry};
+use graphr_units::Nanos;
 
 use crate::job::{Job, JobReport};
 use crate::session::{RuntimeError, Session};
+
+/// A simulated duration as whole nanoseconds (round-to-nearest). The
+/// simulation produces bit-identical [`Nanos`] across engines, so this
+/// conversion is deterministic too.
+fn sim_ns(duration: Nanos) -> u64 {
+    duration.as_nanos().max(0.0).round() as u64
+}
 
 /// Service-level policy of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +123,22 @@ pub struct ServeStats {
     pub solo: u64,
 }
 
+/// Simulated-clock latency distributions of a server's lifetime, all in
+/// integer domains (whole nanoseconds / lane counts) so they are
+/// bit-identical across engines and reruns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeLatency {
+    /// End-to-end query latency (`wait + service`), nanoseconds.
+    pub latency: Histogram,
+    /// Queue wait (wave start − arrival), nanoseconds.
+    pub wait: Histogram,
+    /// Service time (the executing run's simulated time), nanoseconds.
+    pub service: Histogram,
+    /// Lanes occupied per executed machine run (a fused wave records its
+    /// width once; a solo run records 1).
+    pub occupancy: Histogram,
+}
+
 /// One completed query: its report plus how the scheduler ran it.
 #[derive(Debug)]
 pub struct QueryResult {
@@ -100,6 +148,15 @@ pub struct QueryResult {
     pub wave: u64,
     /// Queries that shared the fused run (1 = ran alone).
     pub lanes: usize,
+    /// Simulated clock at [`Server::enqueue`], nanoseconds.
+    pub arrival_ns: u64,
+    /// Simulated queue wait: wave start − arrival.
+    pub wait_ns: u64,
+    /// Simulated service time of the run that executed this query (a
+    /// fused query reports its wave's time; 0 when the run failed).
+    pub service_ns: u64,
+    /// End-to-end simulated latency, exactly `wait_ns + service_ns`.
+    pub latency_ns: u64,
     /// The per-query report — for a fused query, machine metrics are the
     /// wave's totals and the single `lanes` row is this query's own
     /// attribution (see [`Session::submit_fused`]).
@@ -111,6 +168,8 @@ pub struct QueryResult {
 struct Pending {
     id: u64,
     job: Job,
+    /// Simulated clock at admission.
+    arrival_ns: u64,
 }
 
 /// The serve-layer scheduler: a bounded FIFO query queue that drains
@@ -121,6 +180,10 @@ pub struct Server {
     queue: VecDeque<Pending>,
     next_id: u64,
     stats: ServeStats,
+    /// Simulated service clock, whole nanoseconds: advances by each
+    /// executed run's simulated time during [`Server::drain`].
+    clock_ns: u64,
+    latency: ServeLatency,
 }
 
 impl Server {
@@ -151,8 +214,83 @@ impl Server {
         self.stats
     }
 
+    /// Simulated-clock latency distributions accumulated over the
+    /// server's lifetime.
+    #[must_use]
+    pub fn latency(&self) -> &ServeLatency {
+        &self.latency
+    }
+
+    /// The simulated service clock, whole nanoseconds: the sum of every
+    /// simulated run time this server has executed.
+    #[must_use]
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Snapshots the server's counters and latency histograms into a
+    /// [`StatsRegistry`], under `graphr_serve_*` metric names. Purely
+    /// observational — collecting never perturbs the scheduler or the
+    /// simulated clock, so reports stay bit-identical with or without a
+    /// collection pass.
+    pub fn collect_stats(&self, registry: &mut StatsRegistry) {
+        let s = &self.stats;
+        registry.counter(
+            "graphr_serve_admitted_total",
+            "queries admitted into the serve queue",
+            s.admitted,
+        );
+        registry.counter(
+            "graphr_serve_rejected_total",
+            "queries refused by admission control",
+            s.rejected,
+        );
+        registry.counter(
+            "graphr_serve_waves_total",
+            "fused waves executed (two or more lanes)",
+            s.waves,
+        );
+        registry.counter(
+            "graphr_serve_coalesced_total",
+            "queries that rode a fused wave",
+            s.fused,
+        );
+        registry.counter("graphr_serve_solo_total", "queries executed alone", s.solo);
+        registry.gauge(
+            "graphr_serve_queue_depth",
+            "queries currently queued",
+            self.queue.len() as i64,
+        );
+        registry.counter(
+            "graphr_serve_clock_ns",
+            "simulated service clock (sum of executed run times)",
+            self.clock_ns,
+        );
+        registry.histogram(
+            "graphr_serve_latency_ns",
+            "end-to-end simulated query latency (wait + service)",
+            &self.latency.latency,
+        );
+        registry.histogram(
+            "graphr_serve_wait_ns",
+            "simulated queue wait (wave start - arrival)",
+            &self.latency.wait,
+        );
+        registry.histogram(
+            "graphr_serve_service_ns",
+            "simulated service time of the executing run",
+            &self.latency.service,
+        );
+        registry.histogram(
+            "graphr_serve_wave_occupancy_lanes",
+            "lanes occupied per executed machine run",
+            &self.latency.occupancy,
+        );
+    }
+
     /// Admits one query, returning its ticket; results of a later
-    /// [`Server::drain`] carry the same id.
+    /// [`Server::drain`] carry the same id. The query's arrival is
+    /// stamped with the current simulated clock.
     ///
     /// # Errors
     ///
@@ -168,7 +306,11 @@ impl Server {
         let id = self.next_id;
         self.next_id += 1;
         self.stats.admitted += 1;
-        self.queue.push_back(Pending { id, job });
+        self.queue.push_back(Pending {
+            id,
+            job,
+            arrival_ns: self.clock_ns,
+        });
         Ok(id)
     }
 
@@ -213,11 +355,28 @@ impl Server {
                     Ok(reports) => {
                         self.stats.waves += 1;
                         self.stats.fused += members.len() as u64;
+                        // One machine execution serves the whole wave: it
+                        // starts at the current clock and every member
+                        // shares its simulated service time (the wave's
+                        // machine totals).
+                        let start_ns = self.clock_ns;
+                        let service_ns = sim_ns(reports[0].output.metrics().total_time());
+                        self.clock_ns += service_ns;
+                        self.latency.occupancy.record(members.len() as u64);
                         for (&i, report) in members.iter().zip(reports) {
+                            let wait_ns = start_ns - pending[i].arrival_ns;
+                            let latency_ns = wait_ns + service_ns;
+                            self.latency.wait.record(wait_ns);
+                            self.latency.service.record(service_ns);
+                            self.latency.latency.record(latency_ns);
                             results[i] = Some(QueryResult {
                                 id: pending[i].id,
                                 wave,
                                 lanes: members.len(),
+                                arrival_ns: pending[i].arrival_ns,
+                                wait_ns,
+                                service_ns,
+                                latency_ns,
                                 report: Ok(report),
                             });
                         }
@@ -226,24 +385,12 @@ impl Server {
                         // One lane poisoned the wave; isolate the failure
                         // by retrying each member alone.
                         for &i in &members {
-                            self.stats.solo += 1;
-                            results[i] = Some(QueryResult {
-                                id: pending[i].id,
-                                wave,
-                                lanes: 1,
-                                report: session.submit(&pending[i].job),
-                            });
+                            results[i] = Some(self.run_solo(session, &pending[i], wave));
                         }
                     }
                 }
             } else {
-                self.stats.solo += 1;
-                results[head] = Some(QueryResult {
-                    id: pending[head].id,
-                    wave,
-                    lanes: 1,
-                    report: session.submit(&pending[head].job),
-                });
+                results[head] = Some(self.run_solo(session, &pending[head], wave));
             }
             wave += 1;
         }
@@ -251,6 +398,41 @@ impl Server {
             .into_iter()
             .map(|r| r.expect("every pending query is claimed by exactly one wave"))
             .collect()
+    }
+
+    /// Executes one query alone on the simulated clock: the run starts
+    /// now, the clock advances by its simulated time, and (for
+    /// successful runs) the latency histograms record it. A failed run
+    /// consumed no simulated time — admission-style validation errors
+    /// happen before any scan — so it leaves the clock untouched and
+    /// stays out of the completed-query distributions.
+    fn run_solo(&mut self, session: &Session, pending: &Pending, wave: u64) -> QueryResult {
+        self.stats.solo += 1;
+        let start_ns = self.clock_ns;
+        let report = session.submit(&pending.job);
+        let service_ns = match &report {
+            Ok(r) => sim_ns(r.output.metrics().total_time()),
+            Err(_) => 0,
+        };
+        self.clock_ns += service_ns;
+        let wait_ns = start_ns - pending.arrival_ns;
+        let latency_ns = wait_ns + service_ns;
+        if report.is_ok() {
+            self.latency.occupancy.record(1);
+            self.latency.wait.record(wait_ns);
+            self.latency.service.record(service_ns);
+            self.latency.latency.record(latency_ns);
+        }
+        QueryResult {
+            id: pending.id,
+            wave,
+            lanes: 1,
+            arrival_ns: pending.arrival_ns,
+            wait_ns,
+            service_ns,
+            latency_ns,
+            report,
+        }
     }
 }
 
@@ -349,6 +531,45 @@ mod tests {
         assert!(results.iter().all(|r| r.lanes == 1));
         assert_eq!(results[0].wave, 0);
         assert_eq!(results[1].wave, 1);
+    }
+
+    #[test]
+    fn simulated_clock_orders_waves_and_prices_latency() {
+        let handle = GraphHandle::new("clock", Rmat::new(100, 600).seed(5).generate());
+        let session = Session::new(small_config());
+        let mut server = Server::new(ServeConfig {
+            coalesce: false,
+            ..ServeConfig::default()
+        });
+        for source in [0, 1, 2] {
+            server.enqueue(bfs(&handle, source)).unwrap();
+        }
+        let results = server.drain(&session);
+        // All three arrived at clock 0; each wave starts when the
+        // previous one finishes, so waits accumulate service times and
+        // the identity latency = wait + service holds exactly.
+        assert_eq!(results[0].wait_ns, 0, "first query never waits");
+        let mut clock = 0u64;
+        for r in &results {
+            assert_eq!(r.arrival_ns, 0);
+            assert_eq!(r.wait_ns, clock, "FIFO wave start = accumulated service");
+            assert_eq!(r.latency_ns, r.wait_ns + r.service_ns);
+            assert!(r.service_ns > 0, "a completed run took simulated time");
+            clock += r.service_ns;
+        }
+        assert_eq!(server.clock_ns(), clock);
+        let lat = server.latency();
+        assert_eq!(lat.latency.count(), 3);
+        assert_eq!(lat.occupancy.max(), 1);
+        // Collection is observational and deterministic.
+        let mut a = graphr_core::stats::StatsRegistry::new();
+        server.collect_stats(&mut a);
+        let mut b = graphr_core::stats::StatsRegistry::new();
+        server.collect_stats(&mut b);
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
+        assert!(a
+            .render_prometheus()
+            .contains("graphr_serve_latency_ns_p99"));
     }
 
     #[test]
