@@ -112,6 +112,7 @@ fn main() {
     fused_wave_case();
     serve_stats_case();
     out_of_core_sparse_frontier_case(threads);
+    pipelined_prefetch_case(threads);
     cluster_sparse_frontier_case();
     tracing_overhead_case();
 }
@@ -727,5 +728,181 @@ fn out_of_core_sparse_frontier_case(threads: usize) {
             "compute"
         },
         if legacy.is_disk_bound() { "disk" } else { "compute" },
+    );
+}
+
+/// The pipelined I/O lane (`--disk nvme-pipe`): cross-iteration prefetch
+/// must change *when* bytes move, never *what* the run computes or how
+/// the full pricing reads. Asserted here on the same 240×240-grid NVMe
+/// BFS as above, plus a static-frontier replay where the read-ahead
+/// window structure is controlled exactly.
+fn pipelined_prefetch_case(threads: usize) {
+    use graphr_core::analyze::{BottleneckReport, Resource};
+    use graphr_core::exec::PlanSkeleton;
+    use graphr_core::outofcore::DiskAccountant;
+    use graphr_core::Metrics;
+    use graphr_units::Nanos;
+
+    let g = grid(240, 240);
+    let config = GraphRConfig::builder()
+        .crossbar_size(8)
+        .crossbars_per_ge(32)
+        .num_ges(4)
+        .build()
+        .expect("valid bench geometry");
+    let tiled = TiledGraph::preprocess(&g, &config).expect("grid tiles");
+    let n = tiled.num_vertices();
+    let spec = FixedSpec::new(16, 0).expect("Q16.0 is valid");
+    let off = DiskModel::nvme();
+    let on = off.with_prefetch();
+
+    // Sparse BFS, prefetch off vs on, across all three engines: labels,
+    // events, and every prefetch-independent disk counter bit-identical;
+    // the read-ahead is active and the compute lane waits strictly less
+    // on the drive without the overlapped wall ever regressing.
+    let mut serial_off = StreamingExecutor::new(&tiled, &config, spec).with_disk(off);
+    let (d_off, m_off) = bfs_rounds_on(&mut serial_off, spec, n, true);
+    let mut serial_on = StreamingExecutor::new(&tiled, &config, spec).with_disk(on);
+    let (d_on, m_on) = bfs_rounds_on(&mut serial_on, spec, n, true);
+    assert_eq!(d_off, d_on, "prefetch must not change labels");
+    assert_eq!(m_off.events, m_on.events, "prefetch must not change events");
+    assert_eq!(
+        m_off.disk.sans_prefetch(),
+        m_on.disk.sans_prefetch(),
+        "full pricing must be bit-identical with prefetch on vs off"
+    );
+    assert!(m_on.disk.bytes_prefetched > 0, "read-ahead must be active");
+    assert!(m_on.disk.prefetch_hits > 0, "read-ahead must be consumed");
+    assert!(
+        m_on.disk.demand_time < m_off.disk.demand_time,
+        "the compute lane must wait strictly less on the drive: {} vs {}",
+        m_on.disk.demand_time,
+        m_off.disk.demand_time
+    );
+    assert!(
+        m_on.disk.overlapped <= m_off.disk.overlapped,
+        "pipelining must never raise the per-iteration overlap total"
+    );
+    let mut parallel_on =
+        ParallelExecutor::with_threads(&tiled, &config, spec, threads).with_disk(on);
+    let (d_par, m_par) = bfs_rounds_on(&mut parallel_on, spec, n, true);
+    let mut cluster_on =
+        ClusterExecutor::new(&tiled, &config, spec, MultiNodeConfig::pcie_cluster(1)).with_disk(on);
+    let (d_clu, m_clu) = bfs_rounds_on(&mut cluster_on, spec, n, true);
+    assert_eq!(d_on, d_par, "parallel prefetch must not change labels");
+    assert_eq!(
+        d_on, d_clu,
+        "one-node cluster prefetch must not change labels"
+    );
+    assert_eq!(
+        m_on, m_par,
+        "serial and parallel prefetched metrics must be bit-identical"
+    );
+    assert_eq!(
+        m_on.disk, m_clu.disk,
+        "one-node cluster prefetched disk counters must be bit-identical"
+    );
+
+    // A dense traversal restreams everything every round: there is no
+    // idle tail to fund reads ahead, and the capped demand pricing keeps
+    // the run inside the legacy aggregate bound.
+    let mut dense_on = StreamingExecutor::new(&tiled, &config, spec).with_disk(on);
+    let (_, m_dense) = bfs_rounds_on(&mut dense_on, spec, n, false);
+    let legacy = estimate_out_of_core(&tiled, &m_dense, &off);
+    assert!(
+        m_dense.disk.overlapped <= legacy.overlapped_time,
+        "a dense prefetched run must stay within the legacy bound: {} vs {}",
+        m_dense.disk.overlapped,
+        legacy.overlapped_time
+    );
+
+    // A static frontier replay with alternating per-round compute — the
+    // bursty profile pipelined I/O exists for. The graph is laid out in
+    // five on-disk blocks; the replayed plan touches one. Heavy rounds
+    // leave an idle I/O tail that reads the whole next round ahead, so
+    // every other round's demand stream vanishes: the per-iteration
+    // overlap model pays the drive every round, the pipelined lane every
+    // second round — a strict wall win the bottleneck report attributes
+    // (the deployment flips from disk-bound to compute-bound), with
+    // nothing read ahead in vain.
+    let blocked = GraphRConfig::builder()
+        .crossbar_size(8)
+        .crossbars_per_ge(32)
+        .num_ges(4)
+        .block_vertices(56 * 256)
+        .build()
+        .expect("valid blocked geometry");
+    let btiled = TiledGraph::preprocess(&g, &blocked).expect("grid tiles");
+    let skeleton = PlanSkeleton::build(&btiled);
+    let mut mask = FrontierMask::new(n);
+    for v in 2400..2880 {
+        mask.set(v);
+    }
+    let plan = skeleton.pruned_plan(&btiled, &mask);
+    let rounds = 40usize;
+
+    // One probe window prices the replayed plan's demand stream.
+    let mut probe = Metrics::new();
+    let mut acc = DiskAccountant::new(off, Nanos::ZERO);
+    acc.charge_scan(&btiled, &plan, &mut probe);
+    probe.elapsed += Nanos::new(1.0);
+    let demand = acc.commit(&mut probe).demand;
+    let heavy = demand * 1.3;
+    let light = demand * 0.3;
+
+    let replay = |model: DiskModel| -> Metrics {
+        let mut m = Metrics::new();
+        let mut acc = DiskAccountant::new(model, Nanos::ZERO);
+        for round in 0..rounds {
+            acc.charge_scan(&btiled, &plan, &mut m);
+            m.elapsed += if round % 2 == 0 { heavy } else { light };
+            acc.commit(&mut m);
+        }
+        m.iterations = rounds;
+        m
+    };
+    let r_off = replay(off);
+    let r_on = replay(on);
+    r_on.validate().expect("prefetch invariants must hold");
+    assert_eq!(
+        r_off.disk.sans_prefetch(),
+        r_on.disk.sans_prefetch(),
+        "replay full pricing must be bit-identical with prefetch on vs off"
+    );
+    assert_eq!(
+        r_on.disk.prefetch_wasted, 0,
+        "a static frontier replay must waste nothing"
+    );
+    assert!(
+        r_on.disk.overlapped < r_off.disk.overlapped,
+        "the pipelined replay must strictly beat the per-iteration overlap model: {} vs {}",
+        r_on.disk.overlapped,
+        r_off.disk.overlapped
+    );
+    let b_off = BottleneckReport::classify(&r_off);
+    let b_on = BottleneckReport::classify(&r_on);
+    assert_eq!(
+        b_off.bound,
+        Resource::Disk,
+        "the unpipelined replay must classify disk-bound: {}",
+        b_off.summary()
+    );
+    assert_eq!(
+        b_on.bound,
+        Resource::Compute,
+        "prefetch must flip the replay to compute-bound: {}",
+        b_on.summary()
+    );
+    println!(
+        "  pipelined i/o (240x240 grid, NVMe): bfs demand {} vs {} off ({:.1} KiB ahead, {} hits); replay wall {} vs {} off ({:.2}x, {}-bound -> {}-bound, 0 wasted)",
+        m_on.disk.demand_time,
+        m_off.disk.demand_time,
+        m_on.disk.bytes_prefetched as f64 / 1024.0,
+        m_on.disk.prefetch_hits,
+        r_on.disk.overlapped,
+        r_off.disk.overlapped,
+        r_off.disk.overlapped.as_nanos() / r_on.disk.overlapped.as_nanos(),
+        b_off.bound.name(),
+        b_on.bound.name(),
     );
 }

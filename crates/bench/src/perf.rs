@@ -199,6 +199,19 @@ pub struct ScenarioRow {
     pub plan_time_ms: f64,
     /// Simulated total time, ns.
     pub sim_time_ns: f64,
+    /// The run's effective wall-clock from
+    /// [`BottleneckReport::classify`] — composed cluster elapsed,
+    /// per-window overlapped disk total, or plain compute, whichever
+    /// regime the run was in. This is the axis the prefetch scenarios
+    /// compare on (pipelined I/O must never raise it).
+    pub wall_ns: f64,
+    /// Time the compute lane actually waited on the disk
+    /// (`DiskCounters::demand_pressure`) — with prefetch on, the
+    /// read-ahead absorbed the difference to the full pricing.
+    pub demand_io_ns: f64,
+    /// Bytes the `ScanDriver` read ahead on the I/O lane (0 with
+    /// prefetch off or in-core).
+    pub bytes_prefetched: u64,
     /// The bottleneck classification's dominant resource.
     pub bound: &'static str,
     /// Latency summary (serve scenario only).
@@ -207,6 +220,7 @@ pub struct ScenarioRow {
 
 impl ScenarioRow {
     fn from_metrics(name: &'static str, m: &Metrics) -> Self {
+        let report = BottleneckReport::classify(m);
         ScenarioRow {
             name,
             iterations: m.iterations,
@@ -215,7 +229,10 @@ impl ScenarioRow {
             bytes_exchanged: m.net.bytes_exchanged,
             plan_time_ms: m.plan.time.as_secs() * 1e3,
             sim_time_ns: m.total_time().as_nanos(),
-            bound: BottleneckReport::classify(m).bound.name(),
+            wall_ns: report.wall.as_nanos(),
+            demand_io_ns: m.disk.demand_pressure().as_nanos(),
+            bytes_prefetched: m.disk.bytes_prefetched,
+            bound: report.bound.name(),
             serve: None,
         }
     }
@@ -231,7 +248,8 @@ impl ScenarioRow {
         format!(
             "{{\"name\":\"{}\",\"iterations\":{},\"bytes_streamed\":{},\
              \"bytes_loaded\":{},\"bytes_exchanged\":{},\"plan_time_ms\":{},\
-             \"sim_time_ns\":{},\"bound\":\"{}\"{serve}}}",
+             \"sim_time_ns\":{},\"wall_ns\":{},\"demand_io_ns\":{},\
+             \"bytes_prefetched\":{},\"bound\":\"{}\"{serve}}}",
             self.name,
             self.iterations,
             self.bytes_streamed,
@@ -239,6 +257,9 @@ impl ScenarioRow {
             self.bytes_exchanged,
             self.plan_time_ms,
             self.sim_time_ns,
+            self.wall_ns,
+            self.demand_io_ns,
+            self.bytes_prefetched,
             self.bound
         )
     }
@@ -249,7 +270,7 @@ impl ScenarioRow {
 pub fn render_json(rows: &[ScenarioRow]) -> String {
     let body: Vec<String> = rows.iter().map(ScenarioRow::to_json).collect();
     format!(
-        "{{\"schema\":\"graphr-bench-micro/v1\",\"scenarios\":[{}]}}\n",
+        "{{\"schema\":\"graphr-bench-micro/v2\",\"scenarios\":[{}]}}\n",
         body.join(",")
     )
 }
@@ -384,6 +405,9 @@ pub fn serve_batch() -> ScenarioRow {
         bytes_exchanged: 0,
         plan_time_ms,
         sim_time_ns,
+        wall_ns: sim_time_ns,
+        demand_io_ns: 0.0,
+        bytes_prefetched: 0,
         bound: "compute",
         serve: Some(ServeLatencySummary::from_latency(
             latency,
@@ -403,6 +427,10 @@ pub fn run_all() -> Vec<ScenarioRow> {
         frontier_mask(),
         fused_wave(),
         out_of_core(DiskModel::nvme(), "out_of_core_nvme"),
+        out_of_core(
+            DiskModel::nvme().with_prefetch(),
+            "out_of_core_nvme_prefetch",
+        ),
         out_of_core(DiskModel::sata_ssd(), "out_of_core_sata"),
         cluster(),
         serve_batch(),

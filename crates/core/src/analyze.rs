@@ -75,8 +75,10 @@ pub struct BottleneckReport {
     /// Accelerator time. On a cluster this excludes exchange time (the
     /// composed elapsed already contains each iteration's exchange).
     pub compute: Nanos,
-    /// Total disk-load time (summed over cluster nodes when both layers
-    /// are active).
+    /// Disk time compute actually waited on: the post-prefetch
+    /// [`demand_pressure`](crate::metrics::DiskCounters::demand_pressure)
+    /// — equal to the total load time without a prefetching I/O lane
+    /// (summed over cluster nodes when both layers are active).
     pub disk: Nanos,
     /// Total interconnect exchange time.
     pub net: Nanos,
@@ -105,7 +107,11 @@ impl BottleneckReport {
     pub fn classify(metrics: &Metrics) -> Self {
         let disk_active = metrics.disk.is_active();
         let net_active = metrics.net.is_active();
-        let disk = metrics.disk.time;
+        // The disk part is what compute actually waited on: with the
+        // pipelined I/O lane reading ahead, that's the post-prefetch
+        // demand time, so a run the drive no longer stalls classifies
+        // as compute-bound even though the full load time is unchanged.
+        let disk = metrics.disk.demand_pressure();
         let net = metrics.net.time;
         let (bound, wall, compute) = if net_active {
             // Composed cluster run: elapsed = Σ max(per-node scan) +

@@ -382,6 +382,26 @@ impl Planner {
         &self.index
     }
 
+    /// The units the last planned frontier kept, as the very
+    /// `Arc<PlanUnit>`s the next delta patch will carry over
+    /// pointer-equal unless it touches their strip — the planner's
+    /// stable-unit export at iteration commit.
+    ///
+    /// This Arc identity is what the out-of-core layer's
+    /// cross-iteration prefetch rides: the
+    /// [`DiskAccountant`](crate::outofcore::DiskAccountant)'s per-unit
+    /// ordinal cache recognizes carried-over units at zero
+    /// re-derivation cost when its
+    /// [`ScanDriver`](crate::outofcore::driver::ScanDriver) exports a
+    /// committed window's planned spans as the next round's read-ahead
+    /// candidates. Prefetched bytes are therefore always a subset of
+    /// bytes some previously-planned unit named — the containment
+    /// property pinned in `tests/disk_prefetch.rs`.
+    #[must_use]
+    pub fn stable_units(&self) -> Vec<Arc<PlanUnit>> {
+        self.unit_table.iter().flatten().cloned().collect()
+    }
+
     /// The plan an engine under `config` should execute for an optional
     /// active mask — the stateful analogue of
     /// [`PlanSkeleton::plan_for`], and the single policy point every

@@ -209,12 +209,20 @@ impl TimeBreakdown {
 /// Every executed [`ScanPlan`] contributes its
 /// [`IoPlan`](crate::outofcore::IoPlan) — planned bytes loaded
 /// sequentially, pruned blocks seeked past — and each iteration's loads
-/// are overlapped against that iteration's compute (double-buffering
-/// cannot reach across iterations: a frontier-pruned plan is only known
-/// once the previous frontier has settled). See
+/// are overlapped against that iteration's compute. Under a prefetching
+/// model ([`DiskModel::prefetch`]) the
+/// [`ScanDriver`](crate::outofcore::driver::ScanDriver) additionally
+/// reads ahead during compute-bound iterations' idle I/O-lane time:
+/// `bytes_loaded`, `blocks_*`, `io_segments`, and `time` still describe
+/// the *full* per-scan [`IoPlan`](crate::outofcore::IoPlan)s
+/// (bit-identical with prefetch off),
+/// while `demand_time` and `overlapped` describe what the compute lane
+/// actually waited on after prefetched segments were served from the
+/// read-ahead buffer. See
 /// [`DiskAccountant`](crate::outofcore::DiskAccountant).
 ///
 /// [`DiskModel`]: crate::outofcore::DiskModel
+/// [`DiskModel::prefetch`]: crate::outofcore::DiskModel::prefetch
 /// [`ScanPlan`]: crate::exec::plan::ScanPlan
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct DiskCounters {
@@ -227,11 +235,31 @@ pub struct DiskCounters {
     pub blocks_seeked: u64,
     /// Sequential-read segments issued (cumulative across iterations).
     pub io_segments: u64,
-    /// Total disk-load time across all iterations.
+    /// Total disk-load time across all iterations, priced from the full
+    /// per-scan [`IoPlan`]s (what a driver without read-ahead services;
+    /// unchanged by prefetch).
+    ///
+    /// [`IoPlan`]: crate::outofcore::IoPlan
     pub time: Nanos,
+    /// Disk time the compute lane actually waited on: the synchronous
+    /// *demand* fetches after prefetched segments were served at zero
+    /// marginal latency. Equal to [`DiskCounters::time`] whenever
+    /// nothing was prefetched; never above it (the driver falls back to
+    /// the full sequential walk when targeted fetching would cost more).
+    pub demand_time: Nanos,
     /// Out-of-core total with per-iteration double buffering:
-    /// `Σ_iterations max(compute, disk)`.
+    /// `Σ_iterations max(compute, demand disk)`.
     pub overlapped: Nanos,
+    /// Bytes read ahead by the I/O lane during idle windows (speculative
+    /// loads of previously-planned segments; a subset of `bytes_loaded`
+    /// byte-ranges, so never above it).
+    pub bytes_prefetched: u64,
+    /// Prefetched segments at least partly consumed by a later scan
+    /// (each counts once, when first served).
+    pub prefetch_hits: u64,
+    /// Prefetched bytes the consuming iteration never asked for
+    /// (discarded when its window closed).
+    pub prefetch_wasted: u64,
 }
 
 impl DiskCounters {
@@ -244,11 +272,27 @@ impl DiskCounters {
         self.blocks_loaded + self.blocks_seeked > 0
     }
 
+    /// The disk pressure the compute lane experienced: `demand_time`
+    /// when the accountant filled it in, falling back to the full
+    /// `time` for counters assembled without demand accounting (all
+    /// pre-prefetch producers, and hand-built test fixtures).
+    #[must_use]
+    pub fn demand_pressure(&self) -> Nanos {
+        if self.demand_time.is_zero() {
+            self.time
+        } else {
+            self.demand_time
+        }
+    }
+
     /// Whether the disk, not the accelerator, bounds the deployment
-    /// (`compute` is the run's [`Metrics::total_time`]).
+    /// (`compute` is the run's [`Metrics::total_time`]). Judged on the
+    /// *demand* pressure, so a run whose prefetcher hides its loads
+    /// classifies compute-bound even though the full load time exceeds
+    /// compute.
     #[must_use]
     pub fn is_disk_bound(&self, compute: Nanos) -> bool {
-        self.time > compute
+        self.demand_pressure() > compute
     }
 
     /// What one iteration added on top of `prev` (plain differences).
@@ -260,7 +304,31 @@ impl DiskCounters {
             blocks_seeked: self.blocks_seeked - prev.blocks_seeked,
             io_segments: self.io_segments - prev.io_segments,
             time: self.time - prev.time,
+            demand_time: self.demand_time - prev.demand_time,
             overlapped: self.overlapped - prev.overlapped,
+            bytes_prefetched: self.bytes_prefetched - prev.bytes_prefetched,
+            prefetch_hits: self.prefetch_hits - prev.prefetch_hits,
+            prefetch_wasted: self.prefetch_wasted - prev.prefetch_wasted,
+        }
+    }
+
+    /// These counters with every prefetch-dependent field normalized
+    /// away: the read-ahead counters zeroed, `demand_time` collapsed to
+    /// the full load time, and `overlapped` (a function of demand)
+    /// cleared. Two runs differing only in [`DiskModel::prefetch`] must
+    /// agree on everything this keeps — the prefetch side of the
+    /// determinism contract, pinned by `tests/disk_prefetch.rs`.
+    ///
+    /// [`DiskModel::prefetch`]: crate::outofcore::DiskModel::prefetch
+    #[must_use]
+    pub fn sans_prefetch(&self) -> DiskCounters {
+        DiskCounters {
+            demand_time: self.time,
+            overlapped: Nanos::ZERO,
+            bytes_prefetched: 0,
+            prefetch_hits: 0,
+            prefetch_wasted: 0,
+            ..*self
         }
     }
 }
@@ -447,9 +515,14 @@ impl Metrics {
     ///   stream inactive subgraphs without loading them, so `≥` not `=`),
     /// * planner counters are consistent: patched/reused units imply at
     ///   least one delta patch,
-    /// * disk: an inactive model left every disk counter zero, and the
-    ///   double-buffered overlap is never less than the disk time it
-    ///   overlaps (`overlapped = Σ max(compute, disk) ≥ Σ disk = time`),
+    /// * disk: an inactive model left every disk counter zero; the
+    ///   double-buffered overlap is never less than the demand time it
+    ///   overlaps (`overlapped = Σ max(compute, demand) ≥ Σ demand`,
+    ///   and `≥ time` when nothing was prefetched, since demand then
+    ///   equals the full load time); prefetch stays within what was
+    ///   planned (`demand_time ≤ time`, `bytes_prefetched ≤
+    ///   bytes_loaded`, `prefetch_hits ≤ io_segments`,
+    ///   `prefetch_wasted ≤ bytes_prefetched`),
     /// * net: zero exchanges left every interconnect counter zero, and
     ///   the composed overlap is never less than the exchange time,
     /// * lane attribution rows are self-consistent: at most
@@ -505,10 +578,42 @@ impl Metrics {
                 "disk counters nonzero without block activity: {d:?}"
             ));
         }
-        if !not_less(d.overlapped, d.time) {
+        if d.bytes_prefetched == 0 && !not_less(d.overlapped, d.time) {
             return Err(format!(
                 "disk overlap {} below the disk time {} it overlaps",
                 d.overlapped, d.time
+            ));
+        }
+        if !not_less(d.overlapped, d.demand_time) {
+            return Err(format!(
+                "disk overlap {} below the demand time {} it overlaps",
+                d.overlapped, d.demand_time
+            ));
+        }
+        if !not_less(d.time, d.demand_time) {
+            return Err(format!(
+                "disk demand time {} above the full load time {}: the \
+                 driver may serve prefetched segments, never invent work",
+                d.demand_time, d.time
+            ));
+        }
+        if d.bytes_prefetched > d.bytes_loaded {
+            return Err(format!(
+                "prefetched {} bytes but only {} were ever planned: \
+                 read-ahead must stay within planned spans",
+                d.bytes_prefetched, d.bytes_loaded
+            ));
+        }
+        if d.prefetch_hits > d.io_segments {
+            return Err(format!(
+                "{} prefetch hits exceed the {} segments ever issued",
+                d.prefetch_hits, d.io_segments
+            ));
+        }
+        if d.prefetch_wasted > d.bytes_prefetched {
+            return Err(format!(
+                "wasted {} prefetched bytes but only {} were prefetched",
+                d.prefetch_wasted, d.bytes_prefetched
             ));
         }
         // `net.overlapped` composes the per-window bottleneck even when
@@ -615,7 +720,11 @@ impl Metrics {
         d.blocks_seeked += e.blocks_seeked;
         d.io_segments += e.io_segments;
         d.time += e.time;
+        d.demand_time += e.demand_time;
         d.overlapped += e.overlapped;
+        d.bytes_prefetched += e.bytes_prefetched;
+        d.prefetch_hits += e.prefetch_hits;
+        d.prefetch_wasted += e.prefetch_wasted;
         let n = &mut self.net;
         let o = &other.net;
         n.bytes_exchanged += o.bytes_exchanged;
@@ -711,6 +820,98 @@ mod tests {
         assert!(a.disk.is_active());
         assert!(a.disk.is_disk_bound(Nanos::new(1.0)));
         assert!(!Metrics::new().disk.is_active());
+    }
+
+    #[test]
+    fn merge_accumulates_prefetch_counters_and_demand_drives_the_bound() {
+        let mut a = Metrics::new();
+        a.disk.blocks_loaded = 2;
+        a.disk.time = Nanos::new(10.0);
+        a.disk.demand_time = Nanos::new(3.0);
+        a.disk.bytes_prefetched = 40;
+        a.disk.prefetch_hits = 2;
+        let mut b = Metrics::new();
+        b.disk.time = Nanos::new(4.0);
+        b.disk.demand_time = Nanos::new(4.0);
+        b.disk.prefetch_wasted = 8;
+        a.merge(&b);
+        assert_eq!(a.disk.demand_time.as_nanos(), 7.0);
+        assert_eq!(a.disk.bytes_prefetched, 40);
+        assert_eq!(a.disk.prefetch_hits, 2);
+        assert_eq!(a.disk.prefetch_wasted, 8);
+        // Demand, not the full load time, decides the regime: 14 ns of
+        // loads but only 7 ns waited on → compute-bound at 8 ns compute.
+        assert_eq!(a.disk.demand_pressure(), Nanos::new(7.0));
+        assert!(!a.disk.is_disk_bound(Nanos::new(8.0)));
+        assert!(a.disk.is_disk_bound(Nanos::new(6.0)));
+        // Counters without demand accounting fall back to the full time.
+        let legacy = DiskCounters {
+            time: Nanos::new(5.0),
+            ..DiskCounters::default()
+        };
+        assert_eq!(legacy.demand_pressure(), Nanos::new(5.0));
+    }
+
+    #[test]
+    fn sans_prefetch_normalizes_only_the_prefetch_dependent_fields() {
+        let d = DiskCounters {
+            bytes_loaded: 100,
+            io_segments: 6,
+            time: Nanos::new(9.0),
+            demand_time: Nanos::new(2.0),
+            overlapped: Nanos::new(11.0),
+            bytes_prefetched: 60,
+            prefetch_hits: 3,
+            prefetch_wasted: 5,
+            ..DiskCounters::default()
+        };
+        let n = d.sans_prefetch();
+        assert_eq!(n.bytes_loaded, 100);
+        assert_eq!(n.io_segments, 6);
+        assert_eq!(n.time, d.time);
+        assert_eq!(n.demand_time, d.time);
+        assert_eq!(n.overlapped, Nanos::ZERO);
+        assert_eq!(n.bytes_prefetched + n.prefetch_hits + n.prefetch_wasted, 0);
+    }
+
+    #[test]
+    fn validate_checks_prefetch_invariants() {
+        let base = || {
+            let mut m = Metrics::new();
+            m.disk.blocks_loaded = 4;
+            m.disk.bytes_loaded = 100;
+            m.disk.io_segments = 4;
+            m.disk.time = Nanos::new(10.0);
+            m.disk.demand_time = Nanos::new(10.0);
+            m.disk.overlapped = Nanos::new(10.0);
+            m
+        };
+        base().validate().expect("consistent disk counters");
+        // Prefetch legitimately drops the overlap below the full time…
+        let mut m = base();
+        m.disk.bytes_prefetched = 50;
+        m.disk.prefetch_hits = 2;
+        m.disk.demand_time = Nanos::new(4.0);
+        m.disk.overlapped = Nanos::new(6.0);
+        m.validate().expect("prefetch may hide loads");
+        // …but never below demand, and never without prefetched bytes.
+        let mut m = base();
+        m.disk.overlapped = Nanos::new(6.0);
+        assert!(m.validate().is_err(), "overlap < time needs prefetch");
+        let mut m = base();
+        m.disk.demand_time = Nanos::new(12.0);
+        assert!(m.validate().is_err(), "demand above the full load time");
+        let mut m = base();
+        m.disk.bytes_prefetched = 200;
+        assert!(m.validate().is_err(), "prefetched more than planned");
+        let mut m = base();
+        m.disk.bytes_prefetched = 50;
+        m.disk.prefetch_hits = 5;
+        assert!(m.validate().is_err(), "more hits than segments");
+        let mut m = base();
+        m.disk.bytes_prefetched = 50;
+        m.disk.prefetch_wasted = 60;
+        assert!(m.validate().is_err(), "wasted more than prefetched");
     }
 
     #[test]

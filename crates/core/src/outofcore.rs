@@ -16,10 +16,20 @@
 //!   block is charged only [`DiskModel::per_block_latency`], never its
 //!   data). The accountant accumulates the result into
 //!   [`Metrics::disk`](crate::metrics::Metrics) and overlaps each
-//!   iteration's loads against that iteration's compute — per iteration,
-//!   not in aggregate, because a frontier-pruned plan is only known once
-//!   the *previous* iteration's frontier has settled, so prefetch cannot
-//!   reach across iterations.
+//!   iteration's loads against that iteration's compute.
+//! * [`driver::ScanDriver`] — the **pipelined I/O lane** on top of the
+//!   per-iteration model, enabled by [`DiskModel::prefetch`] (the
+//!   `-pipe` drive names). A frontier-pruned plan is only known once
+//!   the previous frontier has settled, so an *exact* prefetch cannot
+//!   reach across iterations — but the incremental planner's Arc-stable
+//!   units make the bulk of the next plan *predictable*: at each window
+//!   commit the driver exports the window's planned spans as
+//!   candidates, spends the window's idle I/O-lane time reading a
+//!   greedy prefix of them ahead, and serves the next iteration's scans
+//!   from the read-ahead buffer at zero marginal latency, synchronously
+//!   fetching only the delta. Full-plan counters stay bit-identical;
+//!   [`DiskCounters::demand_time`] and the `overlapped` clock carry the
+//!   improvement.
 //! * [`estimate_out_of_core`] — the **legacy aggregate** estimate, kept as
 //!   the dense upper bound: it assumes every iteration re-streams the
 //!   entire ordered edge list, which is exact for the dense MAC
@@ -31,6 +41,8 @@
 //! the *regime change* both ways: a dense deployment is disk-bound (GraphR
 //! outruns the drive), while sparse BFS iterations can load so little that
 //! the same deployment flips back to compute-bound.
+//!
+//! [`DiskCounters::demand_time`]: crate::metrics::DiskCounters::demand_time
 //!
 //! # Examples
 //!
@@ -87,6 +99,10 @@ use crate::exec::plan::{PlanUnit, ScanPlan};
 use crate::metrics::Metrics;
 use crate::preprocess::tiler::TiledGraph;
 
+pub mod driver;
+
+use driver::ScanDriver;
+
 /// At what granularity the drive charges its fixed request latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum RequestGranularity {
@@ -112,6 +128,11 @@ pub struct DiskModel {
     pub per_block_latency: Nanos,
     /// Request-charging granularity (per-block by default).
     pub granularity: RequestGranularity,
+    /// Whether the accountant runs a [`driver::ScanDriver`]: the I/O
+    /// lane reads previously-planned segments ahead during idle windows
+    /// and later scans fetch only their delta synchronously (the
+    /// `-pipe` drive names; off by default).
+    pub prefetch: bool,
 }
 
 impl DiskModel {
@@ -126,6 +147,7 @@ impl DiskModel {
             sequential_gbps: 0.5,
             per_block_latency: Nanos::from_micros(80.0),
             granularity: RequestGranularity::Block,
+            prefetch: false,
         }
     }
 
@@ -136,6 +158,7 @@ impl DiskModel {
             sequential_gbps: 3.0,
             per_block_latency: Nanos::from_micros(15.0),
             granularity: RequestGranularity::Block,
+            prefetch: false,
         }
     }
 
@@ -147,19 +170,39 @@ impl DiskModel {
         self
     }
 
+    /// Turns on the pipelined I/O lane: the accountant runs a
+    /// [`driver::ScanDriver`] that reads previously-planned segments
+    /// ahead during idle windows (see [`DiskModel::prefetch`]).
+    #[must_use]
+    pub fn with_prefetch(mut self) -> Self {
+        self.prefetch = true;
+        self
+    }
+
     /// Looks a model up by its CLI/job-file name: `"sata"` or `"nvme"`
     /// (per-block requests), `"sata-seg"` or `"nvme-seg"` (the same drive
-    /// with segment-granular requests); `None` for anything else
-    /// (including `"none"`, which callers map to "no disk model").
+    /// with segment-granular requests); any of the four with a `-pipe`
+    /// suffix (e.g. `"nvme-pipe"`, `"sata-seg-pipe"`) adds the pipelined
+    /// prefetching I/O lane. `None` for anything else (including
+    /// `"none"`, which callers map to "no disk model").
     #[must_use]
     pub fn by_name(name: &str) -> Option<DiskModel> {
-        match name {
-            "sata" => Some(DiskModel::sata_ssd()),
-            "nvme" => Some(DiskModel::nvme()),
-            "sata-seg" => Some(DiskModel::sata_ssd().with_segment_requests()),
-            "nvme-seg" => Some(DiskModel::nvme().with_segment_requests()),
-            _ => None,
-        }
+        let (base, prefetch) = match name.strip_suffix("-pipe") {
+            Some(base) => (base, true),
+            None => (name, false),
+        };
+        let model = match base {
+            "sata" => DiskModel::sata_ssd(),
+            "nvme" => DiskModel::nvme(),
+            "sata-seg" => DiskModel::sata_ssd().with_segment_requests(),
+            "nvme-seg" => DiskModel::nvme().with_segment_requests(),
+            _ => return None,
+        };
+        Some(if prefetch {
+            model.with_prefetch()
+        } else {
+            model
+        })
     }
 
     /// Time to service one scan's [`IoPlan`]: planned bytes at sequential
@@ -275,6 +318,20 @@ impl IoPlan {
     }
 }
 
+/// The planned subgraph ordinals of one scan in streamed (disk) order —
+/// the currency [`IoIndex`] and [`driver::ScanDriver`] trade in. A byte
+/// range of the static on-disk edge list is the same range no matter
+/// which plan names it, so the driver serves prefetched ordinals to any
+/// later plan that wants them (ordinal-level serving; Arc identity is
+/// only the cheap export path through [`IoIndex::unit_ordinals`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PlannedSet {
+    /// A full-restream plan: every nonempty subgraph is planned.
+    Full,
+    /// Sorted planned ordinals of a pruned plan.
+    Sparse(Vec<u32>),
+}
+
 /// Once-per-graph lookup behind [`DiskAccountant`]: every nonempty
 /// subgraph's ordinal in the streamed order (adjacency of ordinals ⇔ byte
 /// contiguity on disk), its byte size, and its block — so a sparse scan's
@@ -354,23 +411,41 @@ impl IoIndex {
     /// strips an incremental plan left untouched) and sorted once; runs
     /// of consecutive ordinals are the sequential segments, block
     /// transitions count the loaded blocks.
+    #[cfg(test)]
     fn io_plan(&mut self, plan: &ScanPlan) -> IoPlan {
+        let planned = self.planned_set(plan);
+        self.io_for(&planned)
+    }
+
+    /// Gathers `plan`'s ordinals into a [`PlannedSet`] (cached per unit
+    /// for strips an incremental plan left untouched, sorted once).
+    fn planned_set(&mut self, plan: &ScanPlan) -> PlannedSet {
         // Full-restream short-circuit. Deliberately *not* `plan.is_full()`:
         // a cluster shard's stats are measured against its node's share,
         // so a shard of a dense plan reports zero pruned while covering
         // only a fraction of the streamed order — compare the planned
         // count against the graph's nonempty subgraphs instead.
         if plan.stats().subgraphs_planned as usize == self.bytes.len() {
-            return self.full;
+            return PlannedSet::Full;
         }
         let mut planned: Vec<u32> = Vec::with_capacity(plan.stats().subgraphs_planned as usize);
         for punit in plan.units() {
             planned.extend(self.unit_ordinals(punit).iter());
         }
         planned.sort_unstable();
+        PlannedSet::Sparse(planned)
+    }
+
+    /// Prices a [`PlannedSet`]: runs of consecutive ordinals are the
+    /// sequential segments, block transitions count the loaded blocks.
+    fn io_for(&self, planned: &PlannedSet) -> IoPlan {
+        let ordinals = match planned {
+            PlannedSet::Full => return self.full,
+            PlannedSet::Sparse(v) => v,
+        };
         let mut io = IoPlan::default();
         let mut prev: Option<u32> = None;
-        for &ord in &planned {
+        for &ord in ordinals {
             io.bytes_loaded += self.bytes[ord as usize];
             if prev != Some(ord.wrapping_sub(1)) {
                 io.segments += 1;
@@ -400,8 +475,15 @@ pub struct DiskAccountant {
     model: DiskModel,
     /// `Metrics::elapsed` when the current iteration window opened.
     window_start: Nanos,
-    /// Disk time accumulated by this window's scans.
+    /// Disk time accumulated by this window's scans (full-plan pricing,
+    /// unaffected by prefetch — the counters' stable baseline).
     pending: Nanos,
+    /// Disk time the window's compute actually waits on: the demand
+    /// remainder after the [`ScanDriver`] served what it read ahead.
+    /// Equals `pending` when no driver is running (or nothing was hot).
+    pending_demand: Nanos,
+    /// The pipelined I/O lane — `Some` iff [`DiskModel::prefetch`].
+    driver: Option<ScanDriver>,
     /// Byte/block/segment counts accumulated by this window's scans
     /// (the per-window view of what `charge_scan` added to the
     /// cumulative [`Metrics::disk`] counters).
@@ -437,6 +519,22 @@ pub struct DiskWindow {
     pub blocks_seeked: u64,
     /// Sequential-read segments issued by the window's scans.
     pub segments: u64,
+    /// Disk time the window's compute actually waited on (`== disk`
+    /// without prefetch; what the window's prefetch hits shaved off it
+    /// otherwise). The window's simulated duration is
+    /// `max(compute, demand)`.
+    pub demand: Nanos,
+    /// Simulated time the window's speculative reads occupied the I/O
+    /// lane (inside the *previous* window's idle tail).
+    pub prefetch: Nanos,
+    /// Where on the simulated clock those speculative reads began.
+    pub prefetch_start: Nanos,
+    /// Bytes read ahead for this window.
+    pub bytes_prefetched: u64,
+    /// Prefetched runs the window's scans consumed.
+    pub prefetch_hits: u64,
+    /// Prefetched bytes the window discarded unread at commit.
+    pub prefetch_wasted: u64,
 }
 
 impl DiskWindow {
@@ -459,9 +557,11 @@ impl DiskAccountant {
     #[must_use]
     pub fn new(model: DiskModel, now: Nanos) -> Self {
         DiskAccountant {
+            driver: model.prefetch.then(ScanDriver::new),
             model,
             window_start: now,
             pending: Nanos::ZERO,
+            pending_demand: Nanos::ZERO,
             window: DiskWindow::default(),
             index: None,
         }
@@ -480,7 +580,8 @@ impl DiskAccountant {
     /// ever sees its own graph).
     pub fn charge_scan(&mut self, tiled: &TiledGraph, plan: &ScanPlan, metrics: &mut Metrics) {
         let index = self.index.get_or_insert_with(|| IoIndex::build(tiled));
-        let io = index.io_plan(plan);
+        let planned = index.planned_set(plan);
+        let io = index.io_for(&planned);
         let d = &mut metrics.disk;
         d.bytes_loaded += io.bytes_loaded;
         d.blocks_loaded += io.blocks_loaded as u64;
@@ -491,28 +592,71 @@ impl DiskAccountant {
         w.blocks_loaded += io.blocks_loaded as u64;
         w.blocks_seeked += io.blocks_seeked as u64;
         w.segments += io.segments as u64;
-        self.pending += self.model.plan_time(&io);
+        let full_t = self.model.plan_time(&io);
+        self.pending += full_t;
+        // The demand lane: with a driver, hot ordinals cost nothing and
+        // only the remainder is fetched synchronously — capped at the
+        // full plan's price so prefetch never slows a scan down. The
+        // full-plan counters above are charged either way, keeping the
+        // byte/block/segment totals bit-identical with prefetch off.
+        let demand_t = match &mut self.driver {
+            Some(driver) => {
+                let demand_io = driver.serve(
+                    &planned,
+                    &io,
+                    &index.bytes,
+                    &index.block_of,
+                    index.total_blocks,
+                    index.total_bytes,
+                    &self.model,
+                );
+                driver.note_candidates(planned);
+                self.model.plan_time(&demand_io).min(full_t)
+            }
+            None => full_t,
+        };
+        self.pending_demand += demand_t;
     }
 
     /// Closes the current iteration window: commits the queued disk time
-    /// and the double-buffered total `max(compute, disk)` for the window,
-    /// where compute is what the window added to `metrics.elapsed`. Call
+    /// and the double-buffered total `max(compute, demand)` for the
+    /// window, where compute is what the window added to
+    /// `metrics.elapsed` and demand is the disk time compute actually
+    /// waited on (all of it without prefetch; the post-serve remainder
+    /// with a [`ScanDriver`] running, whose window commit also lands the
+    /// prefetch counters here). Call
     /// after [`Metrics::charge_iteration`] so the controller's iteration
     /// charge lands inside the window it belongs to. Returns the closed
     /// window's summary (for the trace subsystem; callers that only
     /// account may ignore it).
     pub fn commit(&mut self, metrics: &mut Metrics) -> DiskWindow {
         let compute = metrics.elapsed - self.window_start;
+        let duration = compute.max(self.pending_demand);
         metrics.disk.time += self.pending;
-        metrics.disk.overlapped += compute.max(self.pending);
-        let closed = DiskWindow {
+        metrics.disk.demand_time += self.pending_demand;
+        metrics.disk.overlapped += duration;
+        let mut closed = DiskWindow {
             start: self.window_start,
             compute,
             disk: self.pending,
+            demand: self.pending_demand,
             ..self.window
         };
+        if let Some(driver) = &mut self.driver {
+            let bytes = self.index.as_ref().map_or(&[][..], |i| &i.bytes);
+            let c = driver.commit_window(bytes, self.window_start, self.pending_demand, duration);
+            metrics.disk.bytes_prefetched += c.bytes_prefetched;
+            metrics.disk.prefetch_hits += c.hits;
+            metrics.disk.prefetch_wasted += c.wasted;
+            closed.prefetch = c.issued_time;
+            closed.prefetch_start = c.issued_start;
+            closed.bytes_prefetched = c.bytes_prefetched;
+            closed.prefetch_hits = c.hits;
+            closed.prefetch_wasted = c.wasted;
+        }
         self.window_start = metrics.elapsed;
         self.pending = Nanos::ZERO;
+        self.pending_demand = Nanos::ZERO;
         self.window = DiskWindow::default();
         closed
     }
@@ -522,7 +666,11 @@ impl DiskAccountant {
     pub fn reset(&mut self) {
         self.window_start = Nanos::ZERO;
         self.pending = Nanos::ZERO;
+        self.pending_demand = Nanos::ZERO;
         self.window = DiskWindow::default();
+        if let Some(driver) = &mut self.driver {
+            driver.reset();
+        }
     }
 }
 
@@ -864,5 +1012,82 @@ mod tests {
         assert_eq!(metrics.disk.bytes_loaded, 400 * BYTES_PER_EDGE);
         assert!(metrics.disk.overlapped >= d1 + big);
         assert!(metrics.disk.time < metrics.disk.overlapped);
+    }
+
+    #[test]
+    fn accountant_prefetch_serves_a_static_replay_for_free() {
+        let g = Rmat::new(90, 400).seed(8).generate();
+        let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let disk = DiskModel::sata_ssd().with_prefetch();
+        let mut metrics = Metrics::new();
+        let mut acc = DiskAccountant::new(disk, Nanos::ZERO);
+        let full = skeleton.full_plan();
+        let d1 = disk.plan_time(&IoPlan::full_restream(&tiled));
+
+        // Window 1: dense scan with compute rich enough that the idle
+        // tail funds reading the whole next round ahead.
+        acc.charge_scan(&tiled, &full, &mut metrics);
+        metrics.elapsed += d1 * 3.0;
+        let w1 = acc.commit(&mut metrics);
+        assert_eq!(w1.demand, d1, "nothing was read ahead for window 1");
+        assert_eq!(metrics.disk.bytes_prefetched, 0);
+
+        // Window 2 replays the same plan: it was read ahead during
+        // window 1's idle tail, so the compute lane waits on nothing.
+        acc.charge_scan(&tiled, &full, &mut metrics);
+        metrics.elapsed += Nanos::new(10.0);
+        let w2 = acc.commit(&mut metrics);
+        assert_eq!(w2.disk, d1, "full pricing is unchanged by prefetch");
+        assert_eq!(w2.demand, Nanos::ZERO, "every planned byte was hot");
+        assert_eq!(w2.bytes_prefetched, 400 * BYTES_PER_EDGE);
+        assert_eq!(w2.prefetch_hits, 1, "one dense run, consumed once");
+        assert_eq!(w2.prefetch_wasted, 0, "a static replay wastes nothing");
+        assert_eq!(w2.prefetch, d1, "the read-ahead paid full price off-lane");
+        assert_eq!(w2.prefetch_start, d1, "issued after window 1's demand");
+        assert_eq!(metrics.disk.time, d1 + d1);
+        assert_eq!(metrics.disk.demand_time, d1);
+        assert_eq!(metrics.disk.overlapped, d1 * 3.0 + Nanos::new(10.0));
+        metrics.validate().expect("prefetch invariants must hold");
+    }
+
+    #[test]
+    fn prefetch_models_resolve_by_name_and_cap_demand() {
+        let pipe = DiskModel::by_name("nvme-pipe").unwrap();
+        assert!(pipe.prefetch);
+        assert_eq!(
+            DiskModel {
+                prefetch: false,
+                ..pipe
+            },
+            DiskModel::nvme()
+        );
+        let seg = DiskModel::by_name("sata-seg-pipe").unwrap();
+        assert!(seg.prefetch);
+        assert_eq!(seg.granularity, RequestGranularity::Segment);
+        assert!(DiskModel::by_name("none-pipe").is_none());
+        assert!(!DiskModel::by_name("sata").unwrap().prefetch);
+
+        // A disk-bound cadence leaves no idle tail: the driver never
+        // issues, and demand stays exactly the full price.
+        let g = Rmat::new(90, 400).seed(8).generate();
+        let tiled = TiledGraph::preprocess(&g, &blocked_config()).unwrap();
+        let skeleton = PlanSkeleton::build(&tiled);
+        let disk = DiskModel::sata_ssd().with_prefetch();
+        let mut metrics = Metrics::new();
+        let mut acc = DiskAccountant::new(disk, Nanos::ZERO);
+        let full = skeleton.full_plan();
+        for _ in 0..3 {
+            acc.charge_scan(&tiled, &full, &mut metrics);
+            metrics.elapsed += Nanos::new(1.0);
+            let w = acc.commit(&mut metrics);
+            assert_eq!(w.demand, w.disk, "no idle time → nothing served hot");
+            assert_eq!(w.bytes_prefetched, 0);
+        }
+        assert_eq!(metrics.disk.demand_time, metrics.disk.time);
+        assert_eq!(metrics.disk.prefetch_wasted, 0);
+        metrics
+            .validate()
+            .expect("disk-bound cadence must validate");
     }
 }

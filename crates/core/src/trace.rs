@@ -358,22 +358,47 @@ impl TraceSink {
                     ),
                     &mut first,
                 ),
-                TraceData::Disk(w) => emit(
-                    format!(
-                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"name\":\"disk\",\
-                         \"cat\":\"disk\",\"ts\":{},\"dur\":{},\
-                         \"args\":{{\"bytes_loaded\":{},\"blocks_loaded\":{},\
-                         \"blocks_seeked\":{},\"segments\":{}}}}}",
-                        disk_lane(ev.node),
-                        us(w.start),
-                        us(w.disk),
-                        w.bytes_loaded,
-                        w.blocks_loaded,
-                        w.blocks_seeked,
-                        w.segments,
-                    ),
-                    &mut first,
-                ),
+                TraceData::Disk(w) => {
+                    // The window slice spans what the compute lane
+                    // actually waited on (`demand == disk` when nothing
+                    // was prefetched, so legacy traces are unchanged);
+                    // speculative reads get their own slice back in the
+                    // previous window's idle tail.
+                    emit(
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"name\":\"disk\",\
+                             \"cat\":\"disk\",\"ts\":{},\"dur\":{},\
+                             \"args\":{{\"bytes_loaded\":{},\"blocks_loaded\":{},\
+                             \"blocks_seeked\":{},\"segments\":{}}}}}",
+                            disk_lane(ev.node),
+                            us(w.start),
+                            us(w.demand),
+                            w.bytes_loaded,
+                            w.blocks_loaded,
+                            w.blocks_seeked,
+                            w.segments,
+                        ),
+                        &mut first,
+                    );
+                    if w.prefetch > Nanos::ZERO {
+                        emit(
+                            format!(
+                                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\
+                                 \"name\":\"prefetch\",\"cat\":\"disk\",\
+                                 \"ts\":{},\"dur\":{},\
+                                 \"args\":{{\"bytes_prefetched\":{},\
+                                 \"prefetch_hits\":{},\"prefetch_wasted\":{}}}}}",
+                                disk_lane(ev.node),
+                                us(w.prefetch_start),
+                                us(w.prefetch),
+                                w.bytes_prefetched,
+                                w.prefetch_hits,
+                                w.prefetch_wasted,
+                            ),
+                            &mut first,
+                        );
+                    }
+                }
                 TraceData::Exchange {
                     start,
                     duration,
@@ -762,13 +787,19 @@ fn write_event_counters(out: &mut String, e: &EventCounters) {
 fn write_disk_counters(out: &mut String, d: &DiskCounters) {
     out.push_str(&format!(
         "{{\"bytes_loaded\":{},\"blocks_loaded\":{},\"blocks_seeked\":{},\
-         \"io_segments\":{},\"time_ns\":{},\"overlapped_ns\":{}}}",
+         \"io_segments\":{},\"time_ns\":{},\"demand_time_ns\":{},\
+         \"overlapped_ns\":{},\"bytes_prefetched\":{},\
+         \"prefetch_hits\":{},\"prefetch_wasted\":{}}}",
         d.bytes_loaded,
         d.blocks_loaded,
         d.blocks_seeked,
         d.io_segments,
         d.time.as_nanos(),
-        d.overlapped.as_nanos()
+        d.demand_time.as_nanos(),
+        d.overlapped.as_nanos(),
+        d.bytes_prefetched,
+        d.prefetch_hits,
+        d.prefetch_wasted
     ));
 }
 
@@ -826,14 +857,23 @@ fn write_jsonl_event(out: &mut String, ev: &TraceEvent) {
         )),
         TraceData::Disk(w) => out.push_str(&format!(
             "\"type\":\"disk\",\"start_ns\":{},\"compute_ns\":{},\"disk_ns\":{},\
-             \"bytes_loaded\":{},\"blocks_loaded\":{},\"blocks_seeked\":{},\"segments\":{}",
+             \"demand_ns\":{},\"bytes_loaded\":{},\"blocks_loaded\":{},\
+             \"blocks_seeked\":{},\"segments\":{},\"prefetch_ns\":{},\
+             \"prefetch_start_ns\":{},\"bytes_prefetched\":{},\
+             \"prefetch_hits\":{},\"prefetch_wasted\":{}",
             w.start.as_nanos(),
             w.compute.as_nanos(),
             w.disk.as_nanos(),
+            w.demand.as_nanos(),
             w.bytes_loaded,
             w.blocks_loaded,
             w.blocks_seeked,
-            w.segments
+            w.segments,
+            w.prefetch.as_nanos(),
+            w.prefetch_start.as_nanos(),
+            w.bytes_prefetched,
+            w.prefetch_hits,
+            w.prefetch_wasted
         )),
         TraceData::Exchange {
             start,
@@ -997,6 +1037,8 @@ mod tests {
             blocks_loaded: 1,
             blocks_seeked: 3,
             segments: 1,
+            demand: Nanos::new(2000.0),
+            ..DiskWindow::default()
         });
         handle.record_exchange(Nanos::new(2000.0), Nanos::new(500.0), 12);
         let mut tracer = IterTracer::new();

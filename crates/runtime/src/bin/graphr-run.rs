@@ -2,7 +2,8 @@
 //! print a metrics report.
 //!
 //! Usage: `graphr-run <JOBFILE> [--threads N] [--serial] [--batch]
-//! [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N|single]
+//! [--disk sata|nvme|sata-seg|nvme-seg|...-pipe|none]
+//! [--prefetch on|off] [--nodes N|single]
 //! [--owner rr|degree] [--trace PATH] [--report text|json]
 //! [--stats PATH|-]`
 //!
@@ -15,7 +16,8 @@
 //! threads <n>
 //! mode serial|parallel
 //! batch on|off
-//! disk sata|nvme|sata-seg|nvme-seg|none
+//! disk sata|nvme|sata-seg|nvme-seg|sata-pipe|nvme-pipe|sata-seg-pipe|nvme-seg-pipe|none
+//! prefetch on|off
 //! nodes <n>|single
 //! owner rr|degree
 //! trace <path>|off
@@ -38,7 +40,12 @@
 //! out-of-core regime: scans price their disk loading plan-aware and the
 //! reports gain a disk-vs-compute breakdown (the `-seg` variants charge
 //! one request per sequential segment instead of one per on-disk block,
-//! rewarding contiguity). The `nodes` directive
+//! rewarding contiguity; a `-pipe` suffix — or `prefetch on` /
+//! `--prefetch on`, composing with whichever model is in force — adds
+//! the pipelined I/O lane that reads previously-planned segments ahead
+//! during idle windows, surfacing `graphr_disk_prefetch_*` counters
+//! under `--stats` and a `prefetch:` segment in the disk report row).
+//! The `nodes` directive
 //! (overridable with `--nodes`) runs every job on a simulated multi-node
 //! cluster with PCIe-class links: plans are sharded by destination-strip
 //! ownership — round-robin by default, degree-weighted under
@@ -92,7 +99,8 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: graphr-run <JOBFILE> [--threads N] [--serial] [--batch] \
-                         [--disk sata|nvme|sata-seg|nvme-seg|none] [--nodes N] \
+                         [--disk sata|nvme|sata-seg|nvme-seg|...-pipe|none] \
+                         [--prefetch on|off] [--nodes N] \
                          [--owner rr|degree] [--trace PATH] [--report text|json] \
                          [--stats PATH|-]";
     let mut path = None;
@@ -100,6 +108,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut force_serial = false;
     let mut force_batch = false;
     let mut disk_override = None;
+    let mut prefetch_override = None;
     let mut nodes_override = None;
     let mut owner_override = None;
     let mut trace_override = None;
@@ -135,8 +144,12 @@ fn run(args: &[String]) -> Result<(), String> {
             "--disk" => {
                 let v = it
                     .next()
-                    .ok_or("--disk needs a value (sata|nvme|sata-seg|nvme-seg|none)")?;
+                    .ok_or("--disk needs a value (sata|nvme|sata-seg|nvme-seg|...-pipe|none)")?;
                 disk_override = Some(parse_disk(v)?);
+            }
+            "--prefetch" => {
+                let v = it.next().ok_or("--prefetch needs a value (on|off)")?;
+                prefetch_override = Some(parse_prefetch(v)?);
             }
             "--nodes" => {
                 let v = it
@@ -165,7 +178,12 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(t) = threads {
         session = session.with_threads(t);
     }
-    let disk = disk_override.unwrap_or(plan.disk);
+    let mut disk = disk_override.unwrap_or(plan.disk);
+    // `--prefetch` / the `prefetch` directive compose with whichever
+    // model is in force, mirroring the `-pipe` name suffix.
+    if let (Some(model), Some(p)) = (&mut disk, prefetch_override.or(plan.prefetch)) {
+        model.prefetch = p;
+    }
     if let Some(model) = disk {
         session = session.with_disk(model);
     }
@@ -197,7 +215,11 @@ fn run(args: &[String]) -> Result<(), String> {
             if batch { " (serve batch)" } else { "" },
             match disk {
                 None => "in-core".to_owned(),
-                Some(d) => format!("out-of-core ({:.1} GB/s disk)", d.sequential_gbps),
+                Some(d) => format!(
+                    "out-of-core ({:.1} GB/s disk{})",
+                    d.sequential_gbps,
+                    if d.prefetch { ", pipelined" } else { "" }
+                ),
             },
             match nodes {
                 None => "single node".to_owned(),
@@ -213,6 +235,16 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut serve_stats = None;
     let mut serve_latency = None;
     let mut registry = StatsRegistry::new();
+    // Run-level prefetch accounting for `--stats`: summed over job
+    // reports (per fused wave in batch mode — every query in a wave
+    // reports the wave's machine totals, so counting each report would
+    // multiply them by the lane count).
+    let mut prefetch_totals = (0u64, 0u64, 0u64);
+    let mut tally_prefetch = |m: &graphr_core::metrics::Metrics| {
+        prefetch_totals.0 += m.disk.bytes_prefetched;
+        prefetch_totals.1 += m.disk.prefetch_hits;
+        prefetch_totals.2 += m.disk.prefetch_wasted;
+    };
     if batch {
         // Serve mode: every query enters the scheduler's queue, one drain
         // coalesces compatible traversals into fused waves. Results come
@@ -223,11 +255,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 .enqueue(job.clone().with_mode(mode))
                 .map_err(|e| e.to_string())?;
         }
+        let mut tallied_waves = std::collections::HashSet::new();
         for result in server.drain(&session) {
             let index = result.id as usize;
             let job = &plan.jobs[index];
             match &result.report {
                 Ok(report) => {
+                    if tallied_waves.insert(result.wave) {
+                        tally_prefetch(report.output.metrics());
+                    }
                     if report_json {
                         jobs_json.push(format!(
                             "{{\"wave\":{},\"lanes\":{},\"report\":{}}}",
@@ -277,6 +313,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let job = job.clone().with_mode(mode);
             match session.submit(&job) {
                 Ok(report) => {
+                    tally_prefetch(report.output.metrics());
                     if report_json {
                         jobs_json.push(report.to_json());
                     } else {
@@ -338,6 +375,24 @@ fn run(args: &[String]) -> Result<(), String> {
         "preprocessed graphs resident in the tiler cache",
         stats.entries as i64,
     );
+    if disk.is_some_and(|d| d.prefetch) {
+        let (bytes, hits, wasted) = prefetch_totals;
+        registry.counter(
+            "graphr_disk_prefetch_bytes_total",
+            "bytes the pipelined I/O lane read ahead across the run",
+            bytes,
+        );
+        registry.counter(
+            "graphr_disk_prefetch_hits_total",
+            "prefetched runs later scans consumed",
+            hits,
+        );
+        registry.counter(
+            "graphr_disk_prefetch_wasted_bytes_total",
+            "prefetched bytes discarded unread at window commits",
+            wasted,
+        );
+    }
     registry.counter(
         "graphr_jobs_total",
         "jobs the job file submitted",
@@ -431,6 +486,7 @@ struct Plan {
     mode: ExecMode,
     batch: bool,
     disk: Option<DiskModel>,
+    prefetch: Option<bool>,
     nodes: Option<usize>,
     owner: OwnerPolicy,
     trace: Option<String>,
@@ -468,14 +524,29 @@ fn parse_nodes(value: &str) -> Result<Option<usize>, String> {
 
 /// Parses a disk name as used by `--disk` and the `disk` directive:
 /// `sata`/`nvme` select a model (append `-seg` for segment-granular
-/// requests), `none` the in-core regime.
+/// requests, `-pipe` for the pipelined prefetching I/O lane), `none`
+/// the in-core regime.
 fn parse_disk(name: &str) -> Result<Option<DiskModel>, String> {
     if name == "none" {
         return Ok(None);
     }
     DiskModel::by_name(name).map(Some).ok_or_else(|| {
-        format!("unknown disk model '{name}' (expected sata, nvme, sata-seg, nvme-seg or none)")
+        format!(
+            "unknown disk model '{name}' (expected sata, nvme, sata-seg, nvme-seg, \
+             one of those with a -pipe suffix, or none)"
+        )
     })
+}
+
+/// Parses a prefetch toggle as used by `--prefetch` and the `prefetch`
+/// directive (composes with whichever disk model is in force, mirroring
+/// the `-pipe` model-name suffix).
+fn parse_prefetch(value: &str) -> Result<bool, String> {
+    match value {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("unknown prefetch setting '{other}' (on|off)")),
+    }
 }
 
 /// Parses a strip-ownership policy as used by `--owner` and the `owner`
@@ -493,6 +564,7 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
         mode: ExecMode::Parallel,
         batch: false,
         disk: None,
+        prefetch: None,
         nodes: None,
         owner: OwnerPolicy::default(),
         trace: None,
@@ -527,9 +599,15 @@ fn parse_job_file(text: &str) -> Result<Plan, String> {
             },
             "disk" => {
                 let v = fields.get(1).ok_or_else(|| {
-                    err("disk needs a value (sata|nvme|sata-seg|nvme-seg|none)".into())
+                    err("disk needs a value (sata|nvme|sata-seg|nvme-seg|...-pipe|none)".into())
                 })?;
                 plan.disk = parse_disk(v).map_err(err)?;
+            }
+            "prefetch" => {
+                let v = fields
+                    .get(1)
+                    .ok_or_else(|| err("prefetch needs a value (on|off)".into()))?;
+                plan.prefetch = Some(parse_prefetch(v).map_err(err)?);
             }
             "nodes" => {
                 let v = fields

@@ -494,6 +494,21 @@ impl JobReport {
         }
         if m.disk.is_active() {
             let dc = &m.disk;
+            // Runs under a pipelined disk model (`*-pipe`) carry the
+            // read-ahead accounting; prefetch-free runs keep the legacy
+            // row byte-for-byte.
+            let prefetch = if dc.bytes_prefetched > 0 {
+                format!(
+                    "; prefetch: {} KiB read ahead / {} hits / {} KiB wasted, demand {} of disk {}",
+                    dc.bytes_prefetched / 1024,
+                    dc.prefetch_hits,
+                    dc.prefetch_wasted / 1024,
+                    dc.demand_time,
+                    dc.time,
+                )
+            } else {
+                String::new()
+            };
             if m.net.is_active() {
                 // On a cluster, the disk counters are sums over nodes:
                 // comparing them against the composed cluster wall-clock
@@ -501,7 +516,7 @@ impl JobReport {
                 // would mislead — the composed total including each
                 // node's disk overlap is the net line's cluster total.
                 report.push_str(&format!(
-                    "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past (summed over cluster nodes); disk {} across nodes, per-node overlap composed into the cluster total below",
+                    "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past (summed over cluster nodes); disk {} across nodes, per-node overlap composed into the cluster total below{prefetch}",
                     dc.bytes_loaded / 1024,
                     dc.blocks_loaded,
                     dc.blocks_seeked,
@@ -509,11 +524,11 @@ impl JobReport {
                 ));
             } else {
                 report.push_str(&format!(
-                    "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past; disk {} vs compute {} → {}-bound, overlapped {}",
+                    "\n  disk:       {} KiB loaded / {} blocks loaded / {} seeked past; disk {} vs compute {} → {}-bound, overlapped {}{prefetch}",
                     dc.bytes_loaded / 1024,
                     dc.blocks_loaded,
                     dc.blocks_seeked,
-                    dc.time,
+                    dc.demand_pressure(),
                     m.total_time(),
                     if d.disk_bound == Some(true) {
                         "disk"
